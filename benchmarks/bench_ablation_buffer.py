@@ -1,0 +1,76 @@
+"""Ablation AB3 -- buffer-pool size vs node I/O.
+
+The paper fixes the buffer at 256 KB (256 one-KB frames) and reports
+node I/O as a primary measure.  This ablation sweeps the buffer-pool
+capacity and shows how the join's node I/O responds: tiny pools
+re-read hot upper-level nodes constantly; once the pool covers the
+working set (roughly the frequently re-touched top of both trees),
+extra frames stop helping -- contextualizing the paper's choice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import sys as _sys
+from pathlib import Path as _Path
+
+_sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import SCRIPT_SCALE, TEST_SCALE  # noqa: F401
+from repro.bench.reporting import format_table
+from repro.bench.runner import consume
+from repro.bench.workloads import build_tiger_workload
+from repro.core.distance_join import IncrementalDistanceJoin
+
+TEST_BUFFERS = (4, 256)
+SCRIPT_BUFFERS = (2, 8, 32, 128, 256, 1024)
+
+
+def build(scale, buffer_pages):
+    return build_tiger_workload(scale=scale, buffer_pages=buffer_pages)
+
+
+@pytest.mark.parametrize("buffer_pages", TEST_BUFFERS)
+def test_ablation_buffer(benchmark, buffer_pages):
+    load = build(TEST_SCALE, buffer_pages)
+
+    def once():
+        load.cold_caches()
+        load.reset_counters()
+        consume(IncrementalDistanceJoin(
+            load.tree1, load.tree2, counters=load.counters,
+        ), 1000)
+
+    benchmark(once)
+
+
+def main():
+    rows = []
+    for buffer_pages in SCRIPT_BUFFERS:
+        load = build(SCRIPT_SCALE, buffer_pages)
+        load.cold_caches()
+        load.reset_counters()
+        consume(IncrementalDistanceJoin(
+            load.tree1, load.tree2, counters=load.counters,
+        ), 10000)
+        reads = load.counters.value("node_reads")
+        misses = load.counters.value("node_io")
+        rows.append({
+            "buffer_pages": buffer_pages,
+            "node_reads": reads,
+            "node_io": misses,
+            "hit_ratio": 1.0 - misses / reads if reads else 0.0,
+        })
+    print(format_table(
+        rows,
+        columns=["buffer_pages", "node_reads", "node_io", "hit_ratio"],
+        title=(
+            f"AB3: buffer-pool size vs node I/O, 10,000 join pairs at "
+            f"scale {SCRIPT_SCALE:g} (paper's setting: 256 pages)"
+        ),
+    ))
+
+
+if __name__ == "__main__":
+    main()

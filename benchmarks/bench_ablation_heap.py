@@ -1,0 +1,91 @@
+"""Ablation AB2 -- pairing heap vs binary heap for the pair queue.
+
+The paper's implementation uses a pairing heap for the memory-resident
+part of the priority queue (Section 3.2, citing Fredman et al.).  This
+ablation swaps in a ``heapq``-based binary heap behind the same
+interface and measures the join end to end, plus the raw structures in
+isolation.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+import sys as _sys
+from pathlib import Path as _Path
+
+# Allow `python benchmarks/bench_*.py` without installing the
+# benchmarks package (pytest imports it via the repo root).
+_sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import SCRIPT_SCALE, TEST_SCALE, workload
+from repro.bench.reporting import format_table
+from repro.bench.runner import consume
+from repro.core.distance_join import IncrementalDistanceJoin
+from repro.core.heap import BinaryHeap, PairingHeap
+
+HEAPS = [("pairing", PairingHeap), ("binary", BinaryHeap)]
+
+
+@pytest.mark.parametrize("label,heap_class", HEAPS)
+def test_ablation_join_with_heap(benchmark, label, heap_class):
+    load = workload(TEST_SCALE)
+
+    def once():
+        load.cold_caches()
+        load.reset_counters()
+        consume(IncrementalDistanceJoin(
+            load.tree1, load.tree2, heap_class=heap_class,
+            counters=load.counters,
+        ), 2000)
+
+    benchmark(once)
+
+
+@pytest.mark.parametrize("label,heap_class", HEAPS)
+def test_ablation_raw_heap(benchmark, label, heap_class):
+    rng = random.Random(1)
+    keys = [(rng.random(), i) for i in range(20_000)]
+
+    def once():
+        heap = heap_class()
+        for key in keys:
+            heap.push(key, None)
+        while heap:
+            heap.pop()
+
+    benchmark(once)
+
+
+def main():
+    load = workload(SCRIPT_SCALE)
+    rows = []
+    for label, heap_class in HEAPS:
+        for pairs in (1000, 10000):
+            load.cold_caches()
+            load.reset_counters()
+            start = time.perf_counter()
+            consume(IncrementalDistanceJoin(
+                load.tree1, load.tree2, heap_class=heap_class,
+                counters=load.counters,
+            ), pairs)
+            rows.append({
+                "heap": label,
+                "pairs": pairs,
+                "time_s": time.perf_counter() - start,
+            })
+    print(format_table(
+        rows,
+        columns=["heap", "pairs", "time_s"],
+        title=(
+            f"AB2: pairing vs binary heap inside the join at scale "
+            f"{SCRIPT_SCALE:g}"
+        ),
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""Figure 10 -- semi-join under maximum distance / maximum pairs.
+
+Paper: the "Local" semi-join variant with (a) MaxDist set to the
+distance of the 1000th pair and to the largest semi-join distance
+("MaxDist All"), and (b) MaxPair set to 1000 / 10,000 and to |Water|
+("MaxPair All").  Shape to reproduce: a small MaxPair bound (1000)
+performs like the corresponding oracle MaxDist; large bounds help
+little or hurt (loose estimate + bookkeeping); MaxDist All is ~14%
+faster than Regular for the full result while MaxPair All is ~13%
+slower.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import sys as _sys
+from pathlib import Path as _Path
+
+# Allow `python benchmarks/bench_*.py` without installing the
+# benchmarks package (pytest imports it via the repo root).
+_sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import SCRIPT_SCALE, TEST_SCALE, workload
+from repro.bench.reporting import format_table
+from repro.bench.runner import consume, run_join
+from repro.core.semi_join import IncrementalDistanceSemiJoin
+
+LOCAL = dict(filter_strategy="inside2", dmax_strategy="local")
+
+
+def semi(load, **kwargs):
+    options = dict(LOCAL)
+    options.update(kwargs)
+    return IncrementalDistanceSemiJoin(
+        load.tree1, load.tree2, counters=load.counters, **options
+    )
+
+
+def oracle_distance(load, rank):
+    """Distance of semi-join result number ``rank`` (None = last)."""
+    last = None
+    for count, result in enumerate(semi(load), start=1):
+        last = result
+        if rank is not None and count >= rank:
+            break
+    return last.distance if last is not None else 0.0
+
+
+@pytest.mark.parametrize("max_pairs", [100, 1000])
+def test_fig10_maxpair(benchmark, max_pairs):
+    load = workload(TEST_SCALE)
+
+    def once():
+        load.cold_caches()
+        load.reset_counters()
+        consume(semi(load, max_pairs=max_pairs))
+
+    benchmark(once)
+
+
+def test_fig10_maxdist_all(benchmark):
+    load = workload(TEST_SCALE)
+    limit = oracle_distance(load, None)
+
+    def once():
+        load.cold_caches()
+        load.reset_counters()
+        consume(semi(load, max_distance=limit))
+
+    benchmark(once)
+
+
+def main():
+    load = workload(SCRIPT_SCALE)
+    total = len(load.tree1)
+    d_1000 = oracle_distance(load, 1000)
+    d_all = oracle_distance(load, None)
+
+    configs = [
+        ("Regular", {}, None),
+        ("MaxDist 1000", dict(max_distance=d_1000), 1000),
+        ("MaxDist All", dict(max_distance=d_all), None),
+        ("MaxPair 1000", dict(max_pairs=1000), 1000),
+        ("MaxPair 10000", dict(max_pairs=10000), 10000),
+        (f"MaxPair All ({total})", dict(max_pairs=total), None),
+    ]
+    rows = []
+    for label, options, pairs in configs:
+        run = run_join(
+            lambda: semi(load, **options),
+            pairs,
+            load.counters,
+            before=load.cold_caches,
+        )
+        rows.append({
+            "variant": label,
+            "pairs": run.pairs_produced,
+            "time_s": run.seconds,
+            "queue_inserts": run.counters.get("queue_inserts", 0),
+            "estimator_trims": run.counters.get("estimator_trims", 0),
+        })
+    print(format_table(
+        rows,
+        columns=[
+            "variant", "pairs", "time_s", "queue_inserts",
+            "estimator_trims",
+        ],
+        title=(
+            f"Figure 10: semi-join with maximum distance / maximum "
+            f"pairs (Local variant), Water semi-join Roads at scale "
+            f"{SCRIPT_SCALE:g}"
+        ),
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""Figure 6 -- execution time of four traversal variants.
+
+Paper: Even/DepthFirst vs Even/BreadthFirst vs Basic/DepthFirst vs
+Simultaneous/DepthFirst for 1 .. 100,000 pairs of Water ⋈ Roads.
+Shape to reproduce: the curves are similar in shape (cheap first pair,
+modest growth to ~10,000, sharp rise at 100,000); DepthFirst beats
+BreadthFirst for retrieving *one* pair (there is a distance-0 pair
+reported immediately by DepthFirst); Basic and Simultaneous do much
+more work (distance calculations, queue growth) with no maximum
+distance set.  Section 4.1.1 also notes Basic degenerates when the
+larger relation comes first (Roads ⋈ Water) -- measured here as X1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import sys as _sys
+from pathlib import Path as _Path
+
+# Allow `python benchmarks/bench_*.py` without installing the
+# benchmarks package (pytest imports it via the repo root).
+_sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import (
+    SCRIPT_PAIRS,
+    SCRIPT_SCALE,
+    TEST_PAIRS,
+    TEST_SCALE,
+    workload,
+)
+from repro.bench.reporting import format_series
+from repro.bench.runner import run_join
+from repro.core.distance_join import IncrementalDistanceJoin
+
+VARIANTS = [
+    ("Even/DepthFirst", dict(node_policy="even", tie_break="depth_first")),
+    ("Even/BreadthFirst",
+     dict(node_policy="even", tie_break="breadth_first")),
+    ("Basic/DepthFirst", dict(node_policy="basic", tie_break="depth_first")),
+    ("Simultaneous/DepthFirst",
+     dict(node_policy="simultaneous", tie_break="depth_first")),
+]
+
+
+def make_join(load, options):
+    return IncrementalDistanceJoin(
+        load.tree1, load.tree2, counters=load.counters, **options
+    )
+
+
+@pytest.mark.parametrize("label,options", VARIANTS)
+@pytest.mark.parametrize("pairs", TEST_PAIRS)
+def test_fig6_variant(benchmark, label, options, pairs):
+    load = workload(TEST_SCALE)
+
+    def once():
+        load.cold_caches()
+        load.reset_counters()
+        join = make_join(load, options)
+        for count, __ in enumerate(join, start=1):
+            if count >= pairs:
+                break
+
+    benchmark(once)
+
+
+def main():
+    load = workload(SCRIPT_SCALE)
+    series = {}
+    for label, options in VARIANTS:
+        times = []
+        for pairs in SCRIPT_PAIRS:
+            run = run_join(
+                lambda: make_join(load, options),
+                pairs,
+                load.counters,
+                before=load.cold_caches,
+            )
+            times.append(run.seconds)
+        series[label] = times
+    print(format_series(
+        series, SCRIPT_PAIRS, x_label="pairs",
+        title=(
+            f"Figure 6: execution time (s) by traversal variant, "
+            f"Water x Roads at scale {SCRIPT_SCALE:g}"
+        ),
+    ))
+
+    # X1 (Section 4.1.1): Basic with the larger relation first blows
+    # up the queue; Even barely changes.
+    swapped = load.swapped()
+    print()
+    print("X1: Roads x Water (larger relation first), 1000 pairs")
+    for label, options in (VARIANTS[0], VARIANTS[2]):
+        run = run_join(
+            lambda: IncrementalDistanceJoin(
+                swapped.tree1, swapped.tree2,
+                counters=swapped.counters, **options,
+            ),
+            1000,
+            swapped.counters,
+            before=swapped.cold_caches,
+        )
+        print(
+            f"  {label:<22} time={run.seconds:8.3f}s  "
+            f"max_queue={run.max_queue_size:>10,}  "
+            f"dist_calcs={run.dist_calcs:>10,}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,140 @@
+"""Figure 7 -- effect of maximum distance and maximum pairs (join).
+
+Paper: "MaxDist" sets the maximum distance to the (oracle) distance of
+pair number 1000 / 10,000 / 100,000; "MaxPair" bounds the number of
+pairs at 100 / 10,000 and lets the estimator of Section 2.2.4 shrink
+D_max on the fly.  Shape to reproduce: setting a maximum distance
+helps considerably at every result size; MaxPair with a small bound
+tracks the corresponding MaxDist curve, while a large bound helps less
+(looser estimate, higher bookkeeping overhead).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import sys as _sys
+from pathlib import Path as _Path
+
+# Allow `python benchmarks/bench_*.py` without installing the
+# benchmarks package (pytest imports it via the repo root).
+_sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import (
+    SCRIPT_PAIRS,
+    SCRIPT_SCALE,
+    TEST_PAIRS,
+    TEST_SCALE,
+    workload,
+)
+from repro.bench.reporting import format_series
+from repro.bench.runner import consume, run_join
+from repro.core.distance_join import IncrementalDistanceJoin
+
+
+def oracle_distance(load, rank):
+    """The distance of result pair number ``rank`` (the paper sets
+    MaxDist from known pair distances the same way)."""
+    join = IncrementalDistanceJoin(
+        load.tree1, load.tree2, counters=load.counters
+    )
+    last = None
+    for count, result in enumerate(join, start=1):
+        last = result
+        if count >= rank:
+            break
+    return last.distance if last is not None else 0.0
+
+
+def sweep(load, pairs_list, make_join):
+    times = []
+    for pairs in pairs_list:
+        run = run_join(
+            lambda: make_join(pairs),
+            pairs,
+            load.counters,
+            before=load.cold_caches,
+        )
+        times.append(run.seconds if run.pairs_produced >= min(
+            pairs, run.pairs_produced
+        ) else float("nan"))
+    return times
+
+
+@pytest.mark.parametrize("max_pairs", [100, 2000])
+def test_fig7_maxpair(benchmark, max_pairs):
+    load = workload(TEST_SCALE)
+
+    def once():
+        load.cold_caches()
+        load.reset_counters()
+        consume(IncrementalDistanceJoin(
+            load.tree1, load.tree2, max_pairs=max_pairs,
+            counters=load.counters,
+        ))
+
+    benchmark(once)
+
+
+@pytest.mark.parametrize("pairs", TEST_PAIRS)
+def test_fig7_maxdist(benchmark, pairs):
+    load = workload(TEST_SCALE)
+    limit = oracle_distance(load, 2000)
+
+    def once():
+        load.cold_caches()
+        load.reset_counters()
+        consume(IncrementalDistanceJoin(
+            load.tree1, load.tree2, max_distance=limit,
+            counters=load.counters,
+        ), pairs)
+
+    benchmark(once)
+
+
+def main():
+    load = workload(SCRIPT_SCALE)
+    series = {}
+
+    series["Regular"] = sweep(
+        load, SCRIPT_PAIRS,
+        lambda pairs: IncrementalDistanceJoin(
+            load.tree1, load.tree2, counters=load.counters
+        ),
+    )
+
+    for rank in (1000, 10000, 50000):
+        limit = oracle_distance(load, rank)
+        label = f"MaxDist {rank}"
+        pairs_list = [p for p in SCRIPT_PAIRS if p <= rank]
+        series[label] = sweep(
+            load, pairs_list,
+            lambda pairs: IncrementalDistanceJoin(
+                load.tree1, load.tree2, max_distance=limit,
+                counters=load.counters,
+            ),
+        )
+
+    for bound in (100, 10000):
+        label = f"MaxPair {bound}"
+        pairs_list = [p for p in SCRIPT_PAIRS if p <= bound]
+        series[label] = sweep(
+            load, pairs_list,
+            lambda pairs: IncrementalDistanceJoin(
+                load.tree1, load.tree2, max_pairs=bound,
+                counters=load.counters,
+            ),
+        )
+
+    print(format_series(
+        series, SCRIPT_PAIRS, x_label="pairs",
+        title=(
+            f"Figure 7: execution time (s), maximum distance vs "
+            f"maximum pairs, Water x Roads at scale {SCRIPT_SCALE:g} "
+            f"(blank = beyond the variant's bound)"
+        ),
+    ))
+
+
+if __name__ == "__main__":
+    main()

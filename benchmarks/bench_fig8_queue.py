@@ -1,0 +1,113 @@
+"""Figure 8 -- memory-only vs hybrid memory/disk priority queue.
+
+Paper: the purely memory-based queue is only a little slower than the
+hybrid queue up to 10,000 pairs, then almost an order of magnitude
+slower at 100,000 pairs (virtual-memory thrashing); the hybrid scheme
+is compared at two D_T values, the larger one winning at the largest
+result size (fewer disk reads) and the smaller one slightly ahead
+below that (more pairs kept out of the heap).
+
+A pure-Python run cannot thrash a real VM system, so the *measured*
+proxy for memory pressure is the peak in-memory element count
+(``pq_heap_size`` peak for the hybrid tiers vs ``queue_size`` peak for
+the memory queue) alongside wall-clock time; the hybrid queue's disk
+traffic is also reported.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import sys as _sys
+from pathlib import Path as _Path
+
+# Allow `python benchmarks/bench_*.py` without installing the
+# benchmarks package (pytest imports it via the repo root).
+_sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import (
+    SCRIPT_PAIRS,
+    SCRIPT_SCALE,
+    TEST_PAIRS,
+    TEST_SCALE,
+    workload,
+)
+from repro.bench.reporting import format_table
+from repro.bench.runner import consume, run_join
+from repro.bench.workloads import suggest_dt
+from repro.core.distance_join import IncrementalDistanceJoin
+
+
+def variants(load):
+    dt = suggest_dt(load)
+    return [
+        ("Memory", dict(queue="memory")),
+        ("Hybrid1 (small DT)", dict(queue="hybrid", queue_dt=dt / 4)),
+        ("Hybrid2 (large DT)", dict(queue="hybrid", queue_dt=dt)),
+        # The paper's future-work item: D_T chosen dynamically from
+        # the queue's early traffic (Section 3.2).
+        ("Adaptive DT", dict(queue="adaptive")),
+    ]
+
+
+@pytest.mark.parametrize("pairs", TEST_PAIRS)
+@pytest.mark.parametrize("kind", ["memory", "hybrid"])
+def test_fig8_queue_kind(benchmark, pairs, kind):
+    load = workload(TEST_SCALE)
+    options = (
+        dict(queue="memory") if kind == "memory"
+        else dict(queue="hybrid", queue_dt=suggest_dt(load))
+    )
+
+    def once():
+        load.cold_caches()
+        load.reset_counters()
+        consume(IncrementalDistanceJoin(
+            load.tree1, load.tree2, counters=load.counters, **options
+        ), pairs)
+
+    benchmark(once)
+
+
+def main():
+    load = workload(SCRIPT_SCALE)
+    rows = []
+    for label, options in variants(load):
+        for pairs in SCRIPT_PAIRS:
+            run = run_join(
+                lambda: IncrementalDistanceJoin(
+                    load.tree1, load.tree2,
+                    counters=load.counters, **options,
+                ),
+                pairs,
+                load.counters,
+                before=load.cold_caches,
+            )
+            in_memory_peak = (
+                run.peaks.get("pq_heap_size", 0)
+                if options["queue"] in ("hybrid", "adaptive")
+                else run.peaks.get("queue_size", 0)
+            )
+            rows.append({
+                "variant": label,
+                "pairs": pairs,
+                "time_s": run.seconds,
+                "mem_peak_elems": in_memory_peak,
+                "disk_writes": run.counters.get("pq_disk_writes", 0),
+                "disk_reads": run.counters.get("pq_disk_reads", 0),
+            })
+    print(format_table(
+        rows,
+        columns=[
+            "variant", "pairs", "time_s", "mem_peak_elems",
+            "disk_writes", "disk_reads",
+        ],
+        title=(
+            f"Figure 8: memory vs hybrid priority queue, "
+            f"Water x Roads at scale {SCRIPT_SCALE:g}"
+        ),
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Figure 9 -- semi-join filter placements and d_max strategies.
+
+Paper: execution time of Outside / Inside1 / Inside2 filtering and of
+the Local / GlobalNodes / GlobalAll d_max strategies for 1 .. all
+pairs of the distance semi-join of Water with Roads.  Shape to
+reproduce: all variants are close for small result counts; Outside's
+queue blows up on large results (the paper could not finish it);
+Inside2 clearly beats Inside1 for the full result (~47% in the paper);
+the d_max strategies pay off at the largest result sizes with
+GlobalAll ahead, GlobalNodes barely distinguishable from Local.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import sys as _sys
+from pathlib import Path as _Path
+
+# Allow `python benchmarks/bench_*.py` without installing the
+# benchmarks package (pytest imports it via the repo root).
+_sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import SCRIPT_SCALE, TEST_SCALE, workload
+from repro.bench.reporting import format_series
+from repro.bench.runner import consume, run_join
+from repro.core.semi_join import IncrementalDistanceSemiJoin
+
+VARIANTS = [
+    ("Outside", dict(filter_strategy="outside", dmax_strategy="none")),
+    ("Inside1", dict(filter_strategy="inside1", dmax_strategy="none")),
+    ("Inside2", dict(filter_strategy="inside2", dmax_strategy="none")),
+    ("Local", dict(filter_strategy="inside2", dmax_strategy="local")),
+    ("GlobalNodes",
+     dict(filter_strategy="inside2", dmax_strategy="global_nodes")),
+    ("GlobalAll",
+     dict(filter_strategy="inside2", dmax_strategy="global_all")),
+]
+
+
+def pair_sweep(load):
+    total = len(load.tree1)
+    sweep = [p for p in (1, 10, 100, 1000, 10000) if p < total]
+    return sweep + [total]
+
+
+@pytest.mark.parametrize("label,options", VARIANTS)
+def test_fig9_strategy_full_result(benchmark, label, options):
+    load = workload(TEST_SCALE)
+
+    def once():
+        load.cold_caches()
+        load.reset_counters()
+        consume(IncrementalDistanceSemiJoin(
+            load.tree1, load.tree2, counters=load.counters, **options
+        ))
+
+    benchmark(once)
+
+
+def main():
+    load = workload(SCRIPT_SCALE)
+    sweep = pair_sweep(load)
+    series = {}
+    for label, options in VARIANTS:
+        times = []
+        for pairs in sweep:
+            run = run_join(
+                lambda: IncrementalDistanceSemiJoin(
+                    load.tree1, load.tree2,
+                    counters=load.counters, **options,
+                ),
+                pairs,
+                load.counters,
+                before=load.cold_caches,
+            )
+            times.append(run.seconds)
+        series[label] = times
+    print(format_series(
+        series, sweep, x_label="pairs",
+        title=(
+            f"Figure 9: semi-join execution time (s) by strategy, "
+            f"Water semi-join Roads at scale {SCRIPT_SCALE:g} "
+            f"(last column = all {len(load.tree1):,} outer objects)"
+        ),
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""OPT1 -- pipeline vs prefilter plan crossover (paper Section 5).
+
+The paper's closing discussion sketches two plans for "the nearest
+city with population over 5 million": filter the incremental join's
+output (best when the predicate keeps most objects) or restrict the
+relation first and join the small index (best when it is highly
+selective), and notes a cost model is needed to choose.  This
+benchmark measures both plans across a selectivity sweep, finds the
+empirical crossover, and scores the cost model's choices against it.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+import sys as _sys
+from pathlib import Path as _Path
+
+_sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
+
+from repro.bench.reporting import format_table
+from repro.datasets.synthetic import uniform_points
+from repro.query.executor import Database
+from repro.util.counters import CounterRegistry
+
+TEST_OUTER = 300
+TEST_INNER = 300
+SCRIPT_OUTER = 2000
+SCRIPT_INNER = 2000
+SELECTIVITIES = (0.001, 0.01, 0.05, 0.2, 0.5, 1.0)
+
+SQL = (
+    "SELECT * FROM outer_rel, inner_rel, "
+    "DISTANCE(outer_rel.geom, inner_rel.geom) AS d "
+    "WHERE outer_rel.score <= {threshold} ORDER BY d STOP AFTER 10"
+)
+
+
+def build(outer_count, inner_count, seed=7):
+    rng = random.Random(seed)
+    outer = uniform_points(outer_count, seed=seed)
+    scores = [rng.random() for __ in outer]
+    inner = uniform_points(inner_count, seed=seed + 1)
+    db = Database(counters=CounterRegistry())
+    db.create_relation("outer_rel", outer, attributes={"score": scores})
+    db.create_relation("inner_rel", inner)
+    return db
+
+
+def run_strategy(db, threshold, strategy):
+    start = time.perf_counter()
+    rows = list(db.execute(
+        SQL.format(threshold=threshold), strategy=strategy
+    ))
+    return time.perf_counter() - start, len(rows)
+
+
+@pytest.mark.parametrize("strategy", ["pipeline", "prefilter"])
+@pytest.mark.parametrize("selectivity", [0.01, 0.5])
+def test_opt_strategies(benchmark, strategy, selectivity):
+    db = build(TEST_OUTER, TEST_INNER)
+
+    def once():
+        run_strategy(db, selectivity, strategy)
+
+    benchmark(once)
+
+
+def main():
+    db = build(SCRIPT_OUTER, SCRIPT_INNER)
+    rows = []
+    correct_choices = 0
+    for selectivity in SELECTIVITIES:
+        pipe_time, pipe_rows = run_strategy(db, selectivity, "pipeline")
+        pre_time, pre_rows = run_strategy(db, selectivity, "prefilter")
+        assert pipe_rows == pre_rows
+        plan = db.explain(SQL.format(threshold=selectivity))
+        empirical_winner = (
+            "prefilter" if pre_time < pipe_time else "pipeline"
+        )
+        model_correct = plan.strategy == empirical_winner
+        # Near the crossover either choice costs about the same; count
+        # a "wrong" pick as correct if it is within 25% of the winner.
+        if not model_correct:
+            chosen_time = (
+                pre_time if plan.strategy == "prefilter" else pipe_time
+            )
+            model_correct = chosen_time <= 1.25 * min(
+                pipe_time, pre_time
+            )
+        correct_choices += bool(model_correct)
+        rows.append({
+            "selectivity": selectivity,
+            "pipeline_s": pipe_time,
+            "prefilter_s": pre_time,
+            "winner": empirical_winner,
+            "model_choice": plan.strategy,
+            "ok": "yes" if model_correct else "NO",
+        })
+    print(format_table(
+        rows,
+        columns=[
+            "selectivity", "pipeline_s", "prefilter_s", "winner",
+            "model_choice", "ok",
+        ],
+        title=(
+            f"OPT1: plan crossover, {SCRIPT_OUTER:,} x "
+            f"{SCRIPT_INNER:,} points, 10 result pairs"
+        ),
+    ))
+    print(
+        f"\ncost model choices acceptable at {correct_choices}/"
+        f"{len(SELECTIVITIES)} selectivities"
+    )
+
+
+if __name__ == "__main__":
+    main()

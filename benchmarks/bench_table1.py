@@ -1,0 +1,101 @@
+"""Table 1 -- performance measures of the incremental distance join.
+
+Paper: for Even/DepthFirst (one node at a time, even traversal), the
+number of object distance calculations, the maximum size of the
+priority queue, and node I/O operations, for 1 .. 100,000 result pairs
+of Water ⋈ Roads.  Shape to reproduce: all three measures are already
+substantial for the *first* pair (the descent to the first
+object/object pair), grow slowly through ~10,000 pairs, and climb
+sharply at the largest result sizes.
+
+Run ``python benchmarks/bench_table1.py`` for the full table;
+``pytest benchmarks/bench_table1.py --benchmark-only`` for the timing
+harness at test scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import sys as _sys
+from pathlib import Path as _Path
+
+# Allow `python benchmarks/bench_*.py` without installing the
+# benchmarks package (pytest imports it via the repo root).
+_sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import (
+    SCRIPT_PAIRS,
+    SCRIPT_SCALE,
+    TEST_PAIRS,
+    TEST_SCALE,
+    workload,
+)
+from repro.bench.reporting import format_table
+from repro.bench.runner import run_join
+from repro.core.distance_join import IncrementalDistanceJoin
+from repro.core.tiebreak import DEPTH_FIRST
+
+
+def make_join(load):
+    return IncrementalDistanceJoin(
+        load.tree1,
+        load.tree2,
+        node_policy="even",
+        tie_break=DEPTH_FIRST,
+        counters=load.counters,
+    )
+
+
+def measure(scale, pairs_list):
+    load = workload(scale)
+    rows = []
+    for pairs in pairs_list:
+        run = run_join(
+            lambda: make_join(load),
+            pairs,
+            load.counters,
+            label=str(pairs),
+            before=load.cold_caches,
+        )
+        rows.append({
+            "Pairs": pairs,
+            "Time (s)": run.seconds,
+            "Dist. Calc.": run.dist_calcs,
+            "Queue Size": run.max_queue_size,
+            "Node I/O": run.node_io,
+        })
+    return rows
+
+
+@pytest.mark.parametrize("pairs", TEST_PAIRS)
+def test_table1_even_depthfirst(benchmark, pairs):
+    load = workload(TEST_SCALE)
+
+    def once():
+        load.cold_caches()
+        load.reset_counters()
+        join = make_join(load)
+        for count, __ in enumerate(join, start=1):
+            if count >= pairs:
+                break
+
+    benchmark(once)
+
+
+def main():
+    rows = measure(SCRIPT_SCALE, SCRIPT_PAIRS)
+    print(format_table(
+        rows,
+        columns=[
+            "Pairs", "Time (s)", "Dist. Calc.", "Queue Size", "Node I/O"
+        ],
+        title=(
+            f"Table 1: incremental distance join (Even/DepthFirst), "
+            f"Water x Roads at scale {SCRIPT_SCALE:g}"
+        ),
+    ))
+
+
+if __name__ == "__main__":
+    main()

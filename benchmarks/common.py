@@ -1,0 +1,48 @@
+"""Shared configuration for the benchmark scripts.
+
+Every benchmark exists in two forms:
+
+- a pytest-benchmark test (``pytest benchmarks/ --benchmark-only``) at
+  a small scale so the whole suite stays fast, and
+- a ``main()`` printing the paper-style table/series at a larger scale
+  (``python benchmarks/bench_table1.py``).
+
+Scales are fractions of the paper's data set sizes (Water: 37,495,
+Roads: 200,482).  Override via the ``REPRO_BENCH_SCALE`` environment
+variable for script runs.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro.bench.workloads import JoinWorkload, build_tiger_workload
+
+#: Scale used by pytest-benchmark tests (keep the suite quick).
+TEST_SCALE = 0.01
+
+#: Scale used by the __main__ table printers.
+SCRIPT_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+
+#: Result-pair sweep for pytest runs.
+TEST_PAIRS = [1, 100, 2000]
+
+#: Result-pair sweep for script runs (the paper sweeps 1..100,000 on
+#: the full-size data; this is the same span relative to scale).
+SCRIPT_PAIRS = [1, 10, 100, 1000, 10000, 50000]
+
+
+@lru_cache(maxsize=4)
+def workload(scale: float = TEST_SCALE) -> JoinWorkload:
+    """A cached Water ⋈ Roads workload at ``scale``."""
+    return build_tiger_workload(scale=scale)
+
+
+def fresh(scale: float, make_run):
+    """Run ``make_run(workload)`` against cold caches and reset
+    counters; returns its result."""
+    load = workload(scale)
+    load.cold_caches()
+    load.reset_counters()
+    return make_run(load)

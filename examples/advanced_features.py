@@ -1,0 +1,102 @@
+"""Advanced features tour: k-NN join, intersection join, closest
+pairs, snapshots, and EXPLAIN.
+
+Everything here goes beyond the paper's evaluation but grows directly
+out of its algorithms (Sections 1, 2.2.5, and the Section 5 future
+work, implemented).
+
+Run:  python examples/advanced_features.py
+"""
+
+import os
+import tempfile
+
+from repro import (
+    KNearestNeighborJoin,
+    Point,
+    RStarTree,
+    all_nearest_neighbors,
+    closest_pair,
+    intersection_join,
+)
+from repro.datasets import uniform_points
+from repro.geometry.shapes import LineSegment
+from repro.query import Database
+from repro.rtree.bulk import bulk_load_str
+from repro.storage.snapshot import load_tree, save_tree
+
+
+def main():
+    clinics = uniform_points(30, seed=41)
+    patients = uniform_points(300, seed=42)
+    clinic_tree = bulk_load_str(clinics)
+    patient_tree = bulk_load_str(patients)
+
+    # --- k-NN join: each patient's 3 nearest clinics. -------------------
+    knn = KNearestNeighborJoin(patient_tree, clinic_tree, k=3)
+    assignments = {}
+    for pair in knn:
+        assignments.setdefault(pair.oid1, []).append(pair.oid2)
+    triple_covered = sum(1 for v in assignments.values() if len(v) == 3)
+    print(f"k-NN join: {triple_covered} patients have 3 clinic options")
+
+    # --- Closest pair / all nearest neighbours within one set. ----------
+    tight = closest_pair(clinic_tree)
+    print(
+        f"closest clinic pair: #{tight.oid1} and #{tight.oid2}, "
+        f"{tight.distance:.2f} apart"
+    )
+    isolation = max(all_nearest_neighbors(clinic_tree),
+                    key=lambda r: r.distance)
+    print(
+        f"most isolated clinic: #{isolation.oid1} "
+        f"({isolation.distance:.2f} to its nearest peer)"
+    )
+
+    # --- Intersection join ordered by distance from a reference. --------
+    roads = [
+        LineSegment(Point((0.0, y)), Point((10000.0, y)))
+        for y in (2000.0, 5000.0, 8000.0)
+    ]
+    rivers = [
+        LineSegment(Point((x, 0.0)), Point((x, 10000.0)))
+        for x in (3000.0, 7000.0)
+    ]
+    house = Point((6500.0, 7600.0))
+    crossings = list(intersection_join(
+        bulk_load_str(roads), bulk_load_str(rivers), house
+    ))
+    print(f"\n{len(crossings)} road/river crossings, nearest first:")
+    for crossing in crossings[:3]:
+        print(
+            f"  road #{crossing.oid1} x river #{crossing.oid2} "
+            f"at {crossing.reference_distance:.0f} units from the house"
+        )
+
+    # --- Snapshots: build once, reuse forever. ---------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "clinics.tree")
+        save_tree(clinic_tree, path)
+        reloaded = load_tree(path)
+        again = closest_pair(reloaded)
+        print(
+            f"\nsnapshot round-trip: closest pair still "
+            f"{again.distance:.2f} ({os.path.getsize(path):,} bytes "
+            f"on disk)"
+        )
+
+    # --- EXPLAIN: the cost model at work. --------------------------------
+    db = Database()
+    db.create_relation("patients", patient_tree)
+    db.create_relation("clinics", clinic_tree)
+    plan = db.explain(
+        "SELECT * FROM patients, clinics, "
+        "DISTANCE(patients.geom, clinics.geom) AS d "
+        "WHERE d <= 500 ORDER BY d STOP AFTER 20"
+    )
+    print("\nEXPLAIN output:")
+    print(plan.pretty())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""The "fast first" pipeline: why incremental matters.
+
+The paper's core claim (and its Section 4.1.4 experiment) is that an
+incremental join delivers the first results after a tiny fraction of
+the work a compute-everything approach needs.  This example measures
+exactly that contrast on the TIGER-like data, the way an interactive
+query interface would experience it: a user pages through results ten
+at a time, and each page costs only its own increment.
+
+Run:  python examples/interactive_stop_after.py
+"""
+
+import time
+
+from repro import IncrementalDistanceJoin
+from repro.baselines.nested_loop import nested_loop_join
+from repro.bench.workloads import build_tiger_workload
+from repro.util.counters import CounterRegistry
+
+
+def main():
+    workload = build_tiger_workload(scale=0.01)
+    water, roads = workload.tree1, workload.tree2
+    total = len(water) * len(roads)
+    print(
+        f"joining {len(water):,} water points with {len(roads):,} road "
+        f"points ({total:,} possible pairs)\n"
+    )
+
+    # --- Interactive paging over the incremental join. -----------------
+    join = IncrementalDistanceJoin(water, roads, counters=workload.counters)
+    workload.reset_counters()
+    print("paging through the join, 10 pairs per page:")
+    shown = 0
+    for page in range(1, 4):
+        start = time.perf_counter()
+        page_rows = []
+        for __ in range(10):
+            page_rows.append(next(join))
+        elapsed = time.perf_counter() - start
+        shown += len(page_rows)
+        calcs = workload.counters.value("dist_calcs")
+        print(
+            f"  page {page}: distances "
+            f"{page_rows[0].distance:8.4f} .. {page_rows[-1].distance:8.4f}"
+            f"   (+{elapsed * 1000:6.1f} ms, {calcs:,} distance "
+            f"calculations so far)"
+        )
+
+    # --- The non-incremental alternative. ------------------------------
+    print("\nnon-incremental alternative (nested loop + sort):")
+    counters = CounterRegistry()
+    start = time.perf_counter()
+    rows = nested_loop_join(
+        workload.points1, workload.points2, max_pairs=30,
+        counters=counters,
+    )
+    elapsed = time.perf_counter() - start
+    print(
+        f"  same 30 pairs took {elapsed:.2f} s and "
+        f"{counters.value('dist_calcs'):,} distance calculations "
+        f"(the entire Cartesian product, before anything is shown)"
+    )
+    assert [round(r.distance, 9) for r in rows[:shown]] is not None
+
+    # --- STOP AFTER through the query layer. ---------------------------
+    from repro.query import Database
+    db = Database()
+    db.create_relation("water", workload.points1)
+    db.create_relation("roads", workload.points2)
+    start = time.perf_counter()
+    top = list(db.execute(
+        "SELECT * FROM water, roads, "
+        "DISTANCE(water.geom, roads.geom) AS d "
+        "ORDER BY d STOP AFTER 5"
+    ))
+    elapsed = time.perf_counter() - start
+    print("\nSTOP AFTER 5 through the SQL layer "
+          f"({elapsed * 1000:.1f} ms):")
+    for row in top:
+        print(f"  water #{row.oid1:>5} <-> road #{row.oid2:>5}  "
+              f"d={row.d:.4f}")
+
+
+if __name__ == "__main__":
+    main()

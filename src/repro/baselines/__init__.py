@@ -1,0 +1,17 @@
+"""Non-incremental baselines the paper compares against.
+
+- :func:`nested_loop_join` -- the brute-force distance join of
+  Section 4.1.4 (compute all pairwise distances, sort);
+- :func:`nn_semi_join` -- the nearest-neighbour implementation of the
+  distance semi-join of Section 4.2.3 (one NN search per outer object,
+  then sort);
+- :func:`within_join` -- a spatial join with a ``within`` predicate
+  followed by a sort, the alternative the paper discusses for
+  distance-bounded joins.
+"""
+
+from repro.baselines.nested_loop import nested_loop_join
+from repro.baselines.nn_semijoin import nn_semi_join
+from repro.baselines.within_join import within_join
+
+__all__ = ["nested_loop_join", "nn_semi_join", "within_join"]

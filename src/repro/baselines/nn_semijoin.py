@@ -1,0 +1,54 @@
+"""Distance semi-join via repeated nearest-neighbour search
+(paper Section 4.2.3).
+
+For every object of the outer relation, run a nearest-neighbour query
+against the inner relation's R-tree, collect all (object, neighbour,
+distance) triples, and sort by distance.  Unlike the incremental
+algorithm, nothing is produced until every NN query has completed, and
+a distance value must be stored for every outer object -- the paper
+uses this to contextualize the "GlobalAll" strategy's storage cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.distance_join import JoinResult
+from repro.geometry.metrics import EUCLIDEAN, Metric
+from repro.rtree.base import RTreeBase
+from repro.rtree.queries import nearest_neighbors
+from repro.util.counters import CounterRegistry
+
+
+def nn_semi_join(
+    outer: Sequence[Tuple[int, Any]],
+    inner_tree: RTreeBase,
+    metric: Metric = EUCLIDEAN,
+    max_pairs: Optional[int] = None,
+    counters: Optional[CounterRegistry] = None,
+) -> List[JoinResult]:
+    """The distance semi-join computed non-incrementally.
+
+    Parameters
+    ----------
+    outer:
+        ``(oid, object)`` pairs of the outer relation (e.g. from
+        ``[(e.oid, e.obj) for e in tree.items()]``).
+    inner_tree:
+        R-tree over the inner relation.
+    max_pairs:
+        Truncate the sorted result (the NN queries still all run --
+        that is the point of the comparison).
+    """
+    __ = counters  # the inner tree's own registry counts the work
+    results: List[JoinResult] = []
+    for oid, obj in outer:
+        neighbors = nearest_neighbors(inner_tree, obj, k=1, metric=metric)
+        if not neighbors:
+            continue
+        nn = neighbors[0]
+        results.append(JoinResult(nn.distance, oid, obj, nn.oid, nn.obj))
+    results.sort(key=lambda r: r.distance)
+    if max_pairs is not None:
+        results = results[:max_pairs]
+    return results

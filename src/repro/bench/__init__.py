@@ -1,0 +1,25 @@
+"""Benchmark harness: workload construction, measured runs, reporting.
+
+Each script under ``benchmarks/`` regenerates one table or figure of
+the paper using these utilities; they are library code so the test
+suite can exercise them at tiny scale.
+"""
+
+from repro.bench.workloads import (
+    JoinWorkload,
+    build_tiger_workload,
+    suggest_dt,
+)
+from repro.bench.runner import MeasuredRun, consume, run_join
+from repro.bench.reporting import format_series, format_table
+
+__all__ = [
+    "JoinWorkload",
+    "build_tiger_workload",
+    "suggest_dt",
+    "MeasuredRun",
+    "run_join",
+    "consume",
+    "format_table",
+    "format_series",
+]

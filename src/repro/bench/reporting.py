@@ -1,0 +1,71 @@
+"""Plain-text table/series formatting for benchmark output.
+
+The benchmark scripts print the same rows and series the paper's
+tables and figures report, so EXPERIMENTS.md can be filled in by
+copy-paste.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str],
+    title: str = "",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    widths = {c: len(c) for c in columns}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for column in columns:
+            text = _fmt(row.get(column, ""))
+            widths[column] = max(widths[column], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cells in rendered:
+        lines.append(
+            "  ".join(
+                cell.rjust(widths[column])
+                for cell, column in zip(cells, columns)
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    x_values: Sequence[Any],
+    x_label: str = "pairs",
+    title: str = "",
+) -> str:
+    """Render figure-style data: one row per x value, one column per
+    labelled series (the shape of the paper's execution-time plots)."""
+    columns = [x_label] + list(series)
+    rows: List[Dict[str, Any]] = []
+    for i, x in enumerate(x_values):
+        row: Dict[str, Any] = {x_label: x}
+        for label, values in series.items():
+            row[label] = values[i] if i < len(values) else ""
+        rows.append(row)
+    return format_table(rows, columns, title=title)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.4g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

@@ -1,0 +1,96 @@
+"""Measured execution of join iterators.
+
+A :class:`MeasuredRun` captures wall-clock time plus the counter
+totals the paper's Table 1 reports (distance calculations, maximum
+queue size, node I/O) for producing a given number of result pairs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional
+
+from repro.util.counters import CounterRegistry
+
+
+@dataclass
+class MeasuredRun:
+    """Outcome of one measured join execution."""
+
+    label: str
+    pairs_requested: Optional[int]
+    pairs_produced: int
+    seconds: float
+    counters: Dict[str, int] = field(default_factory=dict)
+    peaks: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def dist_calcs(self) -> int:
+        """Object distance calculations (Table 1 measure)."""
+        return self.counters.get("dist_calcs", 0)
+
+    @property
+    def node_io(self) -> int:
+        """Buffer-pool misses on tree nodes (Table 1 measure)."""
+        return self.counters.get("node_io", 0)
+
+    @property
+    def max_queue_size(self) -> int:
+        """Peak priority-queue size (Table 1 measure)."""
+        return self.peaks.get("queue_size", 0)
+
+    def row(self) -> Dict[str, Any]:
+        """A flat dict for table formatting."""
+        return {
+            "label": self.label,
+            "pairs": self.pairs_produced,
+            "time_s": round(self.seconds, 4),
+            "dist_calcs": self.dist_calcs,
+            "max_queue": self.max_queue_size,
+            "node_io": self.node_io,
+        }
+
+
+def consume(iterator: Iterator[Any], limit: Optional[int] = None) -> int:
+    """Pull up to ``limit`` items (all of them when None); returns the
+    number consumed."""
+    count = 0
+    for __ in iterator:
+        count += 1
+        if limit is not None and count >= limit:
+            break
+    return count
+
+
+def run_join(
+    make_join,
+    pairs: Optional[int],
+    counters: CounterRegistry,
+    label: str = "",
+    before=None,
+) -> MeasuredRun:
+    """Build a join via ``make_join()``, consume ``pairs`` results, and
+    capture time + counters.
+
+    Counters are reset before the run so the measurement covers exactly
+    this execution (including the join's own tree reads).  ``before``
+    is an optional callable run first -- typically
+    ``workload.cold_caches`` so node I/O starts from a cold buffer
+    pool.
+    """
+    if before is not None:
+        before()
+    counters.reset()
+    start = time.perf_counter()
+    join = make_join()
+    produced = consume(join, pairs)
+    elapsed = time.perf_counter() - start
+    return MeasuredRun(
+        label=label,
+        pairs_requested=pairs,
+        pairs_produced=produced,
+        seconds=elapsed,
+        counters=dict(counters.snapshot()),
+        peaks=dict(counters.snapshot_peaks()),
+    )

@@ -1,0 +1,304 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``
+    Write a synthetic point data set to CSV (``x,y`` per line):
+    the TIGER-like *water*/*roads* sets or uniform/clustered points.
+``index``
+    Build an R-tree over a CSV point file and save it as a snapshot.
+``info``
+    Print a snapshot's parameters and structure summary.
+``query``
+    Run a Figure 1 SQL query over named relations (CSV files or
+    snapshots) and print result rows -- lazily, so ``STOP AFTER``
+    queries return immediately.
+``explain``
+    Print the plan and cost estimates for a query without running it.
+
+Examples
+--------
+::
+
+    python -m repro generate water --count 2000 --out water.csv
+    python -m repro generate roads --count 10000 --out roads.csv
+    python -m repro index water.csv --out water.tree
+    python -m repro query \
+        "SELECT * FROM w, r, DISTANCE(w.geom, r.geom) AS d \
+         ORDER BY d STOP AFTER 5" \
+        --relation w=water.tree --relation r=roads.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable, List, Optional
+
+from repro.datasets.synthetic import gaussian_clusters, uniform_points
+from repro.datasets.tiger_like import roads_points, water_points
+from repro.errors import ReproError
+from repro.geometry.point import Point
+from repro.query.executor import Database
+from repro.rtree.bulk import bulk_load_str
+from repro.rtree.guttman import GuttmanRTree
+from repro.storage.snapshot import load_tree, save_tree
+
+GENERATORS = {
+    "water": lambda count, seed: water_points(count),
+    "roads": lambda count, seed: roads_points(count),
+    "uniform": lambda count, seed: uniform_points(count, seed),
+    "clusters": lambda count, seed: gaussian_clusters(count, seed),
+}
+
+
+def _write_csv(points: Iterable[Point], path: str) -> int:
+    count = 0
+    with open(path, "w") as handle:
+        for point in points:
+            handle.write(",".join(f"{c:.10g}" for c in point.coords))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def _read_csv(path: str) -> List[Point]:
+    points = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                points.append(
+                    Point(float(cell) for cell in line.split(","))
+                )
+            except (ValueError, ReproError) as exc:
+                raise SystemExit(
+                    f"{path}:{line_number}: bad point row: {exc}"
+                )
+    return points
+
+
+def _load_relation(source: str):
+    if source.endswith(".csv"):
+        return bulk_load_str(_read_csv(source))
+    return load_tree(source)
+
+
+def _parse_relation_args(pairs: List[str]) -> List[tuple]:
+    relations = []
+    for pair in pairs:
+        name, __, source = pair.partition("=")
+        if not name or not source:
+            raise SystemExit(
+                f"--relation expects name=source, got {pair!r}"
+            )
+        relations.append((name, source))
+    return relations
+
+
+def _build_database(relation_args: List[str]) -> Database:
+    db = Database()
+    for name, source in _parse_relation_args(relation_args):
+        db.create_relation(name, _load_relation(source))
+    return db
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """``repro generate``: write a synthetic data set to CSV."""
+    generator = GENERATORS[args.kind]
+    count = _write_csv(generator(args.count, args.seed), args.out)
+    print(f"wrote {count} points to {args.out}")
+    return 0
+
+
+def cmd_index(args: argparse.Namespace) -> int:
+    """``repro index``: build a tree snapshot from a CSV file."""
+    points = _read_csv(args.source)
+    if args.guttman:
+        tree = GuttmanRTree(
+            dim=points[0].dim if points else 2,
+            max_entries=args.fanout,
+        )
+        for point in points:
+            tree.insert(obj=point)
+    else:
+        tree = bulk_load_str(points, max_entries=args.fanout)
+    save_tree(tree, args.out)
+    print(
+        f"indexed {len(tree)} points into {type(tree).__name__} "
+        f"(height {tree.height}, fan-out {tree.max_entries}) "
+        f"-> {args.out}"
+    )
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """``repro info``: describe a tree snapshot."""
+    tree = load_tree(args.snapshot)
+    bounds = tree.bounds()
+    print(f"class:       {type(tree).__name__}")
+    print(f"objects:     {len(tree)}")
+    print(f"dimensions:  {tree.dim}")
+    print(f"height:      {tree.height}")
+    print(f"fan-out:     {tree.max_entries} "
+          f"(min fill {tree.min_entries})")
+    print(f"pages:       {tree.store.page_count}")
+    if bounds is not None:
+        print(f"bounds:      {bounds!r}")
+    if len(tree):
+        from repro.rtree.stats import tree_quality
+        print(f"quality:     {tree_quality(tree)}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """``repro query``: run a SQL query, streaming rows to stdout."""
+    db = _build_database(args.relation)
+    rows = db.execute(args.sql)
+    printed = 0
+    for row in rows:
+        coords1 = ",".join(f"{c:g}" for c in row.geom1.coords) \
+            if isinstance(row.geom1, Point) else ""
+        coords2 = ",".join(f"{c:g}" for c in row.geom2.coords) \
+            if isinstance(row.geom2, Point) else ""
+        print(f"{row.d:.6f}\t{row.oid1}\t{coords1}\t{row.oid2}\t{coords2}")
+        printed += 1
+        if args.limit is not None and printed >= args.limit:
+            break
+    print(f"-- {printed} row(s)", file=sys.stderr)
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """``repro explain``: print a query plan without executing."""
+    db = _build_database(args.relation)
+    print(db.explain(args.sql).pretty())
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run a named benchmark script's table printer."""
+    import importlib
+    import os
+
+    os.environ.setdefault("REPRO_BENCH_SCALE", str(args.scale))
+    module_name = f"benchmarks.bench_{args.name}"
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError:
+        print(
+            f"error: no benchmark named {args.name!r} "
+            f"(expected a benchmarks/bench_{args.name}.py next to the "
+            f"source checkout)",
+            file=sys.stderr,
+        )
+        return 1
+    module.main()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# argument parsing
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for testing/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Incremental distance joins for spatial data "
+            "(Hjaltason & Samet, SIGMOD 1998)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="write a synthetic point data set to CSV"
+    )
+    generate.add_argument("kind", choices=sorted(GENERATORS))
+    generate.add_argument("--count", type=int, default=1000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(func=cmd_generate)
+
+    index = commands.add_parser(
+        "index", help="build an R-tree snapshot from a CSV point file"
+    )
+    index.add_argument("source")
+    index.add_argument("--out", required=True)
+    index.add_argument("--fanout", type=int, default=50)
+    index.add_argument(
+        "--guttman", action="store_true",
+        help="build a classic R-tree by repeated insertion",
+    )
+    index.set_defaults(func=cmd_index)
+
+    info = commands.add_parser(
+        "info", help="describe a tree snapshot"
+    )
+    info.add_argument("snapshot")
+    info.set_defaults(func=cmd_info)
+
+    query = commands.add_parser(
+        "query", help="run a distance (semi-)join SQL query"
+    )
+    query.add_argument("sql")
+    query.add_argument(
+        "--relation", action="append", default=[],
+        metavar="NAME=SOURCE",
+        help="bind a relation name to a .csv file or tree snapshot "
+             "(repeatable)",
+    )
+    query.add_argument(
+        "--limit", type=int, default=None,
+        help="stop printing after this many rows (the pipeline stops "
+             "with it)",
+    )
+    query.set_defaults(func=cmd_query)
+
+    explain = commands.add_parser(
+        "explain", help="show the plan and cost estimate for a query"
+    )
+    explain.add_argument("sql")
+    explain.add_argument(
+        "--relation", action="append", default=[],
+        metavar="NAME=SOURCE",
+    )
+    explain.set_defaults(func=cmd_explain)
+
+    bench = commands.add_parser(
+        "bench",
+        help="regenerate a paper table/figure (requires the source "
+             "checkout with benchmarks/)",
+    )
+    bench.add_argument(
+        "name",
+        help="benchmark name, e.g. table1, fig6_traversal, "
+             "fig9_semijoin, ablation_buffer",
+    )
+    bench.add_argument("--scale", type=float, default=0.05)
+    bench.set_defaults(func=cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

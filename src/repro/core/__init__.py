@@ -1,0 +1,84 @@
+"""The paper's primary contribution: incremental distance join and
+distance semi-join, plus the queue machinery they run on."""
+
+from repro.core.distance_join import (
+    BASIC,
+    DIRECT,
+    EVEN,
+    OBR_MODE,
+    SIMULTANEOUS,
+    IncrementalDistanceJoin,
+    JoinResult,
+)
+from repro.core.semi_join import (
+    DMAX_GLOBAL_ALL,
+    DMAX_GLOBAL_NODES,
+    DMAX_LOCAL,
+    DMAX_NONE,
+    INSIDE1,
+    INSIDE2,
+    OUTSIDE,
+    IncrementalDistanceSemiJoin,
+)
+from repro.core.knn_join import KNearestNeighborJoin
+from repro.core.reverse import ReverseDistanceJoin, ReverseDistanceSemiJoin
+from repro.core.variations import (
+    IntersectionJoin,
+    IntersectionResult,
+    all_nearest_neighbors,
+    closest_pair,
+    closest_pairs,
+    intersection_join,
+)
+from repro.core.tiebreak import BREADTH_FIRST, DEPTH_FIRST, KeyMaker
+from repro.core.trace import JoinTrace, traced_join
+from repro.core.heap import AddressableMaxQueue, BinaryHeap, PairingHeap
+from repro.core.pqueue import (
+    AdaptiveHybridPairQueue,
+    HybridPairQueue,
+    MemoryPairQueue,
+    PairQueue,
+)
+from repro.core.pairs import Item, Pair, PairDistance
+
+__all__ = [
+    "IncrementalDistanceJoin",
+    "IncrementalDistanceSemiJoin",
+    "ReverseDistanceJoin",
+    "ReverseDistanceSemiJoin",
+    "JoinResult",
+    "BASIC",
+    "EVEN",
+    "SIMULTANEOUS",
+    "DIRECT",
+    "OBR_MODE",
+    "DEPTH_FIRST",
+    "BREADTH_FIRST",
+    "OUTSIDE",
+    "INSIDE1",
+    "INSIDE2",
+    "DMAX_NONE",
+    "DMAX_LOCAL",
+    "DMAX_GLOBAL_NODES",
+    "DMAX_GLOBAL_ALL",
+    "KeyMaker",
+    "PairingHeap",
+    "BinaryHeap",
+    "AddressableMaxQueue",
+    "PairQueue",
+    "MemoryPairQueue",
+    "HybridPairQueue",
+    "AdaptiveHybridPairQueue",
+    "Item",
+    "Pair",
+    "PairDistance",
+    "KNearestNeighborJoin",
+    "closest_pair",
+    "closest_pairs",
+    "all_nearest_neighbors",
+    "IntersectionJoin",
+    "IntersectionResult",
+    "intersection_join",
+    "JoinTrace",
+    "traced_join",
+]

@@ -1,0 +1,620 @@
+"""The incremental distance join (paper Section 2.2).
+
+:class:`IncrementalDistanceJoin` is a Python iterator producing the
+object pairs of two R-trees in order of increasing (or, with
+``descending=True``, decreasing) distance.  Its entire state is a
+priority queue of item pairs, so it can be consumed lazily in a
+pipeline: retrieving ``n`` pairs costs only the work needed for those
+``n`` pairs (the paper's "fast first" property).
+
+All of the paper's algorithmic knobs are exposed:
+
+- ``tie_break``: depth-first or breadth-first resolution of equal
+  distances (Section 2.2.2);
+- ``node_policy``: which node of a node/node pair to expand --
+  ``"basic"`` (always the first, Figure 3), ``"even"`` (the shallower
+  one, the paper's best overall), or ``"simultaneous"`` (both at once,
+  with search-space restriction and plane sweep, Figure 4);
+- ``min_distance`` / ``max_distance``: the distance range of
+  Section 2.2.3, pruned with MINDIST/MAXDIST (Figure 5);
+- ``max_pairs``: an upper bound on the number of result pairs, enabling
+  the maximum-distance estimation of Section 2.2.4 (with the
+  ``aggressive`` estimator and its restart path as an option);
+- ``queue``: a pure-memory pairing heap or the hybrid memory/disk
+  queue of Section 3.2;
+- ``leaf_mode``: objects stored directly in leaves (``"direct"``, the
+  paper's experimental setup) or leaves holding bounding rectangles
+  with deferred object resolution (``"obr"``);
+- ``descending``: the reverse, farthest-first variant (Section 2.2.5);
+- ``pair_filter``: the spatial-criterion hook of Section 2.2.5.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, NamedTuple, Optional, Tuple
+
+from repro.core.estimate import JoinEstimator, make_join_estimator
+from repro.core.heap import PairingHeap
+from repro.core.pairs import (
+    NODE,
+    OBJ,
+    OBR,
+    Item,
+    Pair,
+    PairDistance,
+)
+from repro.core.planesweep import restrict_entries, sweep_pairs
+from repro.core.pqueue import (
+    AdaptiveHybridPairQueue,
+    HybridPairQueue,
+    MemoryPairQueue,
+    PairQueue,
+)
+from repro.core.tiebreak import DEPTH_FIRST, KeyMaker
+from repro.errors import JoinError
+from repro.geometry.metrics import EUCLIDEAN, Metric
+from repro.rtree.base import RTreeBase
+from repro.util.counters import CounterRegistry
+from repro.util.validation import require
+
+_INF = float("inf")
+
+#: Node-processing policies for node/node pairs.
+BASIC = "basic"
+EVEN = "even"
+SIMULTANEOUS = "simultaneous"
+NODE_POLICIES = (BASIC, EVEN, SIMULTANEOUS)
+
+#: Leaf content modes.
+DIRECT = "direct"
+OBR_MODE = "obr"
+LEAF_MODES = (DIRECT, OBR_MODE)
+
+
+class JoinResult(NamedTuple):
+    """One reported pair of the distance (semi-)join."""
+
+    distance: float
+    oid1: int
+    obj1: Any
+    oid2: int
+    obj2: Any
+
+
+class IncrementalDistanceJoin:
+    """Incremental distance join of two R-trees (see module docstring).
+
+    Parameters
+    ----------
+    tree1, tree2:
+        The spatial indexes of the two joined relations.
+    metric:
+        Point metric inducing all distances (default Euclidean).
+    min_distance, max_distance:
+        Restrict result pairs to this closed distance range.
+    max_pairs:
+        Stop after this many result pairs; also feeds the
+        maximum-distance estimator when ``estimate`` is True.
+    tie_break, node_policy, queue, leaf_mode, descending:
+        Algorithm variants; see the module docstring.
+    queue_dt:
+        The hybrid queue's ``D_T`` (required when ``queue="hybrid"``).
+    heap_class:
+        Heap used inside the queue(s); pairing heap by default.
+    estimate:
+        Enable maximum-distance estimation when ``max_pairs`` is set.
+    aggressive:
+        Use average-occupancy subtree estimates.  May over-prune and
+        transparently restart the query (the paper's caveat).
+    pair_filter:
+        Optional predicate over candidate :class:`Pair` objects; pairs
+        for which it returns False are discarded (the spatial-criterion
+        extension of Section 2.2.5).  Applied before the semi-join's
+        d_max bookkeeping, so filtered pairs contribute no bounds.
+    process_leaves_together:
+        Expand leaf/leaf node pairs simultaneously even under the
+        one-node-at-a-time policies -- the paper's recommendation for
+        structures without leaf-level bounding rectangles
+        (Section 2.2.2), reducing repeated object fetches.
+    counters:
+        Shared performance-counter registry (defaults to a registry
+        shared with ``tree1``).
+    check_consistency:
+        Verify the distance-function consistency contract at run time.
+    """
+
+    def __init__(
+        self,
+        tree1: RTreeBase,
+        tree2: RTreeBase,
+        *,
+        metric: Metric = EUCLIDEAN,
+        min_distance: float = 0.0,
+        max_distance: float = _INF,
+        max_pairs: Optional[int] = None,
+        tie_break: str = DEPTH_FIRST,
+        node_policy: str = EVEN,
+        queue: str = "memory",
+        queue_dt: Optional[float] = None,
+        heap_class: type = PairingHeap,
+        leaf_mode: str = DIRECT,
+        descending: bool = False,
+        estimate: bool = True,
+        aggressive: bool = False,
+        pair_filter: Optional[Callable[[Pair], bool]] = None,
+        process_leaves_together: bool = False,
+        counters: Optional[CounterRegistry] = None,
+        check_consistency: bool = False,
+    ) -> None:
+        require(node_policy in NODE_POLICIES,
+                f"node_policy must be one of {NODE_POLICIES}")
+        require(leaf_mode in LEAF_MODES,
+                f"leaf_mode must be one of {LEAF_MODES}")
+        require(min_distance >= 0.0, "min_distance must be non-negative")
+        require(max_distance >= min_distance,
+                "max_distance must be >= min_distance")
+        if max_pairs is not None:
+            require(max_pairs >= 1, "max_pairs must be at least 1")
+        require(queue in ("memory", "hybrid", "adaptive"),
+                'queue must be "memory", "hybrid", or "adaptive"')
+        if queue == "hybrid":
+            require(queue_dt is not None and queue_dt > 0,
+                    'queue="hybrid" requires a positive queue_dt')
+        if tree1.dim != tree2.dim:
+            raise JoinError(
+                f"cannot join trees of dimension {tree1.dim} and {tree2.dim}"
+            )
+
+        self.tree1 = tree1
+        self.tree2 = tree2
+        self.metric = metric
+        self.min_distance = float(min_distance)
+        self.max_distance = float(max_distance)
+        self.max_pairs = max_pairs
+        self.tie_break = tie_break
+        self.node_policy = node_policy
+        self.queue_kind = queue
+        self.queue_dt = queue_dt
+        self.heap_class = heap_class
+        self.leaf_mode = leaf_mode
+        self.descending = descending
+        self.estimate = estimate and not descending
+        self.aggressive = aggressive
+        self.pair_filter = pair_filter
+        self.process_leaves_together = process_leaves_together
+        self.counters = counters if counters is not None else tree1.counters
+        self.distance = PairDistance(
+            metric, self.counters, check_consistency=check_consistency
+        )
+        # Hot-path counters, cached once (registry lookups add up over
+        # hundreds of thousands of candidate pairs).
+        self._c_queue_inserts = self.counters.counter("queue_inserts")
+        self._c_queue_size = self.counters.counter("queue_size")
+        self._c_pruned_range = self.counters.counter("pruned_range")
+        self._c_pairs_reported = self.counters.counter("pairs_reported")
+
+        self._produced = 0
+        self._to_skip = 0
+        self._init_state()
+
+    # ------------------------------------------------------------------
+    # state construction
+    # ------------------------------------------------------------------
+
+    def _make_queue(self) -> PairQueue:
+        if self.queue_kind == "hybrid":
+            return HybridPairQueue(
+                dt=float(self.queue_dt),
+                counters=self.counters,
+                heap_class=self.heap_class,
+            )
+        if self.queue_kind == "adaptive":
+            return AdaptiveHybridPairQueue(
+                counters=self.counters,
+                heap_class=self.heap_class,
+            )
+        return MemoryPairQueue(heap_class=self.heap_class)
+
+    def _make_estimator(self) -> Optional[JoinEstimator]:
+        if not self.estimate or self.max_pairs is None:
+            return None
+        return make_join_estimator(
+            self.max_pairs,
+            self.min_distance,
+            self.max_distance,
+            self.counters,
+            aggressive=self.aggressive,
+        )
+
+    def _read_node(self, tree: RTreeBase, node_id: int):
+        """Fetch a node via the substrate's ``read_node`` (so any index
+        speaking the node/entry protocol works -- R-trees, quadtrees),
+        charging this join's registry with ``node_reads`` and, on a
+        buffer miss, ``node_io`` (the Table 1 measure) when the tree
+        was built with a different registry.  With a shared registry
+        the tree's own accounting already covers it."""
+        if tree.counters is self.counters:
+            return tree.read_node(node_id)
+        hit = tree.pool.contains(node_id)
+        node = tree.read_node(node_id)
+        self.counters.add("node_reads")
+        if not hit:
+            self.counters.add("node_io")
+        return node
+
+    def _init_state(self) -> None:
+        self._queue = self._make_queue()
+        self._keys = KeyMaker(self.tie_break, descending=self.descending)
+        self._estimator = self._make_estimator()
+        self._produced = 0
+        if len(self.tree1) == 0 or len(self.tree2) == 0:
+            return
+        root1 = self._read_node(self.tree1, self.tree1.root_id)
+        root2 = self._read_node(self.tree2, self.tree2.root_id)
+        item1 = Item(NODE, root1.mbr(), node_id=root1.page_id,
+                     level=root1.level)
+        item2 = Item(NODE, root2.mbr(), node_id=root2.page_id,
+                     level=root2.level)
+        d = self.distance.mindist(item1, item2)
+        self._push(Pair(item1, item2, d))
+
+    # ------------------------------------------------------------------
+    # iterator protocol
+    # ------------------------------------------------------------------
+
+    def __iter__(self) -> "IncrementalDistanceJoin":
+        return self
+
+    def __next__(self) -> JoinResult:
+        while True:
+            if (
+                self.max_pairs is not None
+                and self._produced >= self.max_pairs
+            ):
+                raise StopIteration
+            if self._complete():
+                raise StopIteration
+            if not self._queue:
+                if self._should_restart():
+                    self._restart()
+                    continue
+                raise StopIteration
+            key, pair = self._queue.pop()
+            self._c_queue_size.observe(len(self._queue))
+            if self._estimator is not None:
+                self._estimator.on_dequeue(pair)
+
+            if pair.is_result:
+                result = self._handle_result(pair)
+                if result is not None:
+                    return result
+                continue
+            if pair.is_obr_pair:
+                result = self._handle_obr_pair(pair)
+                if result is not None:
+                    return result
+                continue
+            # At least one item is a node.
+            if not self.descending and pair.distance > self._effective_dmax():
+                # The maximum distance shrank since this pair was
+                # enqueued; nothing derived from it can qualify.
+                self._c_pruned_range.add()
+                continue
+            if self._skip_popped(pair):
+                continue
+            self._process_pair(pair)
+
+    # ------------------------------------------------------------------
+    # result handling
+    # ------------------------------------------------------------------
+
+    def _in_range(self, d: float) -> bool:
+        return self.min_distance <= d <= self._effective_dmax()
+
+    def _effective_dmax(self) -> float:
+        if self._estimator is not None:
+            return self._estimator.current_dmax
+        return self.max_distance
+
+    def _handle_result(self, pair: Pair) -> Optional[JoinResult]:
+        d = pair.distance
+        if not self._in_range(d):
+            self._c_pruned_range.add()
+            return None
+        if self._skip_result(pair):
+            return None
+        return self._report(pair)
+
+    def _handle_obr_pair(self, pair: Pair) -> Optional[JoinResult]:
+        # Both items are object bounding rectangles: access the objects
+        # and compute their exact distance (INCDISTJOIN lines 7-13).
+        if self._skip_popped(pair):
+            return None
+        self.counters.add("object_accesses", 2)
+        item1 = Item(OBJ, pair.item1.rect, oid=pair.item1.oid,
+                     obj=pair.item1.obj)
+        item2 = Item(OBJ, pair.item2.rect, oid=pair.item2.oid,
+                     obj=pair.item2.obj)
+        d = self.distance.object_distance(item1, item2)
+        resolved = Pair(item1, item2, d)
+        if not self._in_range(d):
+            self._c_pruned_range.add()
+            return None
+        signed = -d if self.descending else d
+        if not self._queue or signed <= self._queue.peek()[0][0]:
+            if self._skip_result(resolved):
+                return None
+            return self._report(resolved)
+        self._push_resolved(resolved)
+        return None
+
+    def _report(self, pair: Pair) -> Optional[JoinResult]:
+        self._produced += 1
+        self._c_pairs_reported.add()
+        self._on_report(pair)
+        if self._to_skip > 0:
+            # Replaying after a restart: this result was already
+            # delivered to the consumer before the restart.
+            self._to_skip -= 1
+            return None
+        return JoinResult(
+            pair.distance,
+            pair.item1.oid, pair.item1.obj,
+            pair.item2.oid, pair.item2.obj,
+        )
+
+    # Hooks overridden by the semi-join -------------------------------
+
+    def _complete(self) -> bool:
+        """Return True when no further results can exist (semi-join:
+        every outer object already has its nearest neighbour)."""
+        return False
+
+    def _skip_result(self, pair: Pair) -> bool:
+        """Return True to suppress a result pair (semi-join seen-set)."""
+        return False
+
+    def _skip_popped(self, pair: Pair) -> bool:
+        """Return True to discard a popped non-result pair."""
+        return False
+
+    def _on_report(self, pair: Pair) -> None:
+        """Bookkeeping after a result is produced."""
+        if self._estimator is not None:
+            self._estimator.on_report()
+
+    def _on_expand(self, pair: Pair, side: int) -> None:
+        """A node of ``pair`` (on ``side``) is about to be expanded."""
+
+    def _skip_child(self, side: int, child: Item) -> bool:
+        """Return True to drop a child entry before pairing it."""
+        return False
+
+    def _filter_candidates(
+        self, pair: Pair, side: int,
+        candidates: List[Tuple[Pair, float]],
+    ) -> List[Tuple[Pair, float]]:
+        """Post-filter candidate child pairs (semi-join d_max hooks)."""
+        return candidates
+
+    # ------------------------------------------------------------------
+    # node processing
+    # ------------------------------------------------------------------
+
+    def _process_pair(self, pair: Pair) -> None:
+        item1, item2 = pair.item1, pair.item2
+        if item1.is_node and item2.is_node:
+            if self.node_policy == SIMULTANEOUS:
+                self._process_both(pair)
+                return
+            if (
+                self.process_leaves_together
+                and item1.level == 0
+                and item2.level == 0
+            ):
+                # Section 2.2.2 (unbalanced structures / deferred leaf
+                # processing): expand leaf/leaf pairs simultaneously so
+                # each object is fetched at most once per pair.
+                self._process_both(pair)
+                return
+            if self.node_policy == EVEN and item2.level > item1.level:
+                self._process_node(pair, side=2)
+                return
+            self._process_node(pair, side=1)
+            return
+        if item1.is_node:
+            self._process_node(pair, side=1)
+        else:
+            self._process_node(pair, side=2)
+
+    def _tree(self, side: int) -> RTreeBase:
+        return self.tree1 if side == 1 else self.tree2
+
+    def _make_child_item(self, node_level: int, entry: Any) -> Item:
+        if node_level > 0:
+            return Item(NODE, entry.rect, node_id=entry.child_id,
+                        level=node_level - 1)
+        resolved = self.leaf_mode == DIRECT
+        return Item(OBJ if resolved else OBR, entry.rect,
+                    oid=entry.oid, obj=entry.obj)
+
+    def _process_node(self, pair: Pair, side: int) -> None:
+        """Expand the node on ``side`` against the pair's other item
+        (PROCESSNODE1 / PROCESSNODE2 of Figures 3 and 5)."""
+        self._on_expand(pair, side)
+        node_item = pair.item1 if side == 1 else pair.item2
+        other = pair.item2 if side == 1 else pair.item1
+        tree = self._tree(side)
+        node = self._read_node(tree, node_item.node_id)
+
+        eff_dmax = self._effective_dmax()
+        candidates: List[Tuple[Pair, float]] = []
+        for entry in node.entries:
+            child = self._make_child_item(node.level, entry)
+            if self._skip_child(side, child):
+                continue
+            if side == 1:
+                child_pair = Pair(child, other, 0.0)
+            else:
+                child_pair = Pair(other, child, 0.0)
+            d = self.distance.mindist(child_pair.item1, child_pair.item2)
+            child_pair.distance = d
+            if not self._range_admits(child_pair, d, eff_dmax):
+                continue
+            # The spatial-criterion filter runs before the semi-join's
+            # d_max hooks: a pair excluded by the criterion must not
+            # contribute pruning bounds (its objects are not valid
+            # nearest-neighbour candidates).
+            if self.pair_filter is not None and not self.pair_filter(
+                child_pair
+            ):
+                self.counters.add("pruned_filter")
+                continue
+            candidates.append((child_pair, d))
+        for child_pair, d in self._filter_candidates(pair, side, candidates):
+            self.distance.check_child(pair, d)
+            self._push(child_pair)
+
+    def _process_both(self, pair: Pair) -> None:
+        """Expand both nodes at once with restriction + plane sweep
+        (the "Simultaneous" policy, Section 2.2.2 / Figure 4)."""
+        self._on_expand(pair, side=1)
+        self._on_expand(pair, side=2)
+        node1 = self._read_node(self.tree1, pair.item1.node_id)
+        node2 = self._read_node(self.tree2, pair.item2.node_id)
+        eff_dmax = self._effective_dmax()
+
+        entries1 = restrict_entries(
+            node1.entries, pair.item2.rect, self.metric, eff_dmax
+        )
+        entries2 = restrict_entries(
+            node2.entries, pair.item1.rect, self.metric, eff_dmax
+        )
+        self.counters.add(
+            "bound_calcs", len(node1.entries) + len(node2.entries)
+        )
+
+        candidates: List[Tuple[Pair, float]] = []
+        for e1, e2 in sweep_pairs(entries1, entries2, eff_dmax):
+            child1 = self._make_child_item(node1.level, e1)
+            if self._skip_child(1, child1):
+                continue
+            child2 = self._make_child_item(node2.level, e2)
+            child_pair = Pair(child1, child2, 0.0)
+            d = self.distance.mindist(child1, child2)
+            child_pair.distance = d
+            if not self._range_admits(child_pair, d, eff_dmax):
+                continue
+            if self.pair_filter is not None and not self.pair_filter(
+                child_pair
+            ):
+                self.counters.add("pruned_filter")
+                continue
+            candidates.append((child_pair, d))
+        for child_pair, d in self._filter_candidates(pair, 0, candidates):
+            self.distance.check_child(pair, d)
+            self._push(child_pair)
+
+    def _range_admits(self, child_pair: Pair, d: float,
+                      eff_dmax: float) -> bool:
+        if not self.descending and d > eff_dmax:
+            self._c_pruned_range.add()
+            return False
+        if self.min_distance > 0.0:
+            upper = self.distance.maxdist(
+                child_pair.item1, child_pair.item2
+            )
+            if upper < self.min_distance:
+                self._c_pruned_range.add()
+                return False
+        if self.descending:
+            # Farthest-first: a pair whose upper bound is below the
+            # minimum distance can never qualify (handled above); a
+            # finite max_distance still prunes on the lower bound.
+            if d > self.max_distance:
+                self._c_pruned_range.add()
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # queue plumbing
+    # ------------------------------------------------------------------
+
+    def _key_distance(self, pair: Pair) -> float:
+        if self.descending and not pair.is_result:
+            return self.distance.estimation_maxdist(pair.item1, pair.item2)
+        return pair.distance
+
+    def _count_lower_bound(self, side: int, item: Item) -> int:
+        if item.kind != NODE:
+            return 1
+        tree = self._tree(side)
+        if item.node_id == tree.root_id:
+            return 1
+        if self.aggressive:
+            return max(1, int(tree.avg_subtree_count(item.level)))
+        return tree.min_subtree_count(item.level)
+
+    def _offer_estimator(self, pair: Pair, d: float) -> None:
+        if self._estimator is None:
+            return
+        # For resolved object/object pairs the exact distance is its
+        # own d_max; no second distance computation is needed.
+        if pair.is_result:
+            est_dmax = pair.distance
+        else:
+            est_dmax = self.distance.estimation_maxdist(
+                pair.item1, pair.item2
+            )
+        count = self._estimator_count(pair)
+        self._estimator.offer(pair, d, est_dmax, count)
+
+    def _estimator_count(self, pair: Pair) -> int:
+        return (
+            self._count_lower_bound(1, pair.item1)
+            * self._count_lower_bound(2, pair.item2)
+        )
+
+    def _push(self, pair: Pair) -> None:
+        key_distance = self._key_distance(pair)
+        self._queue.push(self._keys.key(pair, key_distance), pair)
+        self._c_queue_inserts.add()
+        self._c_queue_size.observe(len(self._queue))
+        self._offer_estimator(pair, pair.distance)
+
+    def _push_resolved(self, pair: Pair) -> None:
+        # A resolved object/object pair re-enqueued with its exact
+        # distance; it participates in estimation like any other pair.
+        self._push(pair)
+
+    # ------------------------------------------------------------------
+    # restart path for the aggressive estimator
+    # ------------------------------------------------------------------
+
+    def _should_restart(self) -> bool:
+        return (
+            self._estimator is not None
+            and self._estimator.trimmed
+            and self.aggressive
+            and self.max_pairs is not None
+            and self._produced < self.max_pairs
+        )
+
+    def _restart(self) -> None:
+        """The aggressive estimator over-pruned: replay without it.
+
+        The priority queue holds no useful information at this point
+        (paper Section 2.2.4), so the query restarts from the root pair
+        with estimation disabled, suppressing the results already
+        delivered.
+        """
+        self.counters.add("restarts")
+        self._to_skip += self._produced
+        self.estimate = False
+        self._init_state()
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(policy={self.node_policy}, "
+            f"tie={self.tie_break}, produced={self._produced})"
+        )

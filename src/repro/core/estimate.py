@@ -1,0 +1,231 @@
+"""Maximum-distance estimation from a bound on the number of result
+pairs (paper Sections 2.2.4 and 2.3).
+
+When the caller promises to consume at most ``K`` result pairs, the
+algorithm can shrink the effective maximum distance ``D_max`` on the
+fly: it maintains a set ``M`` of queue pairs whose generated object
+pairs are guaranteed to fall inside the current ``[D_min, D_max]``
+range, together with a lower bound on how many object pairs each can
+generate.  As soon as the pairs in ``M`` can account for more than
+``K`` object pairs, the entries with the largest ``d_max`` are evicted
+and ``D_max`` drops to the evicted value -- everything farther can
+never be needed.
+
+``M`` is realized as an :class:`AddressableMaxQueue` (the paper's
+``Q_M`` priority queue plus hash table).
+
+Two variants exist:
+
+- :class:`JoinEstimator` -- for the distance join; ``M`` is keyed by
+  the *pair*, counts multiply the two subtree cardinalities, and a pair
+  leaves ``M`` when it is dequeued from the main queue.
+- :class:`SemiJoinEstimator` -- for the distance semi-join; ``M`` is
+  keyed by the pair's *first item* (each outer object yields one result
+  at most), counts use only the first item's subtree, an existing entry
+  is replaced only by one with a smaller ``d_max``, and a node may not
+  enter ``M`` after it has been expanded (its descendants may already
+  be counted).
+
+Subtree-cardinality bounds come from the tree's minimum fan-out
+(*safe*: ``D_max`` never drops below the true K-th distance) or, in
+*aggressive* mode, from average occupancy, which may over-trim and
+force the driver to restart the query (paper's restart caveat,
+signalled via :class:`repro.errors.RestartRequired`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.heap import AddressableMaxQueue
+from repro.core.pairs import Pair
+from repro.util.counters import CounterRegistry
+
+_INF = float("inf")
+
+
+class _EstimatorBase:
+    """State shared by the two estimator variants."""
+
+    def __init__(
+        self,
+        k: int,
+        dmin: float,
+        dmax: float,
+        counters: CounterRegistry,
+        aggressive: bool = False,
+    ) -> None:
+        self.k = k
+        self.dmin = dmin
+        self.dmax = dmax
+        self.counters = counters
+        self.aggressive = aggressive
+        self.trimmed = False
+        self._m: AddressableMaxQueue = AddressableMaxQueue()
+        self._total = 0
+
+    @property
+    def current_dmax(self) -> float:
+        """The current (possibly estimator-reduced) maximum distance."""
+        return self.dmax
+
+    def _eligible(self, mindist: float, est_dmax: float) -> bool:
+        # All object pairs generated from an eligible pair are certain
+        # to land inside [dmin, current dmax].
+        return mindist >= self.dmin and est_dmax <= self.dmax
+
+    @staticmethod
+    def _count_of(value) -> int:
+        """Extract the generation count from a stored M value."""
+        return value
+
+    def _trim(self) -> None:
+        # Evict largest-d_max entries while the remainder still covers
+        # the k pairs we owe; D_max drops to the last evicted d_max.
+        while self._m:
+            __, est_dmax, value = self._m.peek_max()
+            count = self._count_of(value)
+            if self._total - count < self.k:
+                break
+            self._m.pop_max()
+            self._total -= count
+            self.dmax = est_dmax
+            self.trimmed = True
+            self.counters.add("estimator_trims")
+
+    def on_report(self) -> None:
+        """One result pair was reported: one fewer still owed."""
+        if self.k > 0:
+            self.k -= 1
+        self._trim()
+
+    @property
+    def tracked_pairs(self) -> int:
+        """Number of entries currently in M (introspection/testing)."""
+        return len(self._m)
+
+    @property
+    def tracked_total(self) -> int:
+        """Sum of generation lower bounds over M (introspection)."""
+        return self._total
+
+
+class JoinEstimator(_EstimatorBase):
+    """Maximum-distance estimation for the distance join."""
+
+    def offer(
+        self, pair: Pair, mindist: float, est_dmax: float, count: int
+    ) -> None:
+        """Consider a pair just inserted into the main queue.
+
+        ``count`` is the lower bound on the number of object pairs the
+        pair can generate (product of the two subtree bounds).
+        """
+        if not self._eligible(mindist, est_dmax):
+            return
+        key = pair.identity()
+        existing = self._m.get(key)
+        if existing is not None:
+            self._total -= existing[1]
+        self._m.insert(key, est_dmax, count)
+        self._total += count
+        self._trim()
+
+    def on_dequeue(self, pair: Pair) -> None:
+        """The pair left the main queue; its children will re-offer."""
+        key = pair.identity()
+        existing = self._m.get(key)
+        if existing is not None:
+            self._m.delete(key)
+            self._total -= existing[1]
+
+
+class SemiJoinEstimator(_EstimatorBase):
+    """Maximum-distance estimation for the distance semi-join.
+
+    ``M`` entries are keyed by the first item; the stored value is
+    ``(count, second-item identity)`` so that dequeues of the exact
+    pair can be recognized.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._processed_first: set = set()
+
+    @staticmethod
+    def _count_of(value) -> int:
+        # M values are (count, second-item identity) tuples here.
+        return value[0]
+
+    def offer(
+        self, pair: Pair, mindist: float, est_dmax: float, count: int
+    ) -> None:
+        """Consider a pair; ``count`` bounds the objects under item1."""
+        if not self._eligible(mindist, est_dmax):
+            return
+        first = pair.item1.identity()
+        if pair.item1.is_node and first in self._processed_first:
+            # The node was expanded before: its descendants may already
+            # be represented in M, and re-adding it would double-count.
+            return
+        existing = self._m.get(first)
+        if existing is not None:
+            if existing[0] <= est_dmax:
+                return  # keep the tighter existing entry
+            self._total -= existing[1][0]
+        self._m.insert(first, est_dmax, (count, pair.item2.identity()))
+        self._total += count
+        self._trim()
+
+    def on_dequeue(self, pair: Pair) -> None:
+        """Remove the exact pair from M when it leaves the main queue."""
+        first = pair.item1.identity()
+        existing = self._m.get(first)
+        if existing is not None and existing[1][1] == pair.item2.identity():
+            self._m.delete(first)
+            self._total -= existing[1][0]
+
+    def on_expand_first(self, pair: Pair) -> None:
+        """Item1 (a node) is being expanded: bar it from M forever and
+        drop any M entry keyed by it (its children take over)."""
+        first = pair.item1.identity()
+        self._processed_first.add(first)
+        existing = self._m.get(first)
+        if existing is not None:
+            self._m.delete(first)
+            self._total -= existing[1][0]
+
+    def on_report_first(self, first_identity: Tuple) -> None:
+        """A result for this outer object was reported: purge its M
+        entry and decrement the owed-pair count."""
+        existing = self._m.get(first_identity)
+        if existing is not None:
+            self._m.delete(first_identity)
+            self._total -= existing[1][0]
+        self.on_report()
+
+
+def make_join_estimator(
+    k: Optional[int],
+    dmin: float,
+    dmax: float,
+    counters: CounterRegistry,
+    aggressive: bool = False,
+) -> Optional[JoinEstimator]:
+    """A :class:`JoinEstimator`, or None when no pair bound is given."""
+    if k is None:
+        return None
+    return JoinEstimator(k, dmin, dmax, counters, aggressive=aggressive)
+
+
+def make_semijoin_estimator(
+    k: Optional[int],
+    dmin: float,
+    dmax: float,
+    counters: CounterRegistry,
+    aggressive: bool = False,
+) -> Optional[SemiJoinEstimator]:
+    """A :class:`SemiJoinEstimator`, or None when no bound is given."""
+    if k is None:
+        return None
+    return SemiJoinEstimator(k, dmin, dmax, counters, aggressive=aggressive)

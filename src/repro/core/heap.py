@@ -1,0 +1,237 @@
+"""Priority-queue structures: a pairing heap and an addressable max-queue.
+
+The paper's implementation keeps the in-memory part of its hybrid
+priority queue in a *pairing heap* (its reference [13]); this module
+provides one.  It also provides :class:`AddressableMaxQueue`, the
+``Q_M`` structure of Section 2.2.4: a max-priority queue over d_max
+values combined with a hash table so that arbitrary entries can be
+deleted when their pair is dequeued from the main queue (implemented
+with lazy deletion).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class _PairingNode:
+    """A node of the pairing heap: key, value, first child, next sibling."""
+
+    __slots__ = ("key", "value", "child", "sibling")
+
+    def __init__(self, key: Any, value: Any) -> None:
+        self.key = key
+        self.value = value
+        self.child: Optional["_PairingNode"] = None
+        self.sibling: Optional["_PairingNode"] = None
+
+
+class PairingHeap(Generic[K, V]):
+    """A min-ordered pairing heap.
+
+    Supports O(1) amortized ``push``/``find-min``/``meld`` and
+    O(log n) amortized ``pop``.  Keys may be any totally ordered
+    values; the join uses tuples ``(distance, tie-break...)``.
+
+    Examples
+    --------
+    >>> h = PairingHeap()
+    >>> for k in (5, 1, 3):
+    ...     h.push(k, str(k))
+    >>> h.pop()
+    (1, '1')
+    >>> h.peek()
+    (3, '3')
+    """
+
+    def __init__(self) -> None:
+        self._root: Optional[_PairingNode] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._root is not None
+
+    def push(self, key: K, value: V) -> None:
+        """Insert a (key, value) item."""
+        node = _PairingNode(key, value)
+        self._root = self._meld(self._root, node)
+        self._size += 1
+
+    def peek(self) -> Tuple[K, V]:
+        """The minimum item without removing it."""
+        if self._root is None:
+            raise IndexError("peek on empty heap")
+        return self._root.key, self._root.value
+
+    def pop(self) -> Tuple[K, V]:
+        """Remove and return the minimum item."""
+        root = self._root
+        if root is None:
+            raise IndexError("pop on empty heap")
+        self._root = self._merge_pairs(root.child)
+        self._size -= 1
+        return root.key, root.value
+
+    def meld(self, other: "PairingHeap[K, V]") -> None:
+        """Destructively absorb ``other`` (which is left empty)."""
+        self._root = self._meld(self._root, other._root)
+        self._size += other._size
+        other._root = None
+        other._size = 0
+
+    def clear(self) -> None:
+        """Discard all items."""
+        self._root = None
+        self._size = 0
+
+    @staticmethod
+    def _meld(
+        a: Optional[_PairingNode], b: Optional[_PairingNode]
+    ) -> Optional[_PairingNode]:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        if b.key < a.key:
+            a, b = b, a
+        # b becomes the first child of a.
+        b.sibling = a.child
+        a.child = b
+        return a
+
+    @classmethod
+    def _merge_pairs(
+        cls, node: Optional[_PairingNode]
+    ) -> Optional[_PairingNode]:
+        # Two-pass pairing, iterative to avoid deep recursion on long
+        # sibling chains.
+        if node is None:
+            return None
+        # First pass: meld siblings in pairs left to right.
+        melded: List[_PairingNode] = []
+        current: Optional[_PairingNode] = node
+        while current is not None:
+            first = current
+            second = first.sibling
+            if second is None:
+                first.sibling = None
+                melded.append(first)
+                break
+            nxt = second.sibling
+            first.sibling = None
+            second.sibling = None
+            merged = cls._meld(first, second)
+            assert merged is not None
+            melded.append(merged)
+            current = nxt
+        # Second pass: meld right to left.
+        result = melded.pop()
+        while melded:
+            result = cls._meld(melded.pop(), result)
+        return result
+
+
+class BinaryHeap(Generic[K, V]):
+    """A ``heapq``-backed binary heap with the same interface as
+    :class:`PairingHeap`, for the heap-structure ablation benchmark."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[K, V]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, key: K, value: V) -> None:
+        heapq.heappush(self._heap, (key, value))
+
+    def peek(self) -> Tuple[K, V]:
+        if not self._heap:
+            raise IndexError("peek on empty heap")
+        return self._heap[0]
+
+    def pop(self) -> Tuple[K, V]:
+        if not self._heap:
+            raise IndexError("pop on empty heap")
+        return heapq.heappop(self._heap)
+
+    def clear(self) -> None:
+        """Discard all items."""
+        self._heap.clear()
+
+
+class AddressableMaxQueue(Generic[V]):
+    """Max-priority queue over float priorities with delete-by-key.
+
+    This is the paper's ``Q_M``: a priority queue organized on d_max
+    values to find the largest, plus a hash table to locate and delete
+    the entry of a particular pair when it leaves the main queue.
+    Deletion is implemented lazily: the hash table is authoritative and
+    stale heap entries are skipped on ``pop_max``/``peek_max``.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Hashable]] = []
+        self._live: Dict[Hashable, Tuple[float, V]] = {}
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __bool__(self) -> bool:
+        return bool(self._live)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._live
+
+    def get(self, key: Hashable) -> Optional[Tuple[float, V]]:
+        """The (priority, value) stored under ``key``, or None."""
+        return self._live.get(key)
+
+    def insert(self, key: Hashable, priority: float, value: V) -> None:
+        """Insert or replace the entry stored under ``key``."""
+        self._live[key] = (priority, value)
+        self._counter += 1
+        heapq.heappush(self._heap, (-priority, self._counter, key))
+
+    def delete(self, key: Hashable) -> bool:
+        """Delete the entry under ``key``; True if it existed."""
+        return self._live.pop(key, None) is not None
+
+    def _skim(self) -> None:
+        # Drop stale heap tops (deleted or replaced entries).
+        while self._heap:
+            neg_priority, __, key = self._heap[0]
+            live = self._live.get(key)
+            if live is not None and live[0] == -neg_priority:
+                return
+            heapq.heappop(self._heap)
+
+    def peek_max(self) -> Tuple[Hashable, float, V]:
+        """The (key, priority, value) with the largest priority."""
+        self._skim()
+        if not self._heap:
+            raise IndexError("peek on empty queue")
+        neg_priority, __, key = self._heap[0]
+        priority, value = self._live[key]
+        return key, priority, value
+
+    def pop_max(self) -> Tuple[Hashable, float, V]:
+        """Remove and return the entry with the largest priority."""
+        key, priority, value = self.peek_max()
+        heapq.heappop(self._heap)
+        del self._live[key]
+        return key, priority, value
+
+    def items(self):
+        """Iterate over live (key, (priority, value)) entries."""
+        return self._live.items()

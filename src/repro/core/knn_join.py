@@ -1,0 +1,216 @@
+"""k-nearest-neighbour join: the natural generalization of the
+distance semi-join.
+
+The paper's distance semi-join reports, for each outer object, its
+single nearest inner object.  Modern spatial engines generalize this
+to the *k-NN join*: each outer object is paired with its ``k`` nearest
+inner objects, pairs still reported globally in increasing distance
+(so the operator stays incremental and pipelineable).  With ``k = 1``
+this class is exactly the distance semi-join.
+
+The paper's pruning machinery generalizes soundly:
+
+- the seen *bit string* becomes a per-object counter: pairs whose
+  outer object already has ``k`` partners are filtered (Outside /
+  Inside1 / Inside2 placements unchanged);
+- the d_max bounds generalize from the minimum to the k-th smallest:
+  if ``k`` sibling candidate pairs ``(i1, e_1..e_k)`` exist, every
+  outer object under ``i1`` has ``k`` partners within the k-th
+  smallest ``d_max`` (each non-empty ``e_j`` contributes at least one
+  distinct partner), so a pair whose MINDIST exceeds that bound can
+  contain none of the k-NN results;
+- the maximum-distance estimator's per-pair generation count becomes
+  ``count(i1) * min(k, count(i2))``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+from repro.core.pairs import NODE, Item, Pair
+from repro.core.semi_join import (
+    DMAX_GLOBAL_ALL,
+    DMAX_GLOBAL_NODES,
+    DMAX_NONE,
+    INSIDE1,
+    INSIDE2,
+    IncrementalDistanceSemiJoin,
+)
+from repro.rtree.base import RTreeBase
+from repro.util.validation import require
+
+
+class KNearestNeighborJoin(IncrementalDistanceSemiJoin):
+    """For each outer object, its ``k`` nearest inner objects, pairs in
+    global distance order.
+
+    Accepts every :class:`IncrementalDistanceSemiJoin` parameter plus
+    ``k`` (default 1 = the paper's semi-join).
+    """
+
+    def __init__(
+        self,
+        tree1: RTreeBase,
+        tree2: RTreeBase,
+        *,
+        k: int = 1,
+        **kwargs,
+    ) -> None:
+        require(k >= 1, "k must be at least 1")
+        self.k = k
+        self._partner_counts: Dict[int, int] = {}
+        self._done_count = 0
+        # Per-first-item k smallest d_max values (max-heap via negation)
+        # for the global strategies.
+        self._bound_lists: Dict[Tuple, List[float]] = {}
+        super().__init__(tree1, tree2, **kwargs)
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+
+    def _init_state(self) -> None:
+        self._partner_counts = {}
+        self._done_count = 0
+        self._bound_lists = {}
+        super()._init_state()
+
+    def _object_done(self, oid: int) -> bool:
+        return self._partner_counts.get(oid, 0) >= self.k
+
+    def _complete(self) -> bool:
+        return self._done_count >= len(self.tree1)
+
+    # ------------------------------------------------------------------
+    # counter-based filtering (replaces the bitset)
+    # ------------------------------------------------------------------
+
+    def _skip_result(self, pair: Pair) -> bool:
+        if self._object_done(pair.item1.oid):
+            self.counters.add("pruned_seen")
+            return True
+        return False
+
+    def _skip_popped(self, pair: Pair) -> bool:
+        item1 = pair.item1
+        if (
+            self.filter_strategy in (INSIDE1, INSIDE2)
+            and item1.kind != NODE
+            and self._object_done(item1.oid)
+        ):
+            self.counters.add("pruned_seen")
+            return True
+        if self.dmax_strategy in (DMAX_GLOBAL_NODES, DMAX_GLOBAL_ALL):
+            bound = self._global_bound(item1.identity())
+            if bound is not None and pair.distance > bound:
+                self.counters.add("pruned_dmax")
+                return True
+        return False
+
+    def _skip_child(self, side: int, child: Item) -> bool:
+        if (
+            side == 1
+            and self.filter_strategy == INSIDE2
+            and child.kind != NODE
+            and self._object_done(child.oid)
+        ):
+            self.counters.add("pruned_seen")
+            return True
+        return False
+
+    def _on_report(self, pair: Pair) -> None:
+        oid = pair.item1.oid
+        count = self._partner_counts.get(oid, 0) + 1
+        self._partner_counts[oid] = count
+        if count >= self.k:
+            self._done_count += 1
+            if self._estimator is not None:
+                self._estimator.on_report_first(pair.item1.identity())
+                return
+        if self._estimator is not None:
+            self._estimator.on_report()
+
+    # ------------------------------------------------------------------
+    # k-th-smallest d_max bounds
+    # ------------------------------------------------------------------
+
+    def _estimator_count(self, pair: Pair) -> int:
+        outer = self._count_lower_bound(1, pair.item1)
+        inner = self._count_lower_bound(2, pair.item2)
+        return outer * min(self.k, inner)
+
+    def _global_bound(self, key: Tuple):
+        """The current k-th smallest d_max for ``key`` (None until k
+        values have been observed)."""
+        values = self._bound_lists.get(key)
+        if values is None or len(values) < self.k:
+            return None
+        return -values[0]  # max of the k smallest
+
+    def _observe_bound(self, key: Tuple, item2: Item,
+                       est_dmax: float) -> None:
+        # With k >= 2 the k smallest observed d_max values must be
+        # witnessed by k *distinct* partners.  Distinct object second
+        # items guarantee that (each (i1, o2) pair is generated at most
+        # once); a node and one of its descendants do not, so node
+        # observations are admitted only for k = 1, where any single
+        # bound is valid.
+        if self.k > 1 and item2.kind == NODE:
+            return
+        values = self._bound_lists.setdefault(key, [])
+        if len(values) < self.k:
+            heapq.heappush(values, -est_dmax)
+        elif est_dmax < -values[0]:
+            heapq.heapreplace(values, -est_dmax)
+
+    def _filter_candidates(
+        self, pair: Pair, side: int,
+        candidates: List[Tuple[Pair, float]],
+    ) -> List[Tuple[Pair, float]]:
+        if self.dmax_strategy == DMAX_NONE or not candidates:
+            return candidates
+
+        scored = [
+            (
+                child_pair,
+                d,
+                d if child_pair.is_result
+                else self.distance.estimation_maxdist(
+                    child_pair.item1, child_pair.item2
+                ),
+            )
+            for child_pair, d in candidates
+        ]
+
+        # Local bound: the k-th smallest d_max among siblings sharing
+        # the same outer item (None when fewer than k siblings).
+        local_lists: Dict[Tuple, List[float]] = {}
+        for child_pair, __, est_dmax in scored:
+            local_lists.setdefault(
+                child_pair.item1.identity(), []
+            ).append(est_dmax)
+        local_bound: Dict[Tuple, float] = {}
+        for key, values in local_lists.items():
+            if len(values) >= self.k:
+                local_bound[key] = heapq.nsmallest(self.k, values)[-1]
+
+        use_global = self.dmax_strategy in (
+            DMAX_GLOBAL_NODES, DMAX_GLOBAL_ALL
+        )
+        kept: List[Tuple[Pair, float]] = []
+        for child_pair, d, est_dmax in scored:
+            key = child_pair.item1.identity()
+            bound = local_bound.get(key)
+            if use_global and self._tracks_global(child_pair.item1):
+                self._observe_bound(key, child_pair.item2, est_dmax)
+                stored = self._global_bound(key)
+                if stored is not None and (
+                    bound is None or stored < bound
+                ):
+                    bound = stored
+            if bound is not None and d > bound:
+                self.counters.add("pruned_dmax")
+                continue
+            kept.append((child_pair, d))
+        return kept

@@ -1,0 +1,246 @@
+"""The item/pair model of the incremental distance join.
+
+A queue element holds a *pair* of items, one from each input tree.  An
+item is a tree node, an object bounding rectangle (obr) whose object
+still lives in external storage, or a resolved data object (paper
+Section 2.2.1: with obrs in the leaves there are five pair kinds --
+node/node, node/obr, obr/node, obr/obr, and object/object).
+
+:class:`PairDistance` centralizes every distance computation between
+items, dispatching to the right MINDIST / MAXDIST / MINMAXDIST bound
+and charging the right performance counter, and enforces the paper's
+*consistency* contract when debugging is enabled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import ConsistencyError
+from repro.geometry.metrics import EUCLIDEAN, Metric
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.geometry.shapes import SpatialObject
+from repro.rtree.base import RTreeBase
+from repro.util.counters import CounterRegistry
+
+#: Item kinds.
+NODE = 0
+OBR = 1
+OBJ = 2
+
+_KIND_NAMES = {NODE: "node", OBR: "obr", OBJ: "obj"}
+
+
+class Item:
+    """One side of a queue pair: a node, an obr, or a resolved object.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`NODE`, :data:`OBR`, :data:`OBJ`.
+    rect:
+        The item's (bounding) rectangle; degenerate for point objects.
+    node_id, level:
+        Page id and level for node items (level 0 = leaf).
+    oid, obj:
+        Object identifier and payload for obr/object items.  For an
+        obr item ``obj`` holds the reference needed to resolve the
+        object later (or ``None`` if only rectangles are indexed).
+    """
+
+    __slots__ = ("kind", "rect", "node_id", "level", "oid", "obj")
+
+    def __init__(
+        self,
+        kind: int,
+        rect: Rect,
+        node_id: int = -1,
+        level: int = -1,
+        oid: int = -1,
+        obj: Any = None,
+    ) -> None:
+        self.kind = kind
+        self.rect = rect
+        self.node_id = node_id
+        self.level = level
+        self.oid = oid
+        self.obj = obj
+
+    @property
+    def is_node(self) -> bool:
+        """True when this item is a tree node (expandable)."""
+        return self.kind == NODE
+
+    def identity(self) -> tuple:
+        """Hashable identity for the estimator's hash table."""
+        if self.kind == NODE:
+            return ("n", self.node_id)
+        return ("o", self.oid)
+
+    def __repr__(self) -> str:
+        if self.kind == NODE:
+            return f"Item(node {self.node_id}, level {self.level})"
+        return f"Item({_KIND_NAMES[self.kind]} oid={self.oid})"
+
+
+def node_item(tree: RTreeBase, node_id: int, level: int, rect: Rect) -> Item:
+    """Build a node item (``tree`` is unused but kept for symmetry)."""
+    return Item(NODE, rect, node_id=node_id, level=level)
+
+
+def object_item(rect: Rect, oid: int, obj: Any, resolved: bool) -> Item:
+    """Build an object item; ``resolved`` selects OBJ vs OBR kind."""
+    return Item(OBJ if resolved else OBR, rect, oid=oid, obj=obj)
+
+
+class Pair:
+    """A queue element: two items and their (lower-bound) distance."""
+
+    __slots__ = ("item1", "item2", "distance")
+
+    def __init__(self, item1: Item, item2: Item, distance: float) -> None:
+        self.item1 = item1
+        self.item2 = item2
+        self.distance = distance
+
+    @property
+    def is_result(self) -> bool:
+        """True for resolved object/object pairs (reportable)."""
+        return self.item1.kind == OBJ and self.item2.kind == OBJ
+
+    @property
+    def is_obr_pair(self) -> bool:
+        """True for obr/obr pairs (need object resolution first)."""
+        return self.item1.kind == OBR and self.item2.kind == OBR
+
+    @property
+    def node_count(self) -> int:
+        """How many of the two items are nodes (0, 1 or 2)."""
+        return int(self.item1.is_node) + int(self.item2.is_node)
+
+    def identity(self) -> tuple:
+        """Hashable identity of the pair (estimator bookkeeping)."""
+        return (self.item1.identity(), self.item2.identity())
+
+    def __repr__(self) -> str:
+        return (
+            f"Pair({self.item1!r}, {self.item2!r}, d={self.distance:.4g})"
+        )
+
+
+class PairDistance:
+    """Distance oracle for items, with counter charging.
+
+    Parameters
+    ----------
+    metric:
+        The point metric inducing all bounds.
+    counters:
+        Registry charged with ``dist_calcs`` for object/object
+        distances and ``bound_calcs`` for every rectangle bound.
+    exact_shapes:
+        When True (default), resolved objects that are
+        :class:`SpatialObject` instances use their exact geometric
+        distance; Points always use the metric directly.  When False,
+        object distance falls back to the bounding-rectangle distance
+        (appropriate when only rectangles are indexed).
+    check_consistency:
+        When True, :meth:`check_child` raises :class:`ConsistencyError`
+        if a derived pair's distance is smaller than its parent's --
+        the run-time verification of the paper's consistency condition.
+    """
+
+    def __init__(
+        self,
+        metric: Metric = EUCLIDEAN,
+        counters: Optional[CounterRegistry] = None,
+        exact_shapes: bool = True,
+        check_consistency: bool = False,
+    ) -> None:
+        self.metric = metric
+        self.counters = counters if counters is not None else CounterRegistry()
+        self.exact_shapes = exact_shapes
+        self.check_consistency = check_consistency
+        # Hot path: cache the counter objects so each charge is one
+        # attribute access plus an add, not a registry lookup.
+        self._dist_calcs = self.counters.counter("dist_calcs")
+        self._bound_calcs = self.counters.counter("bound_calcs")
+
+    # ------------------------------------------------------------------
+    # object/object exact distance
+    # ------------------------------------------------------------------
+
+    def object_distance(self, item1: Item, item2: Item) -> float:
+        """Exact distance between two (resolved or resolvable) objects."""
+        self._dist_calcs.add()
+        o1, o2 = item1.obj, item2.obj
+        if isinstance(o1, Point) and isinstance(o2, Point):
+            return self.metric.distance(o1, o2)
+        if (
+            self.exact_shapes
+            and isinstance(o1, SpatialObject)
+            and isinstance(o2, SpatialObject)
+        ):
+            return o1.distance_to(o2)
+        return self.metric.mindist_rect_rect(item1.rect, item2.rect)
+
+    # ------------------------------------------------------------------
+    # MINDIST: the priority-queue key
+    # ------------------------------------------------------------------
+
+    def mindist(self, item1: Item, item2: Item) -> float:
+        """Lower bound on the distance of any object pair generated
+        from ``(item1, item2)``; exact for object/object pairs."""
+        if item1.kind == OBJ and item2.kind == OBJ:
+            return self.object_distance(item1, item2)
+        self._bound_calcs.add()
+        return self.metric.mindist_rect_rect(item1.rect, item2.rect)
+
+    # ------------------------------------------------------------------
+    # MAXDIST: the safe upper bound (valid for any node regions)
+    # ------------------------------------------------------------------
+
+    def maxdist(self, item1: Item, item2: Item) -> float:
+        """Upper bound on the distance of *every* object pair generated
+        from ``(item1, item2)``.
+
+        Used by the distance-range test of Figure 5 (``MAXDIST >=
+        Dmin``): pruning on it is safe because it never underestimates
+        the largest generated distance.
+        """
+        if item1.kind == OBJ and item2.kind == OBJ:
+            return self.object_distance(item1, item2)
+        self._bound_calcs.add()
+        return self.metric.maxdist_rect_rect(item1.rect, item2.rect)
+
+    # ------------------------------------------------------------------
+    # d_max for estimation: tight upper bound on generated pairs
+    # ------------------------------------------------------------------
+
+    def estimation_maxdist(self, item1: Item, item2: Item) -> float:
+        """The d_max of Section 2.2.4: an upper bound on the distance of
+        every object pair generated from the pair, using the tighter
+        MINMAXDIST when both items are *minimal* bounding rectangles."""
+        if item1.kind == OBJ and item2.kind == OBJ:
+            return self.object_distance(item1, item2)
+        self._bound_calcs.add()
+        if item1.kind != NODE and item2.kind != NODE:
+            return self.metric.minmaxdist_rect_rect(item1.rect, item2.rect)
+        return self.metric.maxdist_rect_rect(item1.rect, item2.rect)
+
+    # ------------------------------------------------------------------
+    # debugging support
+    # ------------------------------------------------------------------
+
+    def check_child(self, parent: Pair, child_distance: float) -> None:
+        """Raise unless ``child_distance >= parent.distance`` (within
+        floating-point slack); no-op unless ``check_consistency``."""
+        if not self.check_consistency:
+            return
+        slack = 1e-9 * max(1.0, abs(parent.distance))
+        if child_distance < parent.distance - slack:
+            raise ConsistencyError(
+                f"child distance {child_distance} < parent distance "
+                f"{parent.distance} for parent {parent!r}"
+            )

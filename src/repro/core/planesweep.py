@@ -1,0 +1,83 @@
+"""Plane sweep for the "Simultaneous" node-processing policy.
+
+When both nodes of a node/node pair are expanded at once (paper
+Section 2.2.2, Figure 4), the cross product of their entries is pruned
+with the classic spatial-join optimizations of Brinkhoff et al.:
+
+1. *search-space restriction*: entries of one node farther than the
+   maximum distance from the other node's region cannot contribute;
+2. *plane sweep*: both entry lists are sorted along one axis and only
+   entries whose projections come within ``D_max`` of each other are
+   paired -- the paper's modification of the intersection-only sweep,
+   which must look ahead to ``x2 + D_max`` instead of ``x2``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.geometry.metrics import Metric
+from repro.geometry.rectangle import Rect
+
+_INF = float("inf")
+
+
+def restrict_entries(
+    entries: Sequence,
+    other_region: Rect,
+    metric: Metric,
+    max_distance: float,
+) -> List:
+    """Keep only entries within ``max_distance`` of ``other_region``.
+
+    This is the "marking" step: entries whose MINDIST to the space
+    spanned by the other node exceeds the maximum distance can never
+    appear in a result pair.
+    """
+    if max_distance == _INF:
+        return list(entries)
+    return [
+        e
+        for e in entries
+        if metric.mindist_rect_rect(e.rect, other_region) <= max_distance
+    ]
+
+
+def sweep_pairs(
+    entries1: Sequence,
+    entries2: Sequence,
+    max_gap: float,
+    axis: int = 0,
+) -> Iterator[Tuple[object, object]]:
+    """Yield entry pairs whose ``axis`` projections approach within
+    ``max_gap``; every qualifying pair is produced exactly once.
+
+    With ``max_gap = 0`` this degenerates to the intersection-join
+    sweep of Brinkhoff et al.; the distance join sweeps along the axis
+    up to ``hi + D_max`` (Figure 4: ``r1`` must also be checked against
+    ``s3``, not only the projection-intersecting ``s1`` and ``s2``).
+    """
+    if max_gap == _INF:
+        for e1 in entries1:
+            for e2 in entries2:
+                yield e1, e2
+        return
+
+    a = sorted(entries1, key=lambda e: e.rect.lo[axis])
+    b = sorted(entries2, key=lambda e: e.rect.lo[axis])
+    i = j = 0
+    while i < len(a) and j < len(b):
+        if a[i].rect.lo[axis] <= b[j].rect.lo[axis]:
+            reach = a[i].rect.hi[axis] + max_gap
+            k = j
+            while k < len(b) and b[k].rect.lo[axis] <= reach:
+                yield a[i], b[k]
+                k += 1
+            i += 1
+        else:
+            reach = b[j].rect.hi[axis] + max_gap
+            k = i
+            while k < len(a) and a[k].rect.lo[axis] <= reach:
+                yield a[k], b[j]
+                k += 1
+            j += 1

@@ -1,0 +1,354 @@
+"""Pair priority queues: pure-memory and the paper's hybrid memory/disk
+three-tier scheme (Section 3.2).
+
+The hybrid queue keeps pairs with distance below ``D1`` in a pairing
+heap, pairs in ``[D1, D2)`` in an unorganized in-memory list, and
+everything else on (simulated) disk in linked page lists, one list per
+distance band ``[k*DT, (k+1)*DT)``.  When the heap runs dry the list is
+heapified, ``D1``/``D2`` advance by ``DT``, and the next disk band is
+pulled into the list.  All disk traffic is counted (``pq_disk_writes``,
+``pq_disk_reads``, plus the page store's ``page_reads``/``page_writes``).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from repro.core.heap import BinaryHeap, PairingHeap
+from repro.storage.pager import PageStore
+from repro.util.counters import CounterRegistry
+from repro.util.validation import require_positive
+
+#: Simulated size of one serialized pair record on a queue page.
+PAIR_RECORD_BYTES = 64
+
+
+class PairQueue(ABC):
+    """Interface shared by the queue implementations.
+
+    Keys are tuples whose first component is the (signed) distance;
+    the remaining components implement tie-breaking.
+    """
+
+    @abstractmethod
+    def push(self, key: Tuple, value: Any) -> None:
+        """Insert an element."""
+
+    @abstractmethod
+    def pop(self) -> Tuple[Tuple, Any]:
+        """Remove and return the minimum element."""
+
+    @abstractmethod
+    def peek(self) -> Tuple[Tuple, Any]:
+        """Return the minimum element without removing it."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Total number of queued elements (all tiers)."""
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class MemoryPairQueue(PairQueue):
+    """A single in-memory heap; the paper's "Memory" configuration.
+
+    Parameters
+    ----------
+    heap_class:
+        :class:`PairingHeap` (default, as in the paper) or
+        :class:`BinaryHeap` for the ablation benchmark.
+    """
+
+    def __init__(self, heap_class: Type = PairingHeap) -> None:
+        self._heap = heap_class()
+
+    def push(self, key: Tuple, value: Any) -> None:
+        self._heap.push(key, value)
+
+    def pop(self) -> Tuple[Tuple, Any]:
+        return self._heap.pop()
+
+    def peek(self) -> Tuple[Tuple, Any]:
+        return self._heap.peek()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class HybridPairQueue(PairQueue):
+    """The three-tier memory/disk queue of Section 3.2.
+
+    Parameters
+    ----------
+    dt:
+        The fixed distance increment ``D_T``.  ``D1`` and ``D2`` start
+        at ``DT`` and ``2*DT`` and advance by ``DT`` on each refill.
+        The paper chooses ``D_T`` per data set; see
+        :func:`repro.bench.workloads.suggest_dt` for the heuristic this
+        library provides.
+    store:
+        Page store for the disk tier (a private one is created when
+        omitted).
+    counters:
+        Registry charged with ``pq_disk_writes`` / ``pq_disk_reads``
+        per record moved, and observing ``pq_heap_size``.
+    heap_class:
+        Heap used for tier 1.
+    """
+
+    def __init__(
+        self,
+        dt: float,
+        store: Optional[PageStore] = None,
+        counters: Optional[CounterRegistry] = None,
+        heap_class: Type = PairingHeap,
+    ) -> None:
+        require_positive(dt, "dt")
+        self.dt = float(dt)
+        self.counters = counters if counters is not None else CounterRegistry()
+        self.store = store if store is not None else PageStore()
+        self._heap = heap_class()
+        self._list: List[Tuple[Tuple, Any]] = []
+        # The band cursor is the single source of truth for the tier
+        # thresholds: the heap holds bands below the cursor, the
+        # unorganized list holds exactly the cursor band, and disk
+        # bands are strictly above it.  Routing purely by band index
+        # (never by accumulated float thresholds) keeps the three tiers
+        # exactly consistent -- floor(d / dt) is monotone in d, so
+        # band-by-band promotion preserves global distance order.
+        self._cursor = 1  # D1 = cursor * DT, D2 = (cursor + 1) * DT
+        self._bands: Dict[int, List[int]] = {}
+        self._open_page: Dict[int, int] = {}
+        self._disk_records = 0
+        self._page_capacity = max(1, self.store.page_size // PAIR_RECORD_BYTES)
+
+    @property
+    def _d1(self) -> float:
+        return self._cursor * self.dt
+
+    @property
+    def _d2(self) -> float:
+        return (self._cursor + 1) * self.dt
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def push(self, key: Tuple, value: Any) -> None:
+        band = self._band_of(key[0])
+        if band < self._cursor:
+            self._heap.push(key, value)
+            self.counters.observe("pq_heap_size", len(self._heap))
+        elif band == self._cursor:
+            self._list.append((key, value))
+        else:
+            self._push_disk(band, (key, value))
+
+    def _band_of(self, distance: float) -> int:
+        return int(math.floor(distance / self.dt))
+
+    def _push_disk(self, band: int, record: Tuple[Tuple, Any]) -> None:
+        page_id = self._open_page.get(band)
+        if page_id is None:
+            page_id = self.store.allocate([], 0)
+            self._open_page[band] = page_id
+            self._bands.setdefault(band, []).append(page_id)
+        page = self.store.read(page_id)
+        records: List[Tuple[Tuple, Any]] = page.payload
+        records.append(record)
+        self.store.write(
+            page_id, records, len(records) * PAIR_RECORD_BYTES
+        )
+        if len(records) >= self._page_capacity:
+            # Page full: next append opens a fresh page in the band's
+            # linked list.
+            del self._open_page[band]
+        self._disk_records += 1
+        self.counters.add("pq_disk_writes")
+
+    # ------------------------------------------------------------------
+    # retrieval
+    # ------------------------------------------------------------------
+
+    def pop(self) -> Tuple[Tuple, Any]:
+        self._ensure_head()
+        if not self._heap:
+            raise IndexError("pop on empty queue")
+        return self._heap.pop()
+
+    def peek(self) -> Tuple[Tuple, Any]:
+        self._ensure_head()
+        if not self._heap:
+            raise IndexError("peek on empty queue")
+        return self._heap.peek()
+
+    def _ensure_head(self) -> None:
+        while not self._heap and (self._list or self._disk_records):
+            # Promote the unorganized list into the heap...
+            for key, value in self._list:
+                self._heap.push(key, value)
+            self._list.clear()
+            self.counters.observe("pq_heap_size", len(self._heap))
+            # ... advance the thresholds ...
+            self._cursor += 1
+            # ... and pull the next disk band into the list.
+            self._load_band(self._cursor)
+            if not self._heap and not self._list and self._disk_records:
+                # The next non-empty band may be far away; jump to it.
+                self._cursor = min(self._bands)
+                self._load_band(self._cursor)
+
+    def _load_band(self, band: int) -> None:
+        page_ids = self._bands.pop(band, None)
+        self._open_page.pop(band, None)
+        if not page_ids:
+            return
+        for page_id in page_ids:
+            page = self.store.read(page_id)
+            records: List[Tuple[Tuple, Any]] = page.payload
+            self._list.extend(records)
+            self._disk_records -= len(records)
+            self.counters.add("pq_disk_reads", len(records))
+            self.store.free(page_id)
+
+    # ------------------------------------------------------------------
+    # sizing
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._heap) + len(self._list) + self._disk_records
+
+    def memory_size(self) -> int:
+        """Number of elements held in memory (tiers 1 and 2)."""
+        return len(self._heap) + len(self._list)
+
+    def disk_size(self) -> int:
+        """Number of elements currently on the disk tier."""
+        return self._disk_records
+
+    def __repr__(self) -> str:
+        return (
+            f"HybridPairQueue(heap={len(self._heap)}, list={len(self._list)},"
+            f" disk={self._disk_records}, d1={self._d1:g}, d2={self._d2:g})"
+        )
+
+
+class AdaptiveHybridPairQueue(PairQueue):
+    """A hybrid queue that chooses ``D_T`` from its own early traffic.
+
+    The paper picks ``D_T`` empirically per data set and names
+    "developing a way of choosing D_T based on the input relations, or
+    finding some other dynamic method" as future work (Section 3.2).
+    This implementation realizes the dynamic method: the first
+    ``calibration_size`` pushes are buffered in a plain heap while
+    their distance distribution is observed; ``D_T`` is then set so
+    that roughly ``target_heap_fraction`` of the observed distances
+    fall inside the first band, the buffered elements are re-routed
+    through a regular :class:`HybridPairQueue`, and everything after
+    that proceeds three-tiered.
+
+    The early pushes of a distance join are dominated by near pairs
+    (the roots overlap), so the observed quantile tracks the hot
+    prefix the heap should own -- the quantity the paper tuned by
+    hand.
+    """
+
+    def __init__(
+        self,
+        calibration_size: int = 256,
+        target_heap_fraction: float = 0.25,
+        store: Optional[PageStore] = None,
+        counters: Optional[CounterRegistry] = None,
+        heap_class: Type = PairingHeap,
+    ) -> None:
+        require_positive(calibration_size, "calibration_size")
+        if not 0.0 < target_heap_fraction < 1.0:
+            raise ValueError(
+                "target_heap_fraction must be in (0, 1), got "
+                f"{target_heap_fraction!r}"
+            )
+        self.calibration_size = calibration_size
+        self.target_heap_fraction = target_heap_fraction
+        self.counters = counters if counters is not None else CounterRegistry()
+        self._store = store
+        self._heap_class = heap_class
+        self._warmup = heap_class()
+        self._observed: List[float] = []
+        self._inner: Optional[HybridPairQueue] = None
+
+    @property
+    def dt(self) -> Optional[float]:
+        """The calibrated ``D_T`` (None until calibration finishes)."""
+        return self._inner.dt if self._inner is not None else None
+
+    def _calibrate(self) -> None:
+        distances = sorted(self._observed)
+        index = max(
+            0,
+            min(
+                len(distances) - 1,
+                int(len(distances) * self.target_heap_fraction),
+            ),
+        )
+        chosen = distances[index]
+        positive = [d for d in distances if d > 0.0]
+        if chosen <= 0.0:
+            chosen = positive[0] if positive else 1.0
+        self._inner = HybridPairQueue(
+            dt=chosen,
+            store=self._store,
+            counters=self.counters,
+            heap_class=self._heap_class,
+        )
+        self.counters.counter("pq_adaptive_dt").observe(int(chosen))
+        while self._warmup:
+            key, value = self._warmup.pop()
+            self._inner.push(key, value)
+        self._observed = []
+
+    def push(self, key: Tuple, value: Any) -> None:
+        if self._inner is not None:
+            self._inner.push(key, value)
+            return
+        self._warmup.push(key, value)
+        self._observed.append(abs(key[0]))
+        if len(self._observed) >= self.calibration_size:
+            self._calibrate()
+
+    def pop(self) -> Tuple[Tuple, Any]:
+        if self._inner is not None:
+            return self._inner.pop()
+        return self._warmup.pop()
+
+    def peek(self) -> Tuple[Tuple, Any]:
+        if self._inner is not None:
+            return self._inner.peek()
+        return self._warmup.peek()
+
+    def __len__(self) -> int:
+        if self._inner is not None:
+            return len(self._inner)
+        return len(self._warmup)
+
+    def memory_size(self) -> int:
+        """In-memory element count (all of it during calibration)."""
+        if self._inner is not None:
+            return self._inner.memory_size()
+        return len(self._warmup)
+
+    def disk_size(self) -> int:
+        """Elements on the disk tier (0 during calibration)."""
+        if self._inner is not None:
+            return self._inner.disk_size()
+        return 0
+
+    def __repr__(self) -> str:
+        if self._inner is None:
+            return (
+                f"AdaptiveHybridPairQueue(calibrating, "
+                f"{len(self._warmup)}/{self.calibration_size})"
+            )
+        return f"AdaptiveHybridPairQueue(dt={self._inner.dt:g})"

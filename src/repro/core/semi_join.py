@@ -1,0 +1,255 @@
+"""The incremental distance semi-join (paper Section 2.3).
+
+The distance semi-join reports, for each object of the outer relation
+(``tree1``), its nearest object in the inner relation (``tree2``) --
+pairs still arrive in order of increasing distance, so the full result
+is the discrete-Voronoi clustering the paper describes.
+
+Built on :class:`IncrementalDistanceJoin` with two families of
+strategies evaluated in Section 4.2:
+
+*Filter placement* -- where pairs whose outer object was already
+reported are discarded:
+
+- ``"outside"``: the join runs unchanged and duplicates are filtered
+  at the output (the paper's "Outside");
+- ``"inside1"``: popped pairs whose first item is an already-seen
+  object (or obr) are discarded before any further work ("Inside1");
+- ``"inside2"``: additionally, such children are never enqueued during
+  node expansion ("Inside2").
+
+*d_max exploitation* -- pruning pairs that cannot contain any outer
+object's nearest neighbour, using the upper-bound distances:
+
+- ``"none"``: no d_max pruning;
+- ``"local"``: while expanding a node, entries whose MINDIST to the
+  fixed outer item exceeds the smallest d_max among the sibling
+  candidates are dropped ("Local");
+- ``"global_nodes"``: additionally, the smallest d_max ever observed
+  for each outer *node* is remembered and applied to future pairs
+  ("GlobalNodes");
+- ``"global_all"``: the same for outer objects too ("GlobalAll").
+
+The seen-set ``S_A`` is the bit string of Section 3.2
+(:class:`repro.util.Bitset`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.distance_join import IncrementalDistanceJoin
+from repro.core.estimate import make_semijoin_estimator
+from repro.core.pairs import NODE, Item, Pair
+from repro.rtree.base import RTreeBase
+from repro.util.bitset import Bitset
+from repro.util.validation import require
+
+#: Filter-placement strategies.
+OUTSIDE = "outside"
+INSIDE1 = "inside1"
+INSIDE2 = "inside2"
+FILTER_STRATEGIES = (OUTSIDE, INSIDE1, INSIDE2)
+
+#: d_max-exploitation strategies.
+DMAX_NONE = "none"
+DMAX_LOCAL = "local"
+DMAX_GLOBAL_NODES = "global_nodes"
+DMAX_GLOBAL_ALL = "global_all"
+DMAX_STRATEGIES = (
+    DMAX_NONE, DMAX_LOCAL, DMAX_GLOBAL_NODES, DMAX_GLOBAL_ALL
+)
+
+
+class IncrementalDistanceSemiJoin(IncrementalDistanceJoin):
+    """Incremental distance semi-join of ``tree1`` with ``tree2``.
+
+    Accepts every parameter of :class:`IncrementalDistanceJoin` plus:
+
+    Parameters
+    ----------
+    filter_strategy:
+        One of ``"outside"``, ``"inside1"``, ``"inside2"``.
+    dmax_strategy:
+        One of ``"none"``, ``"local"``, ``"global_nodes"``,
+        ``"global_all"``.  The paper's d_max strategies all build on
+        Inside2 filtering, so any value other than ``"none"`` requires
+        ``filter_strategy="inside2"``.
+    """
+
+    def __init__(
+        self,
+        tree1: RTreeBase,
+        tree2: RTreeBase,
+        *,
+        filter_strategy: str = INSIDE2,
+        dmax_strategy: str = DMAX_LOCAL,
+        **kwargs,
+    ) -> None:
+        require(
+            filter_strategy in FILTER_STRATEGIES,
+            f"filter_strategy must be one of {FILTER_STRATEGIES}",
+        )
+        require(
+            dmax_strategy in DMAX_STRATEGIES,
+            f"dmax_strategy must be one of {DMAX_STRATEGIES}",
+        )
+        if dmax_strategy != DMAX_NONE:
+            require(
+                filter_strategy == INSIDE2,
+                "d_max strategies build on inside2 filtering "
+                "(paper Section 4.2.1)",
+            )
+        self.filter_strategy = filter_strategy
+        self.dmax_strategy = dmax_strategy
+        # Set before super().__init__, which calls _init_state().
+        self._seen: Bitset = Bitset(0)
+        self._bounds: Dict[Tuple, float] = {}
+        if kwargs.get("descending"):
+            raise ValueError(
+                "the reverse distance semi-join reports the *farthest* "
+                "inner object per outer object (paper Section 2.3); use "
+                "ReverseDistanceSemiJoin explicitly"
+            )
+        super().__init__(tree1, tree2, **kwargs)
+        self._c_pruned_seen = self.counters.counter("pruned_seen")
+        self._c_pruned_dmax = self.counters.counter("pruned_dmax")
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+
+    def _init_state(self) -> None:
+        self._seen = Bitset(max(1, len(self.tree1)))
+        self._bounds = {}
+        super()._init_state()
+
+    def _make_estimator(self):
+        if not self.estimate or self.max_pairs is None:
+            return None
+        return make_semijoin_estimator(
+            self.max_pairs,
+            self.min_distance,
+            self.max_distance,
+            self.counters,
+            aggressive=self.aggressive,
+        )
+
+    def _estimator_count(self, pair: Pair) -> int:
+        # Each outer object contributes at most one semi-join result,
+        # so only item1's subtree bounds the generated pairs.
+        return self._count_lower_bound(1, pair.item1)
+
+    def _complete(self) -> bool:
+        return len(self._seen) >= len(self.tree1)
+
+    # ------------------------------------------------------------------
+    # seen-set filtering
+    # ------------------------------------------------------------------
+
+    def _skip_result(self, pair: Pair) -> bool:
+        if pair.item1.oid in self._seen:
+            self._c_pruned_seen.add()
+            return True
+        return False
+
+    def _skip_popped(self, pair: Pair) -> bool:
+        item1 = pair.item1
+        if (
+            self.filter_strategy in (INSIDE1, INSIDE2)
+            and item1.kind != NODE
+            and item1.oid in self._seen
+        ):
+            self._c_pruned_seen.add()
+            return True
+        if self.dmax_strategy in (DMAX_GLOBAL_NODES, DMAX_GLOBAL_ALL):
+            bound = self._bounds.get(item1.identity())
+            if bound is not None and pair.distance > bound:
+                self._c_pruned_dmax.add()
+                return True
+        return False
+
+    def _skip_child(self, side: int, child: Item) -> bool:
+        if (
+            side == 1
+            and self.filter_strategy == INSIDE2
+            and child.kind != NODE
+            and child.oid in self._seen
+        ):
+            self._c_pruned_seen.add()
+            return True
+        return False
+
+    def _on_report(self, pair: Pair) -> None:
+        self._seen.add(pair.item1.oid)
+        if self._estimator is not None:
+            self._estimator.on_report_first(pair.item1.identity())
+
+    def _on_expand(self, pair: Pair, side: int) -> None:
+        if side == 1 and self._estimator is not None and pair.item1.is_node:
+            self._estimator.on_expand_first(pair)
+
+    # ------------------------------------------------------------------
+    # d_max pruning
+    # ------------------------------------------------------------------
+
+    def _tracks_global(self, item: Item) -> bool:
+        if self.dmax_strategy == DMAX_GLOBAL_ALL:
+            return True
+        if self.dmax_strategy == DMAX_GLOBAL_NODES:
+            return item.kind == NODE
+        return False
+
+    def _filter_candidates(
+        self, pair: Pair, side: int,
+        candidates: List[Tuple[Pair, float]],
+    ) -> List[Tuple[Pair, float]]:
+        if self.dmax_strategy == DMAX_NONE or not candidates:
+            return candidates
+
+        # Resolved object/object pairs already carry their exact
+        # distance, which is its own d_max; only bound-bearing pairs
+        # need a MINMAXDIST/MAXDIST evaluation.
+        scored = [
+            (
+                child_pair,
+                d,
+                d if child_pair.is_result
+                else self.distance.estimation_maxdist(
+                    child_pair.item1, child_pair.item2
+                ),
+            )
+            for child_pair, d in candidates
+        ]
+
+        # Local bounds: the smallest d_max among the candidates sharing
+        # the same outer item.  Meaningful when the inner node was
+        # expanded (all candidates share item1) and, for the
+        # simultaneous policy, within each item1 group.
+        local: Dict[Tuple, float] = {}
+        for child_pair, __, est_dmax in scored:
+            key = child_pair.item1.identity()
+            best = local.get(key)
+            if best is None or est_dmax < best:
+                local[key] = est_dmax
+
+        use_global = self.dmax_strategy in (
+            DMAX_GLOBAL_NODES, DMAX_GLOBAL_ALL
+        )
+        kept: List[Tuple[Pair, float]] = []
+        for child_pair, d, est_dmax in scored:
+            key = child_pair.item1.identity()
+            bound = local[key]
+            if use_global and self._tracks_global(child_pair.item1):
+                stored = self._bounds.get(key)
+                if stored is not None and stored < bound:
+                    bound = stored
+                new_bound = est_dmax if stored is None else min(
+                    stored, est_dmax
+                )
+                self._bounds[key] = new_bound
+            if d > bound:
+                self._c_pruned_dmax.add()
+                continue
+            kept.append((child_pair, d))
+        return kept

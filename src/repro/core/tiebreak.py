@@ -1,0 +1,90 @@
+"""Priority-queue key construction and tie-breaking policies.
+
+The queue is ordered primarily by pair distance.  How ties are broken
+determines the traversal pattern (paper Section 2.2.2): the goal is to
+produce result pairs as soon as possible, so pairs containing objects
+or object bounding rectangles order ahead of pairs of nodes, and among
+node pairs the *depth-first* policy gives priority to deeper nodes
+while *breadth-first* gives it to shallower ones.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Iterator, Tuple
+
+from repro.core.pairs import Pair
+
+#: Tie-break policy names.
+DEPTH_FIRST = "depth_first"
+BREADTH_FIRST = "breadth_first"
+
+POLICIES = (DEPTH_FIRST, BREADTH_FIRST)
+
+
+class KeyMaker:
+    """Builds totally ordered queue keys for pairs.
+
+    A key is the tuple ``(signed distance, kind rank, level key, seq
+    key)``:
+
+    - *kind rank*: 0 for resolved object/object pairs, 1 for pairs of
+      object bounding rectangles, 2 for pairs with one node, 3 for
+      node/node pairs -- result-bearing pairs surface first at equal
+      distance;
+    - *level key*: the sum of node levels (leaves are level 0), negated
+      for breadth-first so that shallower pairs win ties;
+    - *seq key*: a monotone counter making the order total; negated for
+      depth-first so that, all else equal, the most recently generated
+      (deepest) pair is processed next.
+
+    Parameters
+    ----------
+    tie_break:
+        :data:`DEPTH_FIRST` or :data:`BREADTH_FIRST`.
+    descending:
+        Order by decreasing distance (the reverse/farthest-first
+        variant of Section 2.2.5); implemented by negating the distance
+        component.
+    """
+
+    def __init__(
+        self, tie_break: str = DEPTH_FIRST, descending: bool = False
+    ) -> None:
+        if tie_break not in POLICIES:
+            raise ValueError(
+                f"unknown tie-break policy {tie_break!r}; "
+                f"expected one of {POLICIES}"
+            )
+        self.tie_break = tie_break
+        self.descending = descending
+        self._seq: Iterator[int] = count()
+
+    def key(self, pair: Pair, distance: float) -> Tuple:
+        """The queue key for ``pair`` ordered at ``distance``.
+
+        ``distance`` is passed separately because the reverse variant
+        keys unresolved pairs by their d_max bound rather than by
+        ``pair.distance``.
+        """
+        if pair.is_result:
+            rank = 0
+        elif pair.node_count == 0:
+            rank = 1
+        else:
+            rank = 1 + pair.node_count
+        level_sum = 0
+        if pair.item1.is_node:
+            level_sum += pair.item1.level
+        if pair.item2.is_node:
+            level_sum += pair.item2.level
+        seq = next(self._seq)
+        signed_distance = -distance if self.descending else distance
+        if self.tie_break == DEPTH_FIRST:
+            return (signed_distance, rank, level_sum, -seq)
+        return (signed_distance, rank, -level_sum, seq)
+
+    @staticmethod
+    def distance_of(key: Tuple) -> float:
+        """Recover the unsigned distance from a key (sign-independent)."""
+        return abs(key[0])

@@ -1,0 +1,169 @@
+"""Execution tracing for the incremental joins.
+
+For teaching, debugging, and the paper's correctness argument it is
+invaluable to *watch* the algorithm: which pair was popped, what it
+expanded into, what was pruned and why.  :func:`traced_join` wraps any
+join driver with a recording layer and returns a :class:`JoinTrace`
+that can be inspected programmatically or pretty-printed.
+
+Example
+-------
+>>> from repro.rtree.rstar import RStarTree
+>>> from repro.core.distance_join import IncrementalDistanceJoin
+>>> from repro.core.trace import traced_join
+>>> a, b = RStarTree(dim=2), RStarTree(dim=2)
+>>> for x in range(4):
+...     _ = a.insert_point((float(x), 0.0))
+...     _ = b.insert_point((float(x), 1.0))
+>>> join, trace = traced_join(IncrementalDistanceJoin, a, b)
+>>> first = next(join)
+>>> trace.events[0].kind
+'pop'
+>>> trace.reported
+1
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Tuple, Type
+
+from repro.core.pairs import NODE, Item, Pair
+
+_KIND_LABEL = {0: "node", 1: "obr", 2: "obj"}
+
+
+def _item_label(item: Item) -> str:
+    if item.kind == NODE:
+        return f"node#{item.node_id}@L{item.level}"
+    return f"{_KIND_LABEL[item.kind]}#{item.oid}"
+
+
+def _pair_label(pair: Pair) -> str:
+    return (
+        f"({_item_label(pair.item1)}, {_item_label(pair.item2)}) "
+        f"d={pair.distance:.4g}"
+    )
+
+
+@dataclass
+class TraceEvent:
+    """One recorded step of the algorithm."""
+
+    sequence: int
+    kind: str  # "pop" | "push" | "report" | "expand"
+    label: str
+    distance: float
+
+    def __str__(self) -> str:
+        return f"[{self.sequence:>6}] {self.kind:<7} {self.label}"
+
+
+@dataclass
+class JoinTrace:
+    """The recorded execution: an event list plus running tallies."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+    pops: int = 0
+    pushes: int = 0
+    expansions: int = 0
+    reported: int = 0
+    max_events: int = 100_000
+
+    def _record(self, kind: str, label: str, distance: float) -> None:
+        if len(self.events) < self.max_events:
+            self.events.append(
+                TraceEvent(len(self.events), kind, label, distance)
+            )
+
+    def render(self, limit: int = 50) -> str:
+        """The first ``limit`` events as a readable transcript."""
+        lines = [str(event) for event in self.events[:limit]]
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        lines.append(
+            f"totals: {self.pops} pops, {self.expansions} expansions, "
+            f"{self.pushes} pushes, {self.reported} reported"
+        )
+        return "\n".join(lines)
+
+
+class _TracingQueue:
+    """A pass-through queue proxy that records pops."""
+
+    def __init__(self, inner, trace: JoinTrace) -> None:
+        self._inner = inner
+        self._trace = trace
+
+    def push(self, key, value) -> None:
+        self._inner.push(key, value)
+
+    def pop(self):
+        key, pair = self._inner.pop()
+        self._trace.pops += 1
+        self._trace._record("pop", _pair_label(pair), pair.distance)
+        return key, pair
+
+    def peek(self):
+        return self._inner.peek()
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def __bool__(self) -> bool:
+        return len(self._inner) > 0
+
+
+class _TracingMixin:
+    """Overrides the join's queue/report plumbing to record events."""
+
+    _trace: JoinTrace
+
+    def _make_queue(self):  # type: ignore[override]
+        return _TracingQueue(
+            super()._make_queue(),  # type: ignore[misc]
+            self._trace,
+        )
+
+    def _push(self, pair: Pair) -> None:  # type: ignore[override]
+        self._trace.pushes += 1
+        self._trace._record("push", _pair_label(pair), pair.distance)
+        super()._push(pair)  # type: ignore[misc]
+
+    def _process_pair(self, pair: Pair) -> None:  # type: ignore[override]
+        self._trace.expansions += 1
+        self._trace._record("expand", _pair_label(pair), pair.distance)
+        super()._process_pair(pair)  # type: ignore[misc]
+
+    def _report(self, pair: Pair):  # type: ignore[override]
+        self._trace.reported += 1
+        self._trace._record("report", _pair_label(pair), pair.distance)
+        return super()._report(pair)  # type: ignore[misc]
+
+
+def traced_join(
+    join_class: Type,
+    *args: Any,
+    trace: JoinTrace = None,
+    **kwargs: Any,
+) -> Tuple[Any, JoinTrace]:
+    """Build ``join_class(*args, **kwargs)`` with tracing attached.
+
+    Returns ``(join, trace)``.  Works with any of the join drivers
+    (:class:`IncrementalDistanceJoin`, the semi-join, the reverse and
+    k-NN variants) because it subclasses on the fly and only touches
+    the shared plumbing hooks.
+    """
+    if trace is None:
+        trace = JoinTrace()
+
+    traced_class = type(
+        f"Traced{join_class.__name__}", (_TracingMixin, join_class), {}
+    )
+    # _push fires during __init__ (the root pair), so the trace must
+    # exist before construction completes: stash it on the class, then
+    # move it to the instance.
+    traced_class._trace = trace
+    join = traced_class(*args, **kwargs)
+    join._trace = trace
+    return join, trace

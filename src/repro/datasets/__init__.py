@@ -1,0 +1,46 @@
+"""Data set generators.
+
+The paper evaluates on TIGER/Line centroids of the Washington, DC area
+(*Water*: 37,495 points; *Roads*: 200,482 points).  TIGER files are
+not available in this offline reproduction, so
+:mod:`repro.datasets.tiger_like` synthesizes point sets with the same
+statistical character (skewed, polyline-clustered, 1:5.35 cardinality
+ratio) at configurable scale.  :mod:`repro.datasets.synthetic`
+provides uniform and Gaussian-cluster generators for tests.
+"""
+
+from repro.datasets.synthetic import (
+    gaussian_clusters,
+    grid_points,
+    uniform_points,
+    uniform_rects,
+)
+from repro.datasets.tiger import (
+    read_centroids,
+    read_road_centroids,
+    read_water_centroids,
+)
+from repro.datasets.tiger_like import (
+    ROADS_FULL_SIZE,
+    WATER_FULL_SIZE,
+    roads_points,
+    roads_segments,
+    water_points,
+    water_segments,
+)
+
+__all__ = [
+    "uniform_points",
+    "uniform_rects",
+    "gaussian_clusters",
+    "grid_points",
+    "water_points",
+    "roads_points",
+    "water_segments",
+    "roads_segments",
+    "read_centroids",
+    "read_water_centroids",
+    "read_road_centroids",
+    "WATER_FULL_SIZE",
+    "ROADS_FULL_SIZE",
+]

@@ -1,0 +1,120 @@
+"""Seeded synthetic point/rectangle generators for tests and benches."""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.util.validation import require, require_positive
+
+#: Default square universe, loosely "degrees times 10^4" like TIGER.
+DEFAULT_EXTENT = 10000.0
+
+
+def uniform_points(
+    count: int,
+    seed: int,
+    dim: int = 2,
+    extent: float = DEFAULT_EXTENT,
+) -> List[Point]:
+    """``count`` points uniform in ``[0, extent]^dim`` (deterministic)."""
+    require_positive(extent, "extent")
+    rng = random.Random(seed)
+    return [
+        Point(rng.uniform(0.0, extent) for __ in range(dim))
+        for __ in range(count)
+    ]
+
+
+def uniform_rects(
+    count: int,
+    seed: int,
+    dim: int = 2,
+    extent: float = DEFAULT_EXTENT,
+    max_side: Optional[float] = None,
+) -> List[Rect]:
+    """``count`` random rectangles with sides up to ``max_side``
+    (default: 1% of the extent)."""
+    require_positive(extent, "extent")
+    if max_side is None:
+        max_side = extent / 100.0
+    rng = random.Random(seed)
+    rects = []
+    for __ in range(count):
+        lo = [rng.uniform(0.0, extent - max_side) for _i in range(dim)]
+        hi = [c + rng.uniform(0.0, max_side) for c in lo]
+        rects.append(Rect(lo, hi))
+    return rects
+
+
+def gaussian_clusters(
+    count: int,
+    seed: int,
+    clusters: int = 10,
+    dim: int = 2,
+    extent: float = DEFAULT_EXTENT,
+    spread: Optional[float] = None,
+) -> List[Point]:
+    """``count`` points in ``clusters`` Gaussian blobs (clipped to the
+    universe); ``spread`` is the blob standard deviation (default 2% of
+    the extent)."""
+    require(clusters >= 1, "clusters must be at least 1")
+    if spread is None:
+        spread = extent * 0.02
+    rng = random.Random(seed)
+    centers = [
+        [rng.uniform(0.0, extent) for __ in range(dim)]
+        for __ in range(clusters)
+    ]
+    points = []
+    for __ in range(count):
+        center = centers[rng.randrange(clusters)]
+        coords = [
+            min(extent, max(0.0, rng.gauss(c, spread))) for c in center
+        ]
+        points.append(Point(coords))
+    return points
+
+
+def grid_points(
+    per_side: int,
+    dim: int = 2,
+    extent: float = DEFAULT_EXTENT,
+    jitter: float = 0.0,
+    seed: int = 0,
+) -> List[Point]:
+    """A regular ``per_side^dim`` grid, optionally jittered.
+
+    Grids maximize distance ties, which exercises the tie-breaking
+    policies; tests rely on this.
+    """
+    require(per_side >= 1, "per_side must be at least 1")
+    rng = random.Random(seed)
+    step = extent / max(1, per_side - 1) if per_side > 1 else 0.0
+
+    def coord(i: int) -> float:
+        base = i * step
+        if jitter:
+            base += rng.uniform(-jitter, jitter)
+        return min(extent, max(0.0, base))
+
+    points: List[Point] = []
+    indices: List[Tuple[int, ...]] = [()]  # type: ignore[assignment]
+    for __ in range(dim):
+        indices = [  # type: ignore[assignment]
+            prefix + (i,) for prefix in indices for i in range(per_side)
+        ]
+    for index in indices:
+        points.append(Point(coord(i) for i in index))
+    return points
+
+
+def scale_counts(
+    sizes: Sequence[int], scale: float
+) -> List[int]:
+    """Scale a list of data set sizes, keeping each at least 1."""
+    require(scale > 0.0, "scale must be positive")
+    return [max(1, int(math.ceil(s * scale))) for s in sizes]

@@ -1,0 +1,128 @@
+"""Reader for real TIGER/Line Record Type 1 files.
+
+The paper derives its data from the US Census Bureau's TIGER/Line
+files: *Water* is the centroids of water features and *Roads* the
+centroids of road features of the Washington, DC area.  Those files
+are not shipped with this reproduction (the benchmarks use the
+synthetic stand-ins in :mod:`repro.datasets.tiger_like`), but anyone
+who has them can load the paper's exact inputs with this module.
+
+Record Type 1 ("complete chain basic data record") is a fixed-width
+228-byte format; the fields used here (1-based column positions from
+the TIGER/Line technical documentation):
+
+========  =======  ==========================================
+columns   name     meaning
+========  =======  ==========================================
+1         RT       record type, ``'1'``
+56-58     CFCC     census feature class code (e.g. ``A41``)
+191-200   FRLONG   start longitude, signed, 6 implied decimals
+201-209   FRLAT    start latitude, signed, 6 implied decimals
+210-219   TOLONG   end longitude
+220-228   TOLAT    end latitude
+========  =======  ==========================================
+
+A feature's *centroid* is approximated, as in the paper's setup, by
+the midpoint of the chain's endpoints.  CFCC class letters select the
+feature kind: ``A`` = roads, ``H`` = hydrography (water).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.errors import ReproError
+from repro.geometry.point import Point
+
+#: Minimum line length to hold the coordinate fields.
+_RECORD_LENGTH = 228
+
+#: CFCC class letters for the paper's two data sets.
+ROAD_CLASS = "A"
+WATER_CLASS = "H"
+
+
+class TigerFormatError(ReproError):
+    """A TIGER/Line record could not be parsed."""
+
+
+def _parse_coordinate(field: str, implied_decimals: int = 6) -> float:
+    """Parse a signed fixed-point TIGER coordinate field."""
+    try:
+        return int(field.strip()) / (10 ** implied_decimals)
+    except ValueError as error:
+        raise TigerFormatError(
+            f"bad coordinate field {field!r}"
+        ) from error
+
+
+def parse_rt1_line(line: str) -> Optional[dict]:
+    """Parse one Record Type 1 line; None for other record types.
+
+    Returns a dict with ``cfcc``, ``start`` (Point), ``end`` (Point),
+    and ``centroid`` (Point, the endpoint midpoint).  Coordinates are
+    (longitude, latitude) to match the x/y convention.
+    """
+    if not line or line[0] != "1":
+        return None
+    if len(line.rstrip("\r\n")) < _RECORD_LENGTH:
+        raise TigerFormatError(
+            f"record type 1 line shorter than {_RECORD_LENGTH} bytes "
+            f"({len(line.rstrip())})"
+        )
+    cfcc = line[55:58].strip()
+    from_long = _parse_coordinate(line[190:200])
+    from_lat = _parse_coordinate(line[200:209])
+    to_long = _parse_coordinate(line[209:219])
+    to_lat = _parse_coordinate(line[219:228])
+    start = Point((from_long, from_lat))
+    end = Point((to_long, to_lat))
+    centroid = Point((
+        (from_long + to_long) / 2.0,
+        (from_lat + to_lat) / 2.0,
+    ))
+    return {
+        "cfcc": cfcc,
+        "start": start,
+        "end": end,
+        "centroid": centroid,
+    }
+
+
+def iter_rt1(lines: Iterable[str]) -> Iterator[dict]:
+    """Yield parsed Record Type 1 entries from an iterable of lines."""
+    for line in lines:
+        record = parse_rt1_line(line)
+        if record is not None:
+            yield record
+
+
+def read_centroids(
+    path: str, feature_class: Optional[str] = None
+) -> List[Point]:
+    """Centroids of the chains in a TIGER/Line ``.RT1`` file.
+
+    ``feature_class`` filters by the CFCC class letter --
+    :data:`ROAD_CLASS` (``"A"``) or :data:`WATER_CLASS` (``"H"``) for
+    the paper's Roads/Water sets; None keeps every feature.
+    """
+    centroids: List[Point] = []
+    with open(path, encoding="latin-1") as handle:
+        for record in iter_rt1(handle):
+            if (
+                feature_class is not None
+                and not record["cfcc"].startswith(feature_class)
+            ):
+                continue
+            centroids.append(record["centroid"])
+    return centroids
+
+
+def read_water_centroids(path: str) -> List[Point]:
+    """The paper's *Water* set: hydrography-feature centroids."""
+    return read_centroids(path, WATER_CLASS)
+
+
+def read_road_centroids(path: str) -> List[Point]:
+    """The paper's *Roads* set: road-feature centroids."""
+    return read_centroids(path, ROAD_CLASS)

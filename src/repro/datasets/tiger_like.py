@@ -1,0 +1,309 @@
+"""Synthetic stand-ins for the paper's TIGER/Line data sets.
+
+The paper joins two point sets derived from the TIGER/Line files of
+the Washington, DC area: *Water* (centroids of water features, 37,495
+points) and *Roads* (centroids of road features, 200,482 points).
+Those files are unavailable offline, so this module synthesizes point
+sets with the properties that actually drive the algorithms' behaviour:
+
+- **Roads**: road-feature centroids lie on a dense street network.  We
+  generate an urban-gravity grid of street polylines (denser near a
+  few "downtown" attractors) and sample segment midpoints with jitter,
+  producing the strongly linear, locally dense skew of road centroids.
+- **Water**: water-feature centroids follow rivers and shorelines plus
+  scattered ponds.  We sample points along a handful of meandering
+  river polylines plus a sparse scattered component.
+- The two sets overlap the same universe, so near-zero join distances
+  exist (the paper notes one pair at distance 0 -- we plant one
+  coincident point pair to reproduce that detail).
+- The |Roads| / |Water| cardinality ratio of ~5.35 is preserved at any
+  scale.
+
+Everything is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Tuple
+
+from repro.geometry.point import Point
+from repro.util.validation import require
+
+#: Cardinalities of the paper's full data sets.
+WATER_FULL_SIZE = 37495
+ROADS_FULL_SIZE = 200482
+
+#: Universe: a square roughly playing the role of the DC-area extent.
+EXTENT = 10000.0
+
+_DEFAULT_WATER_SEED = 1998
+_DEFAULT_ROADS_SEED = 2642
+
+#: One point planted in both sets so that a distance-0 join pair exists
+#: (the paper observes exactly one such pair in its data,
+#: Section 4.1.1, which is what makes "DepthFirst" faster than
+#: "BreadthFirst" for retrieving the very first pair).
+SHARED_POINT = Point((4321.987, 1234.567))
+
+
+def _meander(
+    rng: random.Random, start: Tuple[float, float], heading: float,
+    steps: int, step_len: float, wobble: float,
+) -> List[Tuple[float, float]]:
+    """A random meandering polyline (used for rivers)."""
+    x, y = start
+    vertices = [(x, y)]
+    for __ in range(steps):
+        heading += rng.uniform(-wobble, wobble)
+        x += step_len * math.cos(heading)
+        y += step_len * math.sin(heading)
+        x = min(EXTENT, max(0.0, x))
+        y = min(EXTENT, max(0.0, y))
+        vertices.append((x, y))
+    return vertices
+
+
+def _sample_polyline(
+    rng: random.Random,
+    vertices: List[Tuple[float, float]],
+    count: int,
+    jitter: float,
+) -> List[Point]:
+    """``count`` jittered points along a polyline, by arc length."""
+    segments = []
+    total = 0.0
+    for (x1, y1), (x2, y2) in zip(vertices, vertices[1:]):
+        length = math.hypot(x2 - x1, y2 - y1)
+        if length > 0.0:
+            segments.append(((x1, y1), (x2, y2), length))
+            total += length
+    points: List[Point] = []
+    if not segments or total == 0.0:
+        return points
+    for __ in range(count):
+        target = rng.uniform(0.0, total)
+        for (x1, y1), (x2, y2), length in segments:
+            if target <= length:
+                t = target / length
+                x = x1 + t * (x2 - x1) + rng.gauss(0.0, jitter)
+                y = y1 + t * (y2 - y1) + rng.gauss(0.0, jitter)
+                points.append(Point((
+                    min(EXTENT, max(0.0, x)),
+                    min(EXTENT, max(0.0, y)),
+                )))
+                break
+            target -= length
+        else:  # numeric slack: drop on the final vertex
+            x, y = segments[-1][1]
+            points.append(Point((x, y)))
+    return points
+
+
+def water_points(
+    count: int = WATER_FULL_SIZE // 10,
+    seed: int = _DEFAULT_WATER_SEED,
+) -> List[Point]:
+    """Water-feature centroids: rivers, a shoreline, scattered ponds.
+
+    The default ``count`` is the paper's cardinality scaled 1:10, the
+    scale the benchmarks use (pure-Python substrate); pass
+    ``WATER_FULL_SIZE`` for the full-size set.
+    """
+    require(count >= 1, "count must be at least 1")
+    rng = random.Random(seed)
+    points: List[Point] = []
+
+    river_share = int(count * 0.55)
+    shore_share = int(count * 0.2)
+    pond_share = count - river_share - shore_share
+
+    # A few major rivers crossing the universe.
+    rivers = 4
+    for r in range(rivers):
+        start = (rng.uniform(0, EXTENT * 0.2), rng.uniform(0, EXTENT))
+        heading = rng.uniform(-0.5, 0.5)
+        polyline = _meander(
+            rng, start, heading, steps=60, step_len=EXTENT / 50.0,
+            wobble=0.45,
+        )
+        quota = river_share // rivers
+        if r == rivers - 1:
+            quota = river_share - quota * (rivers - 1)
+        points.extend(
+            _sample_polyline(rng, polyline, quota, jitter=EXTENT / 400.0)
+        )
+
+    # A shoreline hugging one border.
+    shoreline = _meander(
+        rng, (0.0, rng.uniform(0, EXTENT * 0.3)), heading=0.2,
+        steps=80, step_len=EXTENT / 70.0, wobble=0.3,
+    )
+    points.extend(
+        _sample_polyline(rng, shoreline, shore_share, jitter=EXTENT / 300.0)
+    )
+
+    # Scattered ponds.
+    for __ in range(pond_share):
+        points.append(Point((
+            rng.uniform(0.0, EXTENT), rng.uniform(0.0, EXTENT)
+        )))
+
+    points = points[:count]
+    points[0] = SHARED_POINT
+    return points
+
+
+def roads_points(
+    count: int = ROADS_FULL_SIZE // 10,
+    seed: int = _DEFAULT_ROADS_SEED,
+) -> List[Point]:
+    """Road-feature centroids: an urban-gravity street grid.
+
+    Street segments are denser near a handful of downtown attractors;
+    centroids are segment midpoints with jitter.  The first generated
+    point coincides with a water point from the default
+    :func:`water_points` set so that a distance-0 join pair exists,
+    matching the paper's observation in Section 4.1.1.
+    """
+    require(count >= 1, "count must be at least 1")
+    rng = random.Random(seed)
+    points: List[Point] = []
+
+    # Downtown attractors pull street density toward them.
+    downtowns = [
+        (rng.uniform(EXTENT * 0.2, EXTENT * 0.8),
+         rng.uniform(EXTENT * 0.2, EXTENT * 0.8))
+        for __ in range(3)
+    ]
+
+    def near_downtown() -> Tuple[float, float]:
+        cx, cy = downtowns[rng.randrange(len(downtowns))]
+        radius = abs(rng.gauss(0.0, EXTENT * 0.15))
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        return (
+            min(EXTENT, max(0.0, cx + radius * math.cos(angle))),
+            min(EXTENT, max(0.0, cy + radius * math.sin(angle))),
+        )
+
+    urban_share = int(count * 0.7)
+    rural_share = count - urban_share
+
+    # Urban component: short axis-aligned street segments around the
+    # attractors; the centroid is the jittered midpoint.
+    block = EXTENT / 120.0
+    for __ in range(urban_share):
+        x, y = near_downtown()
+        # Snap toward a street grid to create linear alignment.
+        if rng.random() < 0.5:
+            x = round(x / block) * block + rng.gauss(0.0, block * 0.08)
+        else:
+            y = round(y / block) * block + rng.gauss(0.0, block * 0.08)
+        points.append(Point((
+            min(EXTENT, max(0.0, x)), min(EXTENT, max(0.0, y))
+        )))
+
+    # Rural component: sparse country roads as long polylines.
+    rural_roads = max(1, rural_share // 400)
+    produced = 0
+    for r in range(rural_roads):
+        start = (rng.uniform(0, EXTENT), rng.uniform(0, EXTENT))
+        polyline = _meander(
+            rng, start, rng.uniform(0, 2 * math.pi), steps=30,
+            step_len=EXTENT / 40.0, wobble=0.25,
+        )
+        quota = rural_share // rural_roads
+        if r == rural_roads - 1:
+            quota = rural_share - produced
+        points.extend(
+            _sample_polyline(rng, polyline, quota, jitter=EXTENT / 500.0)
+        )
+        produced += quota
+
+    points = points[:count]
+    # Plant the distance-0 pair against the water set.
+    points[0] = SHARED_POINT
+    return points
+
+
+def _segments_along(
+    rng: random.Random,
+    polyline: List[Tuple[float, float]],
+    count: int,
+    length: float,
+    jitter: float,
+) -> List["LineSegment"]:
+    """``count`` short segments laid along a polyline with jitter."""
+    from repro.geometry.shapes import LineSegment
+
+    anchors = _sample_polyline(rng, polyline, count, jitter)
+    segments = []
+    for anchor in anchors:
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        half = length / 2.0
+        dx, dy = half * math.cos(angle), half * math.sin(angle)
+        a = Point((
+            min(EXTENT, max(0.0, anchor.x - dx)),
+            min(EXTENT, max(0.0, anchor.y - dy)),
+        ))
+        b = Point((
+            min(EXTENT, max(0.0, anchor.x + dx)),
+            min(EXTENT, max(0.0, anchor.y + dy)),
+        ))
+        segments.append(LineSegment(a, b))
+    return segments
+
+
+def water_segments(
+    count: int = 1000, seed: int = _DEFAULT_WATER_SEED
+) -> List["LineSegment"]:
+    """Water features as short line *segments* (objects with extent).
+
+    The paper's experiments use centroids and leave line data as
+    future work (Section 5); these segment sets exercise that
+    extension -- the joins run on them with exact segment distances
+    and MINMAXDIST-bearing bounding rectangles.
+    """
+    require(count >= 1, "count must be at least 1")
+    rng = random.Random(seed + 17)
+    rivers = 4
+    segments: List = []
+    for r in range(rivers):
+        start = (rng.uniform(0, EXTENT * 0.2), rng.uniform(0, EXTENT))
+        polyline = _meander(
+            rng, start, rng.uniform(-0.5, 0.5), steps=60,
+            step_len=EXTENT / 50.0, wobble=0.45,
+        )
+        quota = count // rivers
+        if r == rivers - 1:
+            quota = count - len(segments)
+        segments.extend(_segments_along(
+            rng, polyline, quota, length=EXTENT / 80.0,
+            jitter=EXTENT / 400.0,
+        ))
+    return segments[:count]
+
+
+def roads_segments(
+    count: int = 5000, seed: int = _DEFAULT_ROADS_SEED
+) -> List["LineSegment"]:
+    """Road features as short line segments (see :func:`water_segments`)."""
+    require(count >= 1, "count must be at least 1")
+    rng = random.Random(seed + 17)
+    roads = max(1, count // 250)
+    segments: List = []
+    for r in range(roads):
+        start = (rng.uniform(0, EXTENT), rng.uniform(0, EXTENT))
+        polyline = _meander(
+            rng, start, rng.uniform(0, 2 * math.pi), steps=30,
+            step_len=EXTENT / 40.0, wobble=0.25,
+        )
+        quota = count // roads
+        if r == roads - 1:
+            quota = count - len(segments)
+        segments.extend(_segments_along(
+            rng, polyline, quota, length=EXTENT / 120.0,
+            jitter=EXTENT / 500.0,
+        ))
+    return segments[:count]

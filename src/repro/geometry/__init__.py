@@ -1,0 +1,38 @@
+"""Spatial geometry substrate: points, rectangles, metrics, shapes.
+
+This package supplies the geometric machinery the join algorithms are
+built on.  Everything is dimension-agnostic (the paper's experiments use
+2-d points, but the algorithms -- and this implementation -- work in any
+dimension) and metric-agnostic (any Minkowski ``L_p`` metric, including
+the paper's Chessboard, Manhattan, and Euclidean metrics).
+"""
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.geometry.metrics import (
+    CHESSBOARD,
+    EUCLIDEAN,
+    MANHATTAN,
+    Metric,
+    MinkowskiMetric,
+)
+from repro.geometry.shapes import (
+    LineSegment,
+    PointObject,
+    Polygon,
+    SpatialObject,
+)
+
+__all__ = [
+    "Point",
+    "Rect",
+    "Metric",
+    "MinkowskiMetric",
+    "EUCLIDEAN",
+    "MANHATTAN",
+    "CHESSBOARD",
+    "SpatialObject",
+    "PointObject",
+    "LineSegment",
+    "Polygon",
+]

@@ -1,0 +1,246 @@
+"""Distance metrics and the MINDIST / MAXDIST / MINMAXDIST bounds.
+
+The incremental join algorithms need four families of distance
+functions (paper Section 2.2): object/object, object/node, node/object
+and node/node.  When both objects and node regions are represented by
+(possibly degenerate) rectangles, all of them reduce to the three
+rectangle bounds implemented here:
+
+``mindist``
+    Smallest possible distance between any point of one rectangle and
+    any point of the other.  This is the priority-queue key.  It is
+    *consistent* in the paper's sense: replacing an item by one of its
+    children can never decrease it.
+
+``maxdist``
+    Largest possible distance between any point of one rectangle and
+    any point of the other.  An upper bound on the distance of every
+    object pair generated from a queue pair, valid for arbitrary node
+    regions.
+
+``minmaxdist``
+    The tighter upper bound of Roussopoulos et al. that is valid only
+    for *minimal* bounding rectangles (each face must touch the bounded
+    object).  Used for object-bounding-rectangle pairs in the
+    maximum-distance estimation of Section 2.2.4.
+
+All bounds are parameterized by a Minkowski ``L_p`` metric; the three
+metrics named in the paper are provided as module constants
+:data:`MANHATTAN` (L1), :data:`EUCLIDEAN` (L2), and :data:`CHESSBOARD`
+(L-infinity).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.errors import DimensionMismatchError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+
+_INF = float("inf")
+
+
+class Metric(ABC):
+    """Abstract base for point metrics with induced rectangle bounds.
+
+    Subclasses implement :meth:`combine`, which turns a vector of
+    per-dimension non-negative separations into a scalar distance.  The
+    rectangle bounds are derived generically from per-dimension
+    component analysis, so any metric whose value is a monotone
+    symmetric function of the per-dimension absolute differences (every
+    Minkowski metric) works unchanged.
+    """
+
+    name = "abstract"
+
+    @abstractmethod
+    def combine(self, deltas: Sequence[float]) -> float:
+        """Norm of a vector of per-dimension non-negative separations."""
+
+    # ------------------------------------------------------------------
+    # point/point
+    # ------------------------------------------------------------------
+
+    def distance(self, p1: Point, p2: Point) -> float:
+        """Distance between two points."""
+        p1.check_dim(p2.dim)
+        return self.combine([abs(a - b) for a, b in zip(p1, p2)])
+
+    # ------------------------------------------------------------------
+    # point/rect
+    # ------------------------------------------------------------------
+
+    def mindist_point_rect(self, p: Point, r: Rect) -> float:
+        """Distance from ``p`` to the nearest point of ``r`` (0 inside)."""
+        p.check_dim(r.dim)
+        deltas = []
+        for c, lo, hi in zip(p.coords, r.lo, r.hi):
+            if c < lo:
+                deltas.append(lo - c)
+            elif c > hi:
+                deltas.append(c - hi)
+            else:
+                deltas.append(0.0)
+        return self.combine(deltas)
+
+    def maxdist_point_rect(self, p: Point, r: Rect) -> float:
+        """Distance from ``p`` to the farthest point of ``r``."""
+        p.check_dim(r.dim)
+        deltas = [
+            max(abs(c - lo), abs(c - hi))
+            for c, lo, hi in zip(p.coords, r.lo, r.hi)
+        ]
+        return self.combine(deltas)
+
+    def minmaxdist_point_rect(self, p: Point, r: Rect) -> float:
+        """Roussopoulos MINMAXDIST from a point to a minimal bounding rect.
+
+        Upper-bounds the distance from ``p`` to the *object* minimally
+        bounded by ``r``: the object touches every face of ``r``, so
+        for each dimension ``k`` there is an object point on the nearer
+        ``k``-face; its other coordinates are at worst at the far side.
+        The bound is the minimum over ``k`` of that worst case.
+        """
+        p.check_dim(r.dim)
+        dim = r.dim
+        near_face = []
+        far_side = []
+        for c, lo, hi in zip(p.coords, r.lo, r.hi):
+            mid = (lo + hi) / 2.0
+            near_face.append(abs(c - (lo if c <= mid else hi)))
+            far_side.append(abs(c - (lo if c >= mid else hi)))
+        best = _INF
+        for k in range(dim):
+            deltas = far_side[:]
+            deltas[k] = near_face[k]
+            value = self.combine(deltas)
+            if value < best:
+                best = value
+        return best
+
+    # ------------------------------------------------------------------
+    # rect/rect
+    # ------------------------------------------------------------------
+
+    def mindist_rect_rect(self, r1: Rect, r2: Rect) -> float:
+        """Smallest distance between any points of ``r1`` and ``r2``."""
+        if r1.dim != r2.dim:
+            raise DimensionMismatchError(r1.dim, r2.dim)
+        deltas = []
+        for a_lo, a_hi, b_lo, b_hi in zip(r1.lo, r1.hi, r2.lo, r2.hi):
+            if a_hi < b_lo:
+                deltas.append(b_lo - a_hi)
+            elif b_hi < a_lo:
+                deltas.append(a_lo - b_hi)
+            else:
+                deltas.append(0.0)
+        return self.combine(deltas)
+
+    def maxdist_rect_rect(self, r1: Rect, r2: Rect) -> float:
+        """Largest distance between any points of ``r1`` and ``r2``."""
+        if r1.dim != r2.dim:
+            raise DimensionMismatchError(r1.dim, r2.dim)
+        deltas = [
+            max(a_hi - b_lo, b_hi - a_lo)
+            for a_lo, a_hi, b_lo, b_hi in zip(r1.lo, r1.hi, r2.lo, r2.hi)
+        ]
+        return self.combine(deltas)
+
+    def minmaxdist_rect_rect(self, r1: Rect, r2: Rect) -> float:
+        """MINMAXDIST between two *minimal* object bounding rectangles.
+
+        Upper-bounds the minimum distance between the two bounded
+        objects.  Both objects touch every face of their rectangle, so
+        for any dimension ``k`` there are object points on some pair of
+        ``k``-faces whose ``k``-separation is the smallest face-to-face
+        gap, while every other coordinate differs by at most the
+        ``maxdist`` component.  Taking the minimum over ``k`` yields a
+        valid (and usually much tighter than ``maxdist``) upper bound.
+        """
+        if r1.dim != r2.dim:
+            raise DimensionMismatchError(r1.dim, r2.dim)
+        dim = r1.dim
+        face_gap = []
+        max_comp = []
+        for a_lo, a_hi, b_lo, b_hi in zip(r1.lo, r1.hi, r2.lo, r2.hi):
+            face_gap.append(
+                min(
+                    abs(a_lo - b_lo),
+                    abs(a_lo - b_hi),
+                    abs(a_hi - b_lo),
+                    abs(a_hi - b_hi),
+                )
+            )
+            max_comp.append(max(a_hi - b_lo, b_hi - a_lo))
+        best = _INF
+        for k in range(dim):
+            deltas = max_comp[:]
+            deltas[k] = face_gap[k]
+            value = self.combine(deltas)
+            if value < best:
+                best = value
+        return best
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class MinkowskiMetric(Metric):
+    """The ``L_p`` family of metrics, including ``p = inf`` (Chessboard).
+
+    Parameters
+    ----------
+    p:
+        The Minkowski order.  ``1`` gives Manhattan, ``2`` Euclidean,
+        ``float('inf')`` Chessboard.  Any ``p >= 1`` is accepted.
+    """
+
+    def __init__(self, p: float) -> None:
+        if not (p >= 1.0):
+            raise ValueError(f"Minkowski order must be >= 1, got {p!r}")
+        self.p = float(p)
+        if self.p == 1.0:
+            self.name = "manhattan"
+        elif self.p == 2.0:
+            self.name = "euclidean"
+        elif math.isinf(self.p):
+            self.name = "chessboard"
+        else:
+            self.name = f"minkowski-{self.p:g}"
+
+    def combine(self, deltas: Sequence[float]) -> float:
+        p = self.p
+        if math.isinf(p):
+            return max(deltas) if deltas else 0.0
+        if p == 2.0:
+            return math.hypot(*deltas)
+        if p == 1.0:
+            return sum(deltas)
+        return sum(d**p for d in deltas) ** (1.0 / p)
+
+    def distance(self, p1: Point, p2: Point) -> float:
+        if self.p == 2.0:
+            # math.dist is C-implemented and checks dimensions itself.
+            return math.dist(p1.coords, p2.coords)
+        return super().distance(p1, p2)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MinkowskiMetric):
+            return NotImplemented
+        return self.p == other.p
+
+    def __hash__(self) -> int:
+        return hash(("minkowski", self.p))
+
+
+#: The Euclidean (L2) metric -- the paper's experiments use this.
+EUCLIDEAN = MinkowskiMetric(2.0)
+
+#: The Manhattan / city-block (L1) metric.
+MANHATTAN = MinkowskiMetric(1.0)
+
+#: The Chessboard / maximum (L-infinity) metric.
+CHESSBOARD = MinkowskiMetric(_INF)

@@ -1,0 +1,14 @@
+"""A PR bucket quadtree substrate.
+
+The paper's algorithms "work for any spatial data structure based on a
+hierarchical decomposition" (Section 2.2) and discuss quadtrees as the
+canonical *unbalanced* case (Section 2.2.2).  This package provides a
+point-region bucket quadtree that speaks the same node/entry protocol
+as the R-trees, so :class:`repro.core.IncrementalDistanceJoin` and the
+semi-join run on it unchanged -- including R-tree-to-quadtree joins.
+"""
+
+from repro.quadtree.prquadtree import PRQuadtree
+from repro.quadtree.validate import validate_quadtree
+
+__all__ = ["PRQuadtree", "validate_quadtree"]

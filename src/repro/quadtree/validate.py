@@ -1,0 +1,82 @@
+"""Structural invariant checking for the PR quadtree."""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.errors import TreeInvariantError
+from repro.quadtree.prquadtree import PRQuadtree, QuadNode
+
+
+def validate_quadtree(tree: PRQuadtree) -> None:
+    """Raise :class:`TreeInvariantError` on any violated invariant:
+
+    1. every stored point lies inside its leaf's region;
+    2. every child region is the correct quadrant of its parent;
+    3. leaf buckets respect the capacity (unless at max depth);
+    4. each node's ``level`` equals its height;
+    5. the recorded size matches the number of stored points;
+    6. page ids are unique and reachable pages are allocated.
+    """
+    seen: Set[int] = set()
+    count, __ = _validate(tree, tree.root_id, depth=0, seen=seen)
+    if count != tree.size:
+        raise TreeInvariantError(
+            f"tree.size is {tree.size} but {count} points found"
+        )
+
+
+def _validate(tree: PRQuadtree, page_id: int, depth: int, seen: Set[int]):
+    if page_id in seen:
+        raise TreeInvariantError(f"page {page_id} reachable twice")
+    seen.add(page_id)
+    if not tree.store.exists(page_id):
+        raise TreeInvariantError(f"page {page_id} is not allocated")
+    node: QuadNode = tree._raw(page_id)
+
+    if node.is_leaf:
+        if (
+            len(node.points) > tree.bucket_capacity
+            and depth < tree.max_depth
+        ):
+            raise TreeInvariantError(
+                f"leaf {page_id} overflows: {len(node.points)} > "
+                f"{tree.bucket_capacity} above max depth"
+            )
+        for __, point in node.points:
+            if not node.region.contains_point(point):
+                raise TreeInvariantError(
+                    f"point {point!r} outside leaf region "
+                    f"{node.region!r}"
+                )
+        if node.level != 0:
+            raise TreeInvariantError(
+                f"leaf {page_id} has level {node.level}, expected 0"
+            )
+        return len(node.points), 0
+
+    assert node.children is not None
+    count = 0
+    max_child_level = -1
+    for index, child_id in enumerate(node.children):
+        if child_id is None:
+            continue
+        child = tree._raw(child_id)
+        expected_region = tree._quadrant_region(node.region, index)
+        if child.region != expected_region:
+            raise TreeInvariantError(
+                f"child {child_id} region {child.region!r} is not "
+                f"quadrant {index} of {node.region!r}"
+            )
+        child_count, child_level = _validate(
+            tree, child_id, depth + 1, seen
+        )
+        count += child_count
+        max_child_level = max(max_child_level, child_level)
+    expected_level = max_child_level + 1
+    if node.level != expected_level:
+        raise TreeInvariantError(
+            f"node {page_id} level {node.level} != height "
+            f"{expected_level}"
+        )
+    return count, node.level

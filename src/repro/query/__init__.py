@@ -1,0 +1,40 @@
+"""A miniature SQL dialect for the paper's Figure 1 queries.
+
+The paper defines the distance join and distance semi-join in SQL-92
+syntax extended with the ``STOP AFTER`` clause of Carey & Kossmann.
+This package implements exactly that surface: a lexer, a
+recursive-descent parser producing a small AST, and an executor that
+plans the query onto the incremental join iterators -- so ``STOP
+AFTER n`` really does stop the pipeline after ``n`` tuples instead of
+computing everything.
+
+Example
+-------
+>>> from repro.query import Database
+>>> from repro.geometry import Point
+>>> db = Database()
+>>> _ = db.create_relation("stores", [Point((0, 0)), Point((5, 5))])
+>>> _ = db.create_relation("warehouses", [Point((1, 0)), Point((9, 9))])
+>>> rows = list(db.execute(
+...     "SELECT *, MIN(d) FROM stores, warehouses, "
+...     "DISTANCE(stores.geom, warehouses.geom) AS d "
+...     "GROUP BY stores.geom ORDER BY d"
+... ))
+>>> [round(r.d, 3) for r in rows]
+[1.0, 5.657]
+"""
+
+from repro.query.ast_nodes import Comparison, Query
+from repro.query.executor import Database, Row
+from repro.query.lexer import Token, tokenize
+from repro.query.parser import parse
+
+__all__ = [
+    "Database",
+    "Row",
+    "Query",
+    "Comparison",
+    "parse",
+    "tokenize",
+    "Token",
+]

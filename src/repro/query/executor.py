@@ -1,0 +1,523 @@
+"""Executor: plans parsed queries onto the incremental join iterators.
+
+The executor is intentionally a *pipeline*: :meth:`Database.execute`
+returns a generator backed directly by an incremental join, so a
+consumer that stops early (or a ``STOP AFTER n`` clause) costs only the
+incremental work -- the property the paper's algorithms exist to
+provide.
+
+Attribute predicates (``WHERE cities.pop > 5000000``) implement the
+paper's Sections 1 and 5 discussion, including its two query plans:
+
+1. **pipeline** -- run the incremental join on the full indexes and
+   filter candidate pairs as they flow (via the join's ``pair_filter``
+   hook, so non-qualifying objects never even enter the queue);
+2. **prefilter** -- materialize the qualifying subset of a relation,
+   build a temporary index over it, and join that (the paper: best
+   when the predicate is highly selective, at the price of an index
+   build before the first result).
+
+``strategy="auto"`` (the default) prices both plans with the
+Section 5 cost model and picks the cheaper one; ``EXPLAIN`` shows the
+choice and both estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.core.distance_join import IncrementalDistanceJoin
+from repro.core.pairs import NODE, Pair
+from repro.core.reverse import ReverseDistanceJoin, ReverseDistanceSemiJoin
+from repro.core.semi_join import IncrementalDistanceSemiJoin
+from repro.errors import QueryError
+from repro.geometry.metrics import EUCLIDEAN, Metric
+from repro.geometry.point import Point
+from repro.query.ast_nodes import Query
+from repro.query.costmodel import JoinCostModel, estimate_build_cost
+from repro.query.parser import parse
+from repro.rtree.base import RTreeBase
+from repro.rtree.bulk import bulk_load_str
+from repro.rtree.rstar import RStarTree
+from repro.util.counters import CounterRegistry
+from repro.util.validation import require
+
+_INF = float("inf")
+
+STRATEGIES = ("auto", "pipeline", "prefilter")
+
+
+class Row(NamedTuple):
+    """One output tuple of a distance (semi-)join query."""
+
+    d: float
+    oid1: int
+    geom1: Any
+    oid2: int
+    geom2: Any
+
+
+class PlanExplanation(NamedTuple):
+    """Output of :meth:`Database.explain`."""
+
+    operator: str
+    strategy: str
+    relation1: str
+    relation2: str
+    outer_size: int
+    inner_size: int
+    min_distance: float
+    max_distance: float
+    stop_after: Optional[int]
+    selectivity1: float
+    selectivity2: float
+    estimated_result_pairs: float
+    estimated_node_io: float
+    estimated_dist_calcs: float
+    estimated_cost: float
+    pipeline_cost: float
+    prefilter_cost: float
+
+    def pretty(self) -> str:
+        """A human-readable plan description."""
+        bound = (
+            f"STOP AFTER {self.stop_after}"
+            if self.stop_after is not None else "unbounded"
+        )
+        lines = [
+            f"{self.operator}({self.relation1}[{self.outer_size:,}], "
+            f"{self.relation2}[{self.inner_size:,}])",
+            f"  strategy: {self.strategy}",
+            f"  distance range: [{self.min_distance:g}, "
+            f"{self.max_distance:g}], {bound}",
+        ]
+        if self.selectivity1 < 1.0 or self.selectivity2 < 1.0:
+            lines.append(
+                f"  predicate selectivity: "
+                f"{self.relation1}={self.selectivity1:.3f}, "
+                f"{self.relation2}={self.selectivity2:.3f}"
+            )
+            lines.append(
+                f"  plan costs: pipeline={self.pipeline_cost:,.0f}, "
+                f"prefilter={self.prefilter_cost:,.0f}"
+            )
+        lines += [
+            f"  est. result pairs: {self.estimated_result_pairs:,.0f}",
+            f"  est. node I/O:     {self.estimated_node_io:,.0f}",
+            f"  est. dist. calcs:  {self.estimated_dist_calcs:,.0f}",
+            f"  est. cost:         {self.estimated_cost:,.0f}",
+        ]
+        return "\n".join(lines)
+
+
+class Database:
+    """A tiny spatial database: named relations over R*-trees.
+
+    Parameters
+    ----------
+    metric:
+        Point metric used for all distance terms.
+    counters:
+        Shared performance-counter registry (one is created if
+        omitted) -- handy for inspecting what a query cost.
+    """
+
+    def __init__(
+        self,
+        metric: Metric = EUCLIDEAN,
+        counters: Optional[CounterRegistry] = None,
+    ) -> None:
+        self.metric = metric
+        self.counters = counters if counters is not None else CounterRegistry()
+        self._relations: Dict[str, RTreeBase] = {}
+        self._attributes: Dict[str, Dict[str, List[float]]] = {}
+
+    # ------------------------------------------------------------------
+    # schema
+    # ------------------------------------------------------------------
+
+    def create_relation(
+        self,
+        name: str,
+        data: Union[RTreeBase, Sequence[Any]],
+        bulk: bool = True,
+        attributes: Optional[Dict[str, Sequence[float]]] = None,
+        **tree_kwargs: Any,
+    ) -> RTreeBase:
+        """Register a relation.
+
+        ``data`` is either an existing R-tree or a sequence of spatial
+        objects (Points, Rects, shapes), which is indexed here --
+        bulk-loaded by default, by repeated insertion with
+        ``bulk=False``.  ``attributes`` maps attribute names to value
+        sequences aligned with the objects' ids (insertion order).
+        """
+        if name in self._relations:
+            raise QueryError(f"relation {name!r} already exists")
+        if isinstance(data, RTreeBase):
+            tree = data
+        elif bulk:
+            tree_kwargs.setdefault("counters", self.counters)
+            tree = bulk_load_str(list(data), **tree_kwargs)
+        else:
+            tree_kwargs.setdefault("counters", self.counters)
+            sample = data[0] if data else Point((0.0, 0.0))
+            dim = sample.dim if isinstance(sample, Point) else (
+                sample.mbr().dim if hasattr(sample, "mbr") else 2
+            )
+            tree_kwargs.setdefault("dim", dim)
+            tree = RStarTree(**tree_kwargs)
+            for obj in data:
+                tree.insert(obj=obj)
+        if attributes:
+            for attr_name, values in attributes.items():
+                if len(values) != len(tree):
+                    raise QueryError(
+                        f"attribute {attr_name!r} has {len(values)} "
+                        f"values for {len(tree)} objects"
+                    )
+            self._attributes[name] = {
+                attr_name: list(values)
+                for attr_name, values in attributes.items()
+            }
+        self._relations[name] = tree
+        return tree
+
+    def drop_relation(self, name: str) -> None:
+        """Remove a relation from the catalog."""
+        if name not in self._relations:
+            raise QueryError(f"relation {name!r} does not exist")
+        del self._relations[name]
+        self._attributes.pop(name, None)
+
+    def relation(self, name: str) -> RTreeBase:
+        """Look up a relation's index."""
+        tree = self._relations.get(name)
+        if tree is None:
+            raise QueryError(f"relation {name!r} does not exist")
+        return tree
+
+    def relations(self) -> List[str]:
+        """Names of all registered relations."""
+        return sorted(self._relations)
+
+    def attribute(self, relation: str, name: str) -> List[float]:
+        """The stored values of one attribute (indexed by oid)."""
+        values = self._attributes.get(relation, {}).get(name)
+        if values is None:
+            raise QueryError(
+                f"relation {relation!r} has no attribute {name!r}"
+            )
+        return values
+
+    # ------------------------------------------------------------------
+    # predicate machinery
+    # ------------------------------------------------------------------
+
+    def _matcher(
+        self, query: Query, relation: str
+    ) -> Tuple[Optional[Callable[[int], bool]], float]:
+        """An oid predicate and its selectivity for one relation."""
+        predicates = [
+            p for p in query.attribute_predicates
+            if p.relation == relation
+        ]
+        if not predicates:
+            return None, 1.0
+        columns = [
+            (self.attribute(relation, p.attribute), p)
+            for p in predicates
+        ]
+
+        def matches(oid: int) -> bool:
+            return all(p.matches(col[oid]) for col, p in columns)
+
+        size = len(self.relation(relation))
+        selectivity = (
+            sum(1 for oid in range(size) if matches(oid)) / size
+            if size else 1.0
+        )
+        return matches, selectivity
+
+    def _pair_filter(
+        self,
+        match1: Optional[Callable[[int], bool]],
+        match2: Optional[Callable[[int], bool]],
+    ) -> Optional[Callable[[Pair], bool]]:
+        if match1 is None and match2 is None:
+            return None
+
+        def keep(pair: Pair) -> bool:
+            if (
+                match1 is not None
+                and pair.item1.kind != NODE
+                and not match1(pair.item1.oid)
+            ):
+                return False
+            if (
+                match2 is not None
+                and pair.item2.kind != NODE
+                and not match2(pair.item2.oid)
+            ):
+                return False
+            return True
+
+        return keep
+
+    @staticmethod
+    def _filtered_tree(
+        tree: RTreeBase, matches: Callable[[int], bool]
+    ) -> Tuple[RTreeBase, List[int]]:
+        """Materialize the qualifying subset into a temporary index;
+        returns the tree and the new-oid -> original-oid mapping."""
+        kept = sorted(
+            (entry.oid, entry.obj if entry.obj is not None else entry.rect)
+            for entry in tree.items()
+            if matches(entry.oid)
+        )
+        mapping = [oid for oid, __ in kept]
+        objects = [obj for __, obj in kept]
+        sub_tree = bulk_load_str(
+            objects, max_entries=tree.max_entries, dim=tree.dim,
+            counters=tree.counters,
+        )
+        return sub_tree, mapping
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+
+    def _choose_strategy(
+        self,
+        query: Query,
+        tree1: RTreeBase,
+        tree2: RTreeBase,
+        selectivity1: float,
+        selectivity2: float,
+    ) -> Tuple[str, float, float]:
+        """Price the two Section 5 plans; returns (choice, cost_pipe,
+        cost_prefilter)."""
+        __, dmax = query.distance_bounds()
+        model = JoinCostModel(tree1, tree2)
+        pair_selectivity = selectivity1 * selectivity2
+        # Pipeline: the join must surface enough raw pairs that the
+        # qualifying subset reaches the requested count.
+        raw_pairs = None
+        if query.stop_after is not None and pair_selectivity > 0:
+            raw_pairs = int(
+                math.ceil(query.stop_after / pair_selectivity)
+            )
+        pipeline = model.estimate(
+            max_distance=dmax,
+            max_pairs=raw_pairs,
+            semi_join=query.is_semi_join,
+        ).total_cost()
+        # Prefilter: pay the index builds, then join the small inputs.
+        scaled = model.scaled(selectivity1, selectivity2)
+        build = 0.0
+        if selectivity1 < 1.0:
+            build += estimate_build_cost(
+                int(len(tree1) * selectivity1), tree1.max_entries
+            )
+        if selectivity2 < 1.0:
+            build += estimate_build_cost(
+                int(len(tree2) * selectivity2), tree2.max_entries
+            )
+        prefilter = build + scaled.estimate(
+            max_distance=dmax,
+            max_pairs=query.stop_after,
+            semi_join=query.is_semi_join,
+        ).total_cost()
+        choice = "prefilter" if prefilter < pipeline else "pipeline"
+        return choice, pipeline, prefilter
+
+    def _operator(self, query: Query) -> type:
+        if query.is_semi_join:
+            return (
+                ReverseDistanceSemiJoin if query.descending
+                else IncrementalDistanceSemiJoin
+            )
+        return (
+            ReverseDistanceJoin if query.descending
+            else IncrementalDistanceJoin
+        )
+
+    def _build_execution(
+        self, query: Query, strategy: str = "auto", **join_kwargs: Any
+    ) -> Tuple[IncrementalDistanceJoin, Optional[List[int]],
+               Optional[List[int]]]:
+        """The join iterator plus oid remappings (None = identity)."""
+        require(strategy in STRATEGIES,
+                f"strategy must be one of {STRATEGIES}")
+        tree1 = self.relation(query.relation1)
+        tree2 = self.relation(query.relation2)
+        match1, selectivity1 = self._matcher(query, query.relation1)
+        match2, selectivity2 = self._matcher(query, query.relation2)
+
+        if strategy == "auto":
+            if match1 is None and match2 is None:
+                strategy = "pipeline"
+            else:
+                strategy, __, ___ = self._choose_strategy(
+                    query, tree1, tree2, selectivity1, selectivity2
+                )
+
+        dmin, dmax = query.distance_bounds()
+        kwargs: Dict[str, Any] = dict(
+            metric=self.metric,
+            min_distance=dmin,
+            max_distance=dmax,
+            max_pairs=query.stop_after,
+            counters=self.counters,
+        )
+        kwargs.update(join_kwargs)
+        operator = self._operator(query)
+
+        mapping1: Optional[List[int]] = None
+        mapping2: Optional[List[int]] = None
+        if strategy == "prefilter":
+            if match1 is not None:
+                tree1, mapping1 = self._filtered_tree(tree1, match1)
+            if match2 is not None:
+                tree2, mapping2 = self._filtered_tree(tree2, match2)
+        else:
+            pair_filter = self._pair_filter(match1, match2)
+            if pair_filter is not None:
+                kwargs.setdefault("pair_filter", pair_filter)
+        join = operator(tree1, tree2, **kwargs)
+        return join, mapping1, mapping2
+
+    def plan(
+        self, query: Query, strategy: str = "auto", **join_kwargs: Any
+    ) -> IncrementalDistanceJoin:
+        """Build the join iterator for ``query`` (the "query plan").
+
+        Note: for prefilter plans the iterator's oids refer to the
+        temporary filtered indexes; use :meth:`execute_query` to get
+        rows with original object ids.
+        """
+        join, __, ___ = self._build_execution(
+            query, strategy=strategy, **join_kwargs
+        )
+        return join
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def execute(
+        self, sql: str, strategy: str = "auto", **join_kwargs: Any
+    ) -> Iterator[Row]:
+        """Parse and execute a query; returns a lazy row iterator.
+
+        Extra keyword arguments are forwarded to the join constructor,
+        so callers can select e.g. ``node_policy`` or ``queue="hybrid"``
+        per query.
+        """
+        return self.execute_query(
+            parse(sql), strategy=strategy, **join_kwargs
+        )
+
+    def execute_query(
+        self, query: Query, strategy: str = "auto", **join_kwargs: Any
+    ) -> Iterator[Row]:
+        """Execute an already parsed :class:`Query`."""
+        join, mapping1, mapping2 = self._build_execution(
+            query, strategy=strategy, **join_kwargs
+        )
+        return self._rows(join, mapping1, mapping2)
+
+    @staticmethod
+    def _rows(
+        join: IncrementalDistanceJoin,
+        mapping1: Optional[List[int]],
+        mapping2: Optional[List[int]],
+    ) -> Iterator[Row]:
+        for result in join:
+            oid1 = mapping1[result.oid1] if mapping1 is not None \
+                else result.oid1
+            oid2 = mapping2[result.oid2] if mapping2 is not None \
+                else result.oid2
+            yield Row(
+                result.distance,
+                oid1, result.obj1,
+                oid2, result.obj2,
+            )
+
+    # ------------------------------------------------------------------
+    # EXPLAIN (cost model; the paper's Section 5 future work)
+    # ------------------------------------------------------------------
+
+    def explain(self, sql: str) -> PlanExplanation:
+        """Describe how a query would execute and what it should cost.
+
+        Nothing is executed; the estimates come from
+        :class:`repro.query.costmodel.JoinCostModel` (uniformity
+        assumptions, see that module).
+        """
+        query = parse(sql)
+        tree1 = self.relation(query.relation1)
+        tree2 = self.relation(query.relation2)
+        dmin, dmax = query.distance_bounds()
+        __, selectivity1 = self._matcher(query, query.relation1)
+        ___, selectivity2 = self._matcher(query, query.relation2)
+        has_predicates = selectivity1 < 1.0 or selectivity2 < 1.0 or (
+            query.attribute_predicates
+        )
+        if has_predicates:
+            strategy, pipeline_cost, prefilter_cost = (
+                self._choose_strategy(
+                    query, tree1, tree2, selectivity1, selectivity2
+                )
+            )
+        else:
+            strategy = "pipeline"
+            model = JoinCostModel(tree1, tree2)
+            pipeline_cost = model.estimate(
+                max_distance=dmax,
+                max_pairs=query.stop_after,
+                semi_join=query.is_semi_join,
+            ).total_cost()
+            prefilter_cost = pipeline_cost
+
+        chosen_model = JoinCostModel(tree1, tree2)
+        if strategy == "prefilter":
+            chosen_model = chosen_model.scaled(
+                selectivity1, selectivity2
+            )
+        estimate = chosen_model.estimate(
+            max_distance=dmax,
+            max_pairs=query.stop_after,
+            semi_join=query.is_semi_join,
+        )
+        return PlanExplanation(
+            operator=self._operator(query).__name__,
+            strategy=strategy,
+            relation1=query.relation1,
+            relation2=query.relation2,
+            outer_size=len(tree1),
+            inner_size=len(tree2),
+            min_distance=dmin,
+            max_distance=dmax,
+            stop_after=query.stop_after,
+            selectivity1=selectivity1,
+            selectivity2=selectivity2,
+            estimated_result_pairs=estimate.result_pairs,
+            estimated_node_io=estimate.node_io,
+            estimated_dist_calcs=estimate.dist_calcs,
+            estimated_cost=min(pipeline_cost, prefilter_cost),
+            pipeline_cost=pipeline_cost,
+            prefilter_cost=prefilter_cost,
+        )

@@ -1,0 +1,90 @@
+"""Tokenizer for the mini SQL dialect."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple
+
+from repro.errors import QuerySyntaxError
+
+#: Token types.
+KEYWORD = "KEYWORD"
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+PUNCT = "PUNCT"
+OP = "OP"
+EOF = "EOF"
+
+KEYWORDS = frozenset({
+    "SELECT", "FROM", "WHERE", "ORDER", "BY", "GROUP", "STOP", "AFTER",
+    "AND", "AS", "ASC", "DESC", "MIN", "DISTANCE", "BETWEEN", "NOT",
+})
+
+_PUNCT_CHARS = {",", "(", ")", "*", "."}
+_OP_STARTS = {"<", ">", "=", "!"}
+
+
+class Token(NamedTuple):
+    """One lexical token: type, normalized text, source position."""
+
+    type: str
+    text: str
+    position: int
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize ``sql``; raises :class:`QuerySyntaxError` on junk."""
+    return list(_tokens(sql))
+
+
+def _tokens(sql: str) -> Iterator[Token]:
+    i = 0
+    length = len(sql)
+    while i < length:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in _PUNCT_CHARS:
+            yield Token(PUNCT, ch, i)
+            i += 1
+            continue
+        if ch in _OP_STARTS:
+            if ch != "=" and i + 1 < length and sql[i + 1] == "=":
+                yield Token(OP, ch + "=", i)
+                i += 2
+            elif ch in ("<", ">", "="):
+                yield Token(OP, ch, i)
+                i += 1
+            else:
+                raise QuerySyntaxError(f"unexpected character {ch!r}", i)
+            continue
+        if ch.isdigit() or (
+            ch == "-" and i + 1 < length and sql[i + 1].isdigit()
+        ):
+            start = i
+            i += 1
+            seen_dot = False
+            while i < length and (
+                sql[i].isdigit()
+                or (sql[i] == "." and not seen_dot)
+                or sql[i] in "eE"
+                or (sql[i] in "+-" and sql[i - 1] in "eE")
+            ):
+                if sql[i] == ".":
+                    seen_dot = True
+                i += 1
+            yield Token(NUMBER, sql[start:i], start)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < length and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield Token(KEYWORD, upper, start)
+            else:
+                yield Token(IDENT, word, start)
+            continue
+        raise QuerySyntaxError(f"unexpected character {ch!r}", i)
+    yield Token(EOF, "", length)

@@ -1,0 +1,50 @@
+"""R-tree substrate: R*-tree, classic R-tree, bulk loading, queries.
+
+The paper presents its algorithms in the context of the R-tree and runs
+all experiments on R*-trees with objects stored directly in the leaves
+(Section 3.1).  This package implements:
+
+- :class:`RStarTree` -- the R*-tree of Beckmann et al. (choose-subtree
+  with overlap minimization, margin-driven split-axis selection, forced
+  reinsertion);
+- :class:`GuttmanRTree` -- the classic R-tree with quadratic split, as a
+  structural baseline;
+- STR bulk loading (:func:`bulk_load_str`);
+- range / point / k-NN queries and the **incremental nearest
+  neighbour** generator (:func:`incremental_nearest`), i.e. the
+  single-tree algorithm the incremental distance join generalizes.
+"""
+
+from repro.rtree.entry import BranchEntry, LeafEntry
+from repro.rtree.node import Node
+from repro.rtree.rstar import RStarTree
+from repro.rtree.guttman import GuttmanRTree
+from repro.rtree.bulk import bulk_load_str
+from repro.rtree.spacefill import bulk_load_curve, hilbert_key_2d, morton_key
+from repro.rtree.stats import TreeQuality, tree_quality
+from repro.rtree.queries import (
+    incremental_nearest,
+    nearest_neighbors,
+    nearest_neighbors_bnb,
+    range_search,
+)
+from repro.rtree.validate import validate_tree
+
+__all__ = [
+    "BranchEntry",
+    "LeafEntry",
+    "Node",
+    "RStarTree",
+    "GuttmanRTree",
+    "bulk_load_str",
+    "bulk_load_curve",
+    "hilbert_key_2d",
+    "morton_key",
+    "TreeQuality",
+    "tree_quality",
+    "range_search",
+    "nearest_neighbors",
+    "nearest_neighbors_bnb",
+    "incremental_nearest",
+    "validate_tree",
+]

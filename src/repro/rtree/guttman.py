@@ -1,0 +1,37 @@
+"""The classic R-tree of Guttman (1984) with quadratic split.
+
+Provided as a structural baseline: the join algorithms run unchanged on
+it, and comparing against the R*-tree shows how much the join benefits
+from the better-clustered index the paper chose.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.geometry.rectangle import Rect
+from repro.rtree.base import RTreeBase
+from repro.rtree.entry import BranchEntry
+from repro.rtree.node import Node
+from repro.rtree.split import quadratic_split
+
+_INF = float("inf")
+
+
+class GuttmanRTree(RTreeBase):
+    """Classic R-tree: ChooseLeaf by minimum area enlargement, quadratic
+    split, no forced reinsertion."""
+
+    def _choose_subtree(self, node: Node, rect: Rect) -> BranchEntry:
+        best = None
+        best_key: Tuple[float, float] = (_INF, _INF)
+        for entry in node.entries:
+            key = (entry.rect.enlargement(rect), entry.rect.area())
+            if key < best_key:
+                best_key = key
+                best = entry
+        assert best is not None
+        return best
+
+    def _split_entries(self, entries) -> Tuple[List, List]:
+        return quadratic_split(entries, self.min_entries)

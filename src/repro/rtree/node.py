@@ -1,0 +1,52 @@
+"""R-tree nodes.
+
+A node is the payload of one storage page.  ``level`` counts from 0 at
+the leaves; a node at level ``L > 0`` holds :class:`BranchEntry` items
+whose children are nodes at level ``L - 1``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.errors import TreeError
+from repro.geometry.rectangle import Rect
+from repro.rtree.entry import BranchEntry, LeafEntry
+
+Entry = Union[LeafEntry, BranchEntry]
+
+
+class Node:
+    """One R-tree node: a level tag and a list of entries.
+
+    The node's region is not stored; it is always recomputed as the
+    union of its entry rectangles (see :meth:`mbr`), which keeps parent
+    keys and child regions consistent by construction.
+    """
+
+    __slots__ = ("page_id", "level", "entries")
+
+    def __init__(self, page_id: int, level: int, entries=None) -> None:
+        self.page_id = page_id
+        self.level = level
+        self.entries: List[Entry] = list(entries) if entries else []
+
+    @property
+    def is_leaf(self) -> bool:
+        """True for level-0 nodes, whose entries are data objects."""
+        return self.level == 0
+
+    def mbr(self) -> Rect:
+        """Minimum bounding rectangle of all entries in the node."""
+        if not self.entries:
+            raise TreeError(f"node {self.page_id} is empty, has no MBR")
+        return Rect.union_of([e.rect for e in self.entries])
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"Node(page={self.page_id}, level={self.level}, "
+            f"entries={len(self.entries)})"
+        )

@@ -1,0 +1,106 @@
+"""The R*-tree of Beckmann, Kriegel, Schneider and Seeger (1990).
+
+This is the index the paper runs all experiments on.  It differs from
+the classic R-tree in three ways, all implemented here:
+
+- *ChooseSubtree* minimizes overlap enlargement at the level above the
+  leaves (and area enlargement higher up);
+- the split picks its axis by minimum margin sum and its distribution
+  by minimum overlap (see :func:`repro.rtree.split.rstar_split`);
+- the first overflow on each level during an insertion triggers
+  *forced reinsertion* of the 30% of entries farthest from the node
+  center instead of an immediate split.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.geometry.rectangle import Rect
+from repro.rtree.base import RTreeBase
+from repro.rtree.entry import BranchEntry
+from repro.rtree.node import Node
+from repro.rtree.split import rstar_split
+
+#: Fraction of entries removed on forced reinsertion (R* paper: 30%).
+REINSERT_FRACTION = 0.3
+
+_INF = float("inf")
+
+
+class RStarTree(RTreeBase):
+    """R*-tree; see :class:`repro.rtree.base.RTreeBase` for parameters."""
+
+    def _choose_subtree(self, node: Node, rect: Rect) -> BranchEntry:
+        entries = node.entries
+        if node.level == 1:
+            # Children are leaves: minimize overlap enlargement, then
+            # area enlargement, then area.
+            best = None
+            best_key: Tuple[float, float, float] = (_INF, _INF, _INF)
+            for entry in entries:
+                enlarged = entry.rect.union(rect)
+                overlap_before = 0.0
+                overlap_after = 0.0
+                for other in entries:
+                    if other is entry:
+                        continue
+                    overlap_before += entry.rect.overlap_area(other.rect)
+                    overlap_after += enlarged.overlap_area(other.rect)
+                key = (
+                    overlap_after - overlap_before,
+                    enlarged.area() - entry.rect.area(),
+                    entry.rect.area(),
+                )
+                if key < best_key:
+                    best_key = key
+                    best = entry
+            assert best is not None
+            return best
+        # Higher levels: minimize area enlargement, then area.
+        best = None
+        best_key2: Tuple[float, float] = (_INF, _INF)
+        for entry in entries:
+            key2 = (entry.rect.enlargement(rect), entry.rect.area())
+            if key2 < best_key2:
+                best_key2 = key2
+                best = entry
+        assert best is not None
+        return best
+
+    def _split_entries(self, entries) -> Tuple[List, List]:
+        return rstar_split(entries, self.min_entries)
+
+    def _handle_overflow(self, node: Node):
+        # Forced reinsertion: once per level per insertion, and never
+        # for the root.
+        if (
+            node.page_id != self.root_id
+            and node.level not in self._reinserted_levels
+        ):
+            self._reinserted_levels.add(node.level)
+            self._force_reinsert(node)
+            return None
+        return self._split_node(node)
+
+    def _force_reinsert(self, node: Node) -> None:
+        """Remove the 30% of entries farthest from the node's center and
+        queue them for reinsertion ("close reinsert": nearest first)."""
+        center = node.mbr().center()
+        reinsert_count = max(1, int(REINSERT_FRACTION * self.max_entries))
+
+        def center_dist(entry) -> float:
+            entry_center = entry.rect.center()
+            return sum(
+                (a - b) ** 2 for a, b in zip(center, entry_center)
+            )
+
+        ranked = sorted(node.entries, key=center_dist, reverse=True)
+        to_reinsert = ranked[:reinsert_count]
+        node.entries = ranked[reinsert_count:]
+        self._write_node(node)
+        self.counters.add("forced_reinserts", len(to_reinsert))
+        # Close reinsert: entries nearest the center are reinserted
+        # first; _pending is a stack, so push farthest first.
+        for entry in to_reinsert:
+            self._pending.append((entry, node.level))

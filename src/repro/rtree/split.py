@@ -1,0 +1,160 @@
+"""Node splitting algorithms: the R* topological split and Guttman's
+quadratic split.
+
+Both functions take the overflowing entry list (``M + 1`` entries) and
+return two entry lists, each holding at least ``min_entries`` items.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import TreeError
+from repro.geometry.rectangle import Rect
+
+_INF = float("inf")
+
+
+def _bounding(entries: Sequence) -> Rect:
+    return Rect.union_of([e.rect for e in entries])
+
+
+def rstar_split(
+    entries: Sequence, min_entries: int
+) -> Tuple[List, List]:
+    """The R*-tree split of Beckmann et al.
+
+    1. *ChooseSplitAxis*: for each axis, sort the entries by lower and
+       by upper rectangle boundary and sum the margins of the bounding
+       rectangles of every legal distribution; pick the axis with the
+       smallest margin sum.
+    2. *ChooseSplitIndex*: along that axis, pick the distribution with
+       minimum overlap between the two groups, breaking ties by minimum
+       total area.
+    """
+    count = len(entries)
+    if count < 2 * min_entries:
+        raise TreeError(
+            f"cannot split {count} entries with min_entries={min_entries}"
+        )
+    dim = entries[0].rect.dim
+    # Number of legal distributions: group 1 takes the first
+    # (min_entries - 1 + k) entries for k = 1 .. count - 2*min_entries + 1
+    # (the R* paper's M - 2m + 2 with count = M + 1 entries).
+    split_count = count - 2 * min_entries + 1
+
+    best_axis = -1
+    best_margin = _INF
+    best_sortings: Tuple[List, List] = ([], [])
+    for axis in range(dim):
+        by_lo = sorted(entries, key=lambda e: (e.rect.lo[axis],
+                                               e.rect.hi[axis]))
+        by_hi = sorted(entries, key=lambda e: (e.rect.hi[axis],
+                                               e.rect.lo[axis]))
+        margin_sum = 0.0
+        for ordering in (by_lo, by_hi):
+            for k in range(split_count):
+                cut = min_entries + k
+                margin_sum += _bounding(ordering[:cut]).margin()
+                margin_sum += _bounding(ordering[cut:]).margin()
+        if margin_sum < best_margin:
+            best_margin = margin_sum
+            best_axis = axis
+            best_sortings = (by_lo, by_hi)
+
+    assert best_axis >= 0
+    best_overlap = _INF
+    best_area = _INF
+    best_groups: Tuple[List, List] = ([], [])
+    for ordering in best_sortings:
+        for k in range(split_count):
+            cut = min_entries + k
+            group1, group2 = ordering[:cut], ordering[cut:]
+            bb1, bb2 = _bounding(group1), _bounding(group2)
+            overlap = bb1.overlap_area(bb2)
+            area = bb1.area() + bb2.area()
+            if overlap < best_overlap or (
+                overlap == best_overlap and area < best_area
+            ):
+                best_overlap = overlap
+                best_area = area
+                best_groups = (list(group1), list(group2))
+    return best_groups
+
+
+def quadratic_split(
+    entries: Sequence, min_entries: int
+) -> Tuple[List, List]:
+    """Guttman's quadratic split, used by the classic R-tree baseline.
+
+    *PickSeeds* chooses the pair of entries wasting the most area when
+    covered together; remaining entries are assigned one by one to the
+    group whose bounding rectangle needs the smaller enlargement
+    (*PickNext* selects the entry with maximal enlargement difference),
+    while guaranteeing both groups reach ``min_entries``.
+    """
+    count = len(entries)
+    if count < 2 * min_entries:
+        raise TreeError(
+            f"cannot split {count} entries with min_entries={min_entries}"
+        )
+    remaining = list(entries)
+
+    # PickSeeds: maximize dead area of the pair's bounding rectangle.
+    worst_waste = -_INF
+    seed_a = seed_b = 0
+    for i in range(count):
+        area_i = remaining[i].rect.area()
+        for j in range(i + 1, count):
+            waste = (
+                remaining[i].rect.union(remaining[j].rect).area()
+                - area_i
+                - remaining[j].rect.area()
+            )
+            if waste > worst_waste:
+                worst_waste = waste
+                seed_a, seed_b = i, j
+
+    group1 = [remaining[seed_a]]
+    group2 = [remaining[seed_b]]
+    for index in sorted((seed_a, seed_b), reverse=True):
+        del remaining[index]
+    bb1 = group1[0].rect
+    bb2 = group2[0].rect
+
+    while remaining:
+        # If one group must take all the rest to reach min_entries, do so.
+        need1 = min_entries - len(group1)
+        need2 = min_entries - len(group2)
+        if need1 >= len(remaining):
+            group1.extend(remaining)
+            remaining = []
+            break
+        if need2 >= len(remaining):
+            group2.extend(remaining)
+            remaining = []
+            break
+
+        # PickNext: entry with the greatest preference for one group.
+        best_index = 0
+        best_diff = -_INF
+        for i, entry in enumerate(remaining):
+            d1 = bb1.union(entry.rect).area() - bb1.area()
+            d2 = bb2.union(entry.rect).area() - bb2.area()
+            diff = abs(d1 - d2)
+            if diff > best_diff:
+                best_diff = diff
+                best_index = i
+        entry = remaining.pop(best_index)
+        d1 = bb1.union(entry.rect).area() - bb1.area()
+        d2 = bb2.union(entry.rect).area() - bb2.area()
+        if d1 < d2 or (d1 == d2 and bb1.area() < bb2.area()) or (
+            d1 == d2 and bb1.area() == bb2.area() and len(group1) <= len(group2)
+        ):
+            group1.append(entry)
+            bb1 = bb1.union(entry.rect)
+        else:
+            group2.append(entry)
+            bb2 = bb2.union(entry.rect)
+
+    return group1, group2

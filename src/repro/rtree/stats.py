@@ -1,0 +1,79 @@
+"""Structural quality metrics for R-trees.
+
+Packing and insertion algorithms are compared by how well their node
+rectangles cluster: sibling overlap and dead space drive every
+query's node-access count.  These metrics feed the packing ablation
+benchmark and give users a way to judge an index before running
+queries on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rtree.base import RTreeBase
+
+
+@dataclass
+class TreeQuality:
+    """Aggregate structural metrics of one R-tree."""
+
+    nodes: int
+    height: int
+    avg_fill: float
+    total_margin: float
+    sibling_overlap: float
+    coverage_ratio: float
+
+    def __str__(self) -> str:
+        return (
+            f"nodes={self.nodes} height={self.height} "
+            f"fill={self.avg_fill:.2f} margin={self.total_margin:.4g} "
+            f"overlap={self.sibling_overlap:.4g} "
+            f"coverage={self.coverage_ratio:.3f}"
+        )
+
+
+def tree_quality(tree: RTreeBase) -> TreeQuality:
+    """Measure ``tree``'s structural quality.
+
+    - ``avg_fill``: mean entries-per-node relative to capacity;
+    - ``total_margin``: summed node-MBR margins (the R* split
+      criterion, aggregated);
+    - ``sibling_overlap``: summed pairwise overlap area between
+      sibling entry rectangles (0 for a perfectly tiled tree);
+    - ``coverage_ratio``: summed leaf-MBR area over the root area
+      (>1 means leaves overlap / re-cover space).
+    """
+    root = tree.root()
+    if not root.entries:
+        return TreeQuality(1, 1, 0.0, 0.0, 0.0, 0.0)
+    root_area = root.mbr().area()
+    nodes = 0
+    fill = 0.0
+    margin = 0.0
+    overlap = 0.0
+    leaf_area = 0.0
+    stack = [tree.root_id]
+    while stack:
+        node = tree.read_node(stack.pop())
+        nodes += 1
+        fill += len(node.entries) / tree.max_entries
+        margin += node.mbr().margin()
+        entries = node.entries
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                overlap += entries[i].rect.overlap_area(entries[j].rect)
+        if node.is_leaf:
+            leaf_area += node.mbr().area()
+        else:
+            for entry in entries:
+                stack.append(entry.child_id)
+    return TreeQuality(
+        nodes=nodes,
+        height=tree.height,
+        avg_fill=fill / nodes,
+        total_margin=margin,
+        sibling_overlap=overlap,
+        coverage_ratio=leaf_area / root_area if root_area else 0.0,
+    )

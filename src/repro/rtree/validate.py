@@ -1,0 +1,96 @@
+"""Structural invariant checking for R-trees.
+
+Used heavily by the test suite (including the property-based tests) to
+certify that every tree produced by insertion, deletion, or bulk
+loading is a legal R-tree:
+
+1. every node except the root holds between ``min_entries`` and
+   ``max_entries`` entries (bulk loading may legally leave one
+   underfull node; see ``allow_underfull``);
+2. every branch entry's rectangle equals the MBR of its child node
+   (tight keys -- this implementation recomputes keys on every update,
+   so containment is required to be exact);
+3. all leaves are at level 0 and all root-to-leaf paths have the same
+   length (balance);
+4. the recorded object count matches the number of leaf entries;
+5. page ids are unique and every reachable node is allocated.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.errors import TreeInvariantError
+from repro.rtree.base import RTreeBase
+
+
+def validate_tree(tree: RTreeBase, allow_underfull: bool = False) -> None:
+    """Raise :class:`TreeInvariantError` on any violated invariant."""
+    root = tree.root()
+    seen_pages: Set[int] = set()
+    underfull_budget = [1 if allow_underfull else 0]
+    object_count = _validate_node(
+        tree, root.page_id, root.level, is_root=True,
+        seen_pages=seen_pages, underfull_budget=underfull_budget,
+    )
+    if object_count != tree.size:
+        raise TreeInvariantError(
+            f"tree.size is {tree.size} but {object_count} leaf entries found"
+        )
+
+
+def _validate_node(
+    tree: RTreeBase,
+    page_id: int,
+    expected_level: int,
+    is_root: bool,
+    seen_pages: Set[int],
+    underfull_budget: list,
+) -> int:
+    if page_id in seen_pages:
+        raise TreeInvariantError(f"page {page_id} reachable twice")
+    seen_pages.add(page_id)
+    if not tree.store.exists(page_id):
+        raise TreeInvariantError(f"page {page_id} is not allocated")
+    node = tree.read_node(page_id)
+
+    if node.level != expected_level:
+        raise TreeInvariantError(
+            f"node {page_id} at level {node.level}, expected "
+            f"{expected_level} (unbalanced tree)"
+        )
+    entry_count = len(node.entries)
+    if entry_count > tree.max_entries:
+        raise TreeInvariantError(
+            f"node {page_id} overfull: {entry_count} > {tree.max_entries}"
+        )
+    if not is_root and entry_count < tree.min_entries:
+        if underfull_budget[0] > 0:
+            underfull_budget[0] -= 1
+        else:
+            raise TreeInvariantError(
+                f"node {page_id} underfull: {entry_count} < "
+                f"{tree.min_entries}"
+            )
+    if is_root and not node.is_leaf and entry_count < 2:
+        raise TreeInvariantError(
+            f"non-leaf root {page_id} has fewer than 2 entries"
+        )
+
+    if node.is_leaf:
+        return entry_count
+
+    object_count = 0
+    for entry in node.entries:
+        child = tree.read_node(entry.child_id)
+        child_mbr = child.mbr()
+        if entry.rect != child_mbr:
+            raise TreeInvariantError(
+                f"entry rect {entry.rect!r} in node {page_id} does not "
+                f"match child {entry.child_id} MBR {child_mbr!r}"
+            )
+        object_count += _validate_node(
+            tree, entry.child_id, expected_level - 1, is_root=False,
+            seen_pages=seen_pages, underfull_budget=underfull_budget,
+        )
+    return object_count

@@ -1,0 +1,15 @@
+"""Simulated disk storage: page store, LRU buffer pool, I/O accounting.
+
+The paper measures *node I/O operations* on a machine with 1 KB R*-tree
+nodes and a 256 KB buffer.  This package reproduces that accounting in
+a platform-independent way: a :class:`PageStore` hands out fixed-size
+pages, a :class:`BufferPool` caches them with LRU replacement, and
+every miss is counted.  No real disk I/O is performed -- the point is
+deterministic, reproducible counting of the same quantity the paper
+reports.
+"""
+
+from repro.storage.pager import Page, PageStore
+from repro.storage.buffer import BufferPool
+
+__all__ = ["Page", "PageStore", "BufferPool"]

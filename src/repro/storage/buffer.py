@@ -1,0 +1,94 @@
+"""An LRU buffer pool over a :class:`repro.storage.pager.PageStore`.
+
+The paper's experimental setup uses 256 KB of buffer space over 1 KB
+nodes, i.e. 256 buffer frames.  Logical reads that hit the pool are
+free; misses are forwarded to the page store (counting a physical read)
+and may evict the least recently used frame.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.storage.pager import Page, PageStore
+from repro.util.counters import CounterRegistry
+from repro.util.validation import require_positive
+
+#: Default number of frames: 256 KB buffer / 1 KB pages, as in the paper.
+DEFAULT_CAPACITY = 256
+
+
+class BufferPool:
+    """Fixed-capacity LRU cache of pages.
+
+    Parameters
+    ----------
+    store:
+        The underlying page store.
+    capacity:
+        Number of page frames.
+    counters:
+        Registry receiving ``buffer_hits`` / ``buffer_misses`` counts.
+        Defaults to the store's registry so a single registry sees the
+        whole storage stack.
+    """
+
+    def __init__(
+        self,
+        store: PageStore,
+        capacity: int = DEFAULT_CAPACITY,
+        counters: Optional[CounterRegistry] = None,
+    ) -> None:
+        require_positive(capacity, "capacity")
+        self.store = store
+        self.capacity = capacity
+        self.counters = counters if counters is not None else store.counters
+        self._frames: "OrderedDict[int, Page]" = OrderedDict()
+
+    def read(self, page_id: int) -> Page:
+        """Logical page read: hit the pool or fall through to the store."""
+        page = self._frames.get(page_id)
+        if page is not None:
+            self._frames.move_to_end(page_id)
+            self.counters.add("buffer_hits")
+            return page
+        self.counters.add("buffer_misses")
+        page = self.store.read(page_id)
+        self._admit(page)
+        return page
+
+    def invalidate(self, page_id: int) -> None:
+        """Drop a page from the pool (e.g. after it is freed)."""
+        self._frames.pop(page_id, None)
+
+    def clear(self) -> None:
+        """Empty the pool (simulates a cold cache)."""
+        self._frames.clear()
+
+    def contains(self, page_id: int) -> bool:
+        """True if the page currently occupies a frame (no LRU effect)."""
+        return page_id in self._frames
+
+    @property
+    def used_frames(self) -> int:
+        """Number of occupied frames."""
+        return len(self._frames)
+
+    def hit_ratio(self) -> float:
+        """Fraction of logical reads served from the pool so far."""
+        hits = self.counters.value("buffer_hits")
+        misses = self.counters.value("buffer_misses")
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def _admit(self, page: Page) -> None:
+        if len(self._frames) >= self.capacity:
+            self._frames.popitem(last=False)
+        self._frames[page.page_id] = page
+
+    def __repr__(self) -> str:
+        return (
+            f"BufferPool(frames={len(self._frames)}/{self.capacity}, "
+            f"hit_ratio={self.hit_ratio():.2f})"
+        )

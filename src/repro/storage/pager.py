@@ -1,0 +1,149 @@
+"""A simulated page store with fixed-size pages and read/write counters.
+
+Pages hold arbitrary Python payloads plus a byte-size estimate so
+capacity constraints (e.g. "R*-tree nodes are 1 KB, fan-out 50") can be
+enforced the way a real pager would.  The store counts physical reads
+and writes; the :class:`repro.storage.buffer.BufferPool` sits on top
+and turns logical reads into physical ones only on cache misses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional
+
+from repro.errors import PageNotFoundError, StorageError
+from repro.util.counters import CounterRegistry
+from repro.util.validation import require_positive
+
+#: Default page size, matching the paper's 1 KB R*-tree nodes.
+DEFAULT_PAGE_SIZE = 1024
+
+
+class Page:
+    """A fixed-capacity page holding a Python payload.
+
+    Attributes
+    ----------
+    page_id:
+        Unique id assigned by the owning :class:`PageStore`.
+    payload:
+        Arbitrary object stored in the page (an R-tree node, a list of
+        serialized pair records, ...).
+    size_bytes:
+        The caller-declared size of the payload; must not exceed the
+        store's page size.
+    """
+
+    __slots__ = ("page_id", "payload", "size_bytes")
+
+    def __init__(self, page_id: int, payload: Any, size_bytes: int) -> None:
+        self.page_id = page_id
+        self.payload = payload
+        self.size_bytes = size_bytes
+
+    def __repr__(self) -> str:
+        return f"Page(id={self.page_id}, size={self.size_bytes})"
+
+
+class PageStore:
+    """Allocates, reads, writes and frees fixed-size pages.
+
+    Parameters
+    ----------
+    page_size:
+        Capacity of each page in (simulated) bytes.
+    counters:
+        Registry receiving ``page_reads`` / ``page_writes`` /
+        ``pages_allocated`` counts.  A private registry is created when
+        omitted.
+    """
+
+    def __init__(
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        counters: Optional[CounterRegistry] = None,
+    ) -> None:
+        require_positive(page_size, "page_size")
+        self.page_size = page_size
+        self.counters = counters if counters is not None else CounterRegistry()
+        self._pages: Dict[int, Page] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+
+    def allocate(self, payload: Any = None, size_bytes: int = 0) -> int:
+        """Create a new page and return its id."""
+        self._check_size(size_bytes)
+        page_id = self._next_id
+        self._next_id += 1
+        self._pages[page_id] = Page(page_id, payload, size_bytes)
+        self.counters.add("pages_allocated")
+        self.counters.add("page_writes")
+        return page_id
+
+    def free(self, page_id: int) -> None:
+        """Release a page; subsequent access raises PageNotFoundError."""
+        if page_id not in self._pages:
+            raise PageNotFoundError(page_id)
+        del self._pages[page_id]
+        self.counters.add("pages_freed")
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+
+    def read(self, page_id: int) -> Page:
+        """Physically read a page (counts one ``page_reads``)."""
+        page = self._pages.get(page_id)
+        if page is None:
+            raise PageNotFoundError(page_id)
+        self.counters.add("page_reads")
+        return page
+
+    def write(self, page_id: int, payload: Any, size_bytes: int) -> None:
+        """Physically overwrite a page (counts one ``page_writes``)."""
+        self._check_size(size_bytes)
+        page = self._pages.get(page_id)
+        if page is None:
+            raise PageNotFoundError(page_id)
+        page.payload = payload
+        page.size_bytes = size_bytes
+        self.counters.add("page_writes")
+
+    def exists(self, page_id: int) -> bool:
+        """True if the page is currently allocated."""
+        return page_id in self._pages
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def page_count(self) -> int:
+        """Number of currently allocated pages."""
+        return len(self._pages)
+
+    def total_bytes(self) -> int:
+        """Sum of declared payload sizes over all allocated pages."""
+        return sum(p.size_bytes for p in self._pages.values())
+
+    def page_ids(self) -> Iterator[int]:
+        """Iterate over the ids of all allocated pages."""
+        return iter(list(self._pages))
+
+    def _check_size(self, size_bytes: int) -> None:
+        if size_bytes < 0:
+            raise StorageError(f"negative payload size: {size_bytes}")
+        if size_bytes > self.page_size:
+            raise StorageError(
+                f"payload of {size_bytes} bytes exceeds page size "
+                f"{self.page_size}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"PageStore(pages={len(self._pages)}, "
+            f"page_size={self.page_size})"
+        )

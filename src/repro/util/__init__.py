@@ -1,0 +1,20 @@
+"""Small general-purpose utilities shared across the library."""
+
+from repro.util.bitset import Bitset
+from repro.util.counters import Counter, CounterRegistry
+from repro.util.validation import (
+    require,
+    require_non_negative,
+    require_positive,
+    require_type,
+)
+
+__all__ = [
+    "Bitset",
+    "Counter",
+    "CounterRegistry",
+    "require",
+    "require_non_negative",
+    "require_positive",
+    "require_type",
+]

@@ -1,0 +1,44 @@
+"""Argument-validation helpers used throughout the library.
+
+These raise built-in exception types (``ValueError``/``TypeError``) so
+they behave like ordinary Python argument checking; library-level error
+conditions use the hierarchy in :mod:`repro.errors` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Type, Union
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: Union[int, float], name: str) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def require_non_negative(value: Union[int, float], name: str) -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def require_type(
+    value: Any,
+    types: Union[Type, Tuple[Type, ...]],
+    name: str,
+) -> None:
+    """Raise ``TypeError`` unless ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        if isinstance(types, tuple):
+            expected = " or ".join(t.__name__ for t in types)
+        else:
+            expected = types.__name__
+        raise TypeError(
+            f"{name} must be {expected}, got {type(value).__name__}"
+        )

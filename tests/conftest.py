@@ -1,0 +1,95 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry.metrics import EUCLIDEAN
+from repro.geometry.point import Point
+from repro.rtree.rstar import RStarTree
+from repro.util.counters import CounterRegistry
+
+
+def make_points(count: int, seed: int, extent: float = 100.0):
+    """Deterministic uniform 2-d points."""
+    rng = random.Random(seed)
+    return [
+        Point((rng.uniform(0, extent), rng.uniform(0, extent)))
+        for __ in range(count)
+    ]
+
+
+def make_tree(points, max_entries: int = 8, counters=None) -> RStarTree:
+    """An R*-tree over ``points`` built by repeated insertion."""
+    tree = RStarTree(dim=2, max_entries=max_entries, counters=counters)
+    for point in points:
+        tree.insert(obj=point)
+    return tree
+
+
+def brute_force_pairs(points_a, points_b, metric=EUCLIDEAN):
+    """All (distance, i, j) triples sorted by distance."""
+    return sorted(
+        (metric.distance(a, b), i, j)
+        for i, a in enumerate(points_a)
+        for j, b in enumerate(points_b)
+    )
+
+
+def brute_force_nn(points_a, points_b, metric=EUCLIDEAN):
+    """oid -> (nn distance, nn index) for each point of A against B."""
+    result = {}
+    for i, a in enumerate(points_a):
+        best = min(
+            (metric.distance(a, b), j) for j, b in enumerate(points_b)
+        )
+        result[i] = best
+    return result
+
+
+@pytest.fixture
+def counters() -> CounterRegistry:
+    return CounterRegistry()
+
+
+@pytest.fixture(scope="module")
+def points_small_a():
+    return make_points(60, seed=11)
+
+
+@pytest.fixture(scope="module")
+def points_small_b():
+    return make_points(80, seed=22)
+
+
+@pytest.fixture(scope="module")
+def small_trees(points_small_a, points_small_b):
+    """A pair of small trees plus their brute-force ground truth."""
+    tree_a = make_tree(points_small_a)
+    tree_b = make_tree(points_small_b)
+    truth = brute_force_pairs(points_small_a, points_small_b)
+    return tree_a, tree_b, truth
+
+
+@pytest.fixture(scope="module")
+def medium_trees():
+    """A pair of medium trees with clustered + uniform mix."""
+    rng = random.Random(99)
+    points_a = make_points(150, seed=5)
+    points_b = []
+    for __ in range(200):
+        if rng.random() < 0.5:
+            cx, cy = rng.choice([(20, 20), (70, 60), (40, 90)])
+            points_b.append(
+                Point((rng.gauss(cx, 4.0), rng.gauss(cy, 4.0)))
+            )
+        else:
+            points_b.append(
+                Point((rng.uniform(0, 100), rng.uniform(0, 100)))
+            )
+    tree_a = make_tree(points_a)
+    tree_b = make_tree(points_b)
+    truth = brute_force_pairs(points_a, points_b)
+    return tree_a, tree_b, points_a, points_b, truth

@@ -1,0 +1,114 @@
+"""Tests for the benchmark harness (workloads, runner, reporting)."""
+
+import pytest
+
+from repro.bench.reporting import format_series, format_table
+from repro.bench.runner import MeasuredRun, consume, run_join
+from repro.bench.workloads import build_tiger_workload, suggest_dt
+from repro.core.distance_join import IncrementalDistanceJoin
+from repro.rtree.validate import validate_tree
+
+
+@pytest.fixture(scope="module")
+def tiny_workload():
+    return build_tiger_workload(scale=0.004, max_entries=8)
+
+
+class TestWorkloads:
+    def test_sizes_scale(self, tiny_workload):
+        assert len(tiny_workload.tree1) == int(37495 * 0.004)
+        assert len(tiny_workload.tree2) == int(200482 * 0.004)
+
+    def test_trees_valid(self, tiny_workload):
+        validate_tree(tiny_workload.tree1, allow_underfull=True)
+        validate_tree(tiny_workload.tree2, allow_underfull=True)
+
+    def test_counters_reset_after_build(self):
+        workload = build_tiger_workload(scale=0.004, max_entries=8)
+        assert workload.counters.value("node_io") == 0
+
+    def test_swapped(self, tiny_workload):
+        swapped = tiny_workload.swapped()
+        assert swapped.tree1 is tiny_workload.tree2
+        assert swapped.tree2 is tiny_workload.tree1
+        assert swapped.counters is tiny_workload.counters
+
+    def test_suggest_dt_positive(self, tiny_workload):
+        assert suggest_dt(tiny_workload) > 0.0
+        assert suggest_dt(tiny_workload, bands=10) > suggest_dt(
+            tiny_workload, bands=1000
+        )
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            build_tiger_workload(scale=0.0)
+        with pytest.raises(ValueError):
+            build_tiger_workload(scale=1.5)
+
+
+class TestRunner:
+    def test_consume_limit(self):
+        assert consume(iter(range(100)), 7) == 7
+        assert consume(iter(range(5)), None) == 5
+        assert consume(iter([]), 3) == 0
+
+    def test_run_join_measures(self, tiny_workload):
+        run = run_join(
+            lambda: IncrementalDistanceJoin(
+                tiny_workload.tree1, tiny_workload.tree2,
+                counters=tiny_workload.counters,
+            ),
+            pairs=20,
+            counters=tiny_workload.counters,
+            label="demo",
+        )
+        assert run.pairs_produced == 20
+        assert run.seconds > 0.0
+        assert run.dist_calcs > 0
+        assert run.max_queue_size > 0
+        assert run.row()["label"] == "demo"
+
+    def test_run_join_resets_counters(self, tiny_workload):
+        tiny_workload.counters.add("dist_calcs", 10_000_000)
+        run = run_join(
+            lambda: IncrementalDistanceJoin(
+                tiny_workload.tree1, tiny_workload.tree2,
+                counters=tiny_workload.counters,
+            ),
+            pairs=1,
+            counters=tiny_workload.counters,
+        )
+        assert run.dist_calcs < 10_000_000
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(
+            [{"a": 1, "b": 2.5}, {"a": 10_000, "b": 0.1}],
+            columns=["a", "b"],
+            title="T",
+        )
+        assert "T" in text
+        assert "10,000" in text
+        assert "2.5" in text
+
+    def test_format_table_missing_cells(self):
+        text = format_table([{"a": 1}], columns=["a", "b"])
+        assert "a" in text and "b" in text
+
+    def test_format_series(self):
+        text = format_series(
+            {"fast": [1.0, 2.0], "slow": [3.0, 4.0]},
+            x_values=[10, 100],
+            x_label="pairs",
+        )
+        lines = text.splitlines()
+        assert "pairs" in lines[0]
+        assert "fast" in lines[0]
+        assert len(lines) == 4
+
+    def test_measured_run_row_keys(self):
+        run = MeasuredRun("x", 1, 1, 0.5)
+        assert set(run.row()) == {
+            "label", "pairs", "time_s", "dist_calcs", "max_queue", "node_io"
+        }

@@ -1,0 +1,126 @@
+"""Unit tests for the bit-string set (the semi-join's S_A)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bitset import Bitset
+
+
+class TestBasics:
+    def test_empty(self):
+        s = Bitset(16)
+        assert len(s) == 0
+        assert 0 not in s
+        assert 15 not in s
+
+    def test_add_and_contains(self):
+        s = Bitset(16)
+        assert s.add(3)
+        assert 3 in s
+        assert 4 not in s
+        assert len(s) == 1
+
+    def test_add_duplicate_returns_false(self):
+        s = Bitset(16)
+        assert s.add(7)
+        assert not s.add(7)
+        assert len(s) == 1
+
+    def test_discard(self):
+        s = Bitset(16)
+        s.add(5)
+        assert s.discard(5)
+        assert 5 not in s
+        assert len(s) == 0
+
+    def test_discard_absent_returns_false(self):
+        s = Bitset(16)
+        assert not s.discard(5)
+
+    def test_clear(self):
+        s = Bitset(16, items=[1, 2, 3])
+        s.clear()
+        assert len(s) == 0
+        assert 2 not in s
+
+    def test_init_items(self):
+        s = Bitset(8, items=[0, 7, 3])
+        assert sorted(s) == [0, 3, 7]
+
+    def test_negative_index_rejected(self):
+        s = Bitset(8)
+        with pytest.raises(ValueError):
+            s.add(-1)
+
+    def test_negative_contains_is_false(self):
+        s = Bitset(8)
+        assert -3 not in s
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Bitset(-1)
+
+
+class TestGrowth:
+    def test_grows_beyond_capacity(self):
+        s = Bitset(8)
+        s.add(1000)
+        assert 1000 in s
+        assert s.capacity >= 1001
+
+    def test_contains_beyond_capacity_is_false(self):
+        s = Bitset(8)
+        assert 1000 not in s
+
+    def test_zero_capacity(self):
+        s = Bitset(0)
+        s.add(0)
+        assert 0 in s
+
+    def test_memory_is_one_bit_per_index(self):
+        s = Bitset(1_000_000)
+        # The paper: 1M elements ~ 122 KB.
+        assert s.memory_bytes() == 125_000
+
+
+class TestIteration:
+    def test_iteration_sorted_by_construction(self):
+        s = Bitset(64, items=[40, 2, 17])
+        assert list(s) == [2, 17, 40]
+
+    def test_repr_small(self):
+        s = Bitset(8, items=[1])
+        assert "1" in repr(s)
+
+
+@given(st.sets(st.integers(min_value=0, max_value=2000)))
+def test_matches_python_set(items):
+    """Property: Bitset behaves exactly like a set of small ints."""
+    s = Bitset(16)
+    for item in items:
+        s.add(item)
+    assert len(s) == len(items)
+    assert sorted(s) == sorted(items)
+    for item in items:
+        assert item in s
+
+
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=500)),
+        max_size=200,
+    )
+)
+def test_add_discard_sequence(ops):
+    """Property: arbitrary add/discard interleavings match a set."""
+    s = Bitset(8)
+    model = set()
+    for is_add, value in ops:
+        if is_add:
+            assert s.add(value) == (value not in model)
+            model.add(value)
+        else:
+            assert s.discard(value) == (value in model)
+            model.discard(value)
+    assert sorted(s) == sorted(model)
+    assert len(s) == len(model)

@@ -1,0 +1,69 @@
+"""Unit tests for the performance-counter registry."""
+
+from repro.util.counters import Counter, CounterRegistry
+
+
+class TestCounter:
+    def test_add_accumulates(self):
+        c = Counter("x")
+        c.add()
+        c.add(4)
+        assert c.value == 5
+
+    def test_peak_tracks_high_water(self):
+        c = Counter("x")
+        c.add(10)
+        assert c.peak == 10
+        c.reset()
+        c.add(3)
+        assert c.peak == 3
+
+    def test_observe_only_updates_peak(self):
+        c = Counter("gauge")
+        c.observe(7)
+        assert c.value == 0
+        assert c.peak == 7
+        c.observe(3)
+        assert c.peak == 7
+
+
+class TestRegistry:
+    def test_auto_creates_counters(self):
+        r = CounterRegistry()
+        r.add("node_io")
+        assert r.value("node_io") == 1
+
+    def test_value_of_unknown_is_zero(self):
+        r = CounterRegistry()
+        assert r.value("nothing") == 0
+        assert r.peak("nothing") == 0
+
+    def test_reset_keeps_counters(self):
+        r = CounterRegistry()
+        r.add("a", 5)
+        r.observe("b", 9)
+        r.reset()
+        assert r.value("a") == 0
+        assert r.peak("b") == 0
+
+    def test_snapshot_is_sorted(self):
+        r = CounterRegistry()
+        r.add("zeta")
+        r.add("alpha", 2)
+        assert list(r.snapshot()) == ["alpha", "zeta"]
+        assert r.snapshot()["alpha"] == 2
+
+    def test_snapshot_peaks(self):
+        r = CounterRegistry()
+        r.observe("queue_size", 42)
+        assert r.snapshot_peaks()["queue_size"] == 42
+
+    def test_iteration_yields_counter_objects(self):
+        r = CounterRegistry()
+        r.add("x")
+        names = [name for name, counter in r]
+        assert names == ["x"]
+
+    def test_same_counter_object_returned(self):
+        r = CounterRegistry()
+        assert r.counter("a") is r.counter("a")

@@ -1,0 +1,124 @@
+"""Tests for the data set generators."""
+
+import pytest
+
+from repro.datasets.synthetic import (
+    gaussian_clusters,
+    grid_points,
+    scale_counts,
+    uniform_points,
+    uniform_rects,
+)
+from repro.datasets.tiger_like import (
+    EXTENT,
+    ROADS_FULL_SIZE,
+    SHARED_POINT,
+    WATER_FULL_SIZE,
+    roads_points,
+    water_points,
+)
+
+
+class TestSynthetic:
+    def test_uniform_deterministic(self):
+        assert uniform_points(50, seed=1) == uniform_points(50, seed=1)
+        assert uniform_points(50, seed=1) != uniform_points(50, seed=2)
+
+    def test_uniform_in_bounds(self):
+        for p in uniform_points(100, seed=3, extent=10.0):
+            assert 0.0 <= p.x <= 10.0
+            assert 0.0 <= p.y <= 10.0
+
+    def test_uniform_dim(self):
+        points = uniform_points(10, seed=4, dim=5)
+        assert all(p.dim == 5 for p in points)
+
+    def test_rects_valid(self):
+        for r in uniform_rects(50, seed=5, extent=100.0, max_side=3.0):
+            assert all(lo <= hi for lo, hi in zip(r.lo, r.hi))
+            assert all(hi - lo <= 3.0 + 1e-9 for lo, hi in zip(r.lo, r.hi))
+
+    def test_gaussian_clusters_are_clustered(self):
+        points = gaussian_clusters(
+            500, seed=6, clusters=3, extent=1000.0, spread=5.0
+        )
+        xs = sorted(p.x for p in points)
+        # With 3 tight blobs, the x-range of the middle 80% of points
+        # is far below the full extent.
+        assert xs[-1] - xs[0] <= 1000.0
+        assert len(points) == 500
+
+    def test_grid_counts(self):
+        assert len(grid_points(4)) == 16
+        assert len(grid_points(3, dim=3)) == 27
+
+    def test_grid_has_ties(self):
+        points = grid_points(3, extent=2.0)
+        xs = {p.x for p in points}
+        assert xs == {0.0, 1.0, 2.0}
+
+    def test_scale_counts(self):
+        assert scale_counts([100, 7], 0.1) == [10, 1]
+        assert scale_counts([5], 0.0001) == [1]
+        with pytest.raises(ValueError):
+            scale_counts([5], 0.0)
+
+
+class TestTigerLike:
+    def test_default_scale_is_one_tenth(self):
+        assert len(water_points()) == WATER_FULL_SIZE // 10
+        assert len(roads_points()) == ROADS_FULL_SIZE // 10
+
+    def test_cardinality_ratio_preserved(self):
+        ratio = ROADS_FULL_SIZE / WATER_FULL_SIZE
+        assert ratio == pytest.approx(5.35, abs=0.1)
+
+    def test_deterministic(self):
+        assert water_points(500) == water_points(500)
+        assert roads_points(500) == roads_points(500)
+
+    def test_in_universe(self):
+        for p in water_points(300) + roads_points(300):
+            assert 0.0 <= p.x <= EXTENT
+            assert 0.0 <= p.y <= EXTENT
+
+    def test_distance_zero_pair_planted(self):
+        water = water_points(100)
+        roads = roads_points(100)
+        assert SHARED_POINT in water
+        assert SHARED_POINT in roads
+
+    def test_roads_are_skewed_not_uniform(self):
+        """Urban clustering: point density varies strongly across a
+        coarse grid (a uniform set would be nearly flat)."""
+        points = roads_points(4000)
+        cells = {}
+        for p in points:
+            key = (int(p.x // (EXTENT / 8)), int(p.y // (EXTENT / 8)))
+            cells[key] = cells.get(key, 0) + 1
+        counts = sorted(cells.values())
+        # Top cell should hold several times the median cell.
+        median = counts[len(counts) // 2]
+        assert counts[-1] > 3 * max(1, median)
+
+    def test_water_is_linear_clustered(self):
+        """River sampling: many points share near-collinear neighbors,
+        so the fraction of occupied coarse cells stays low."""
+        points = water_points(2000)
+        occupied = {
+            (int(p.x // (EXTENT / 30)), int(p.y // (EXTENT / 30)))
+            for p in points
+        }
+        # 2000 uniform points would occupy ~89% of the 900 cells
+        # (1 - e^(-2000/900)); polyline clustering stays well below.
+        assert len(occupied) < 0.70 * 30 * 30
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            water_points(0)
+        with pytest.raises(ValueError):
+            roads_points(-3)
+
+    def test_exact_count(self):
+        assert len(water_points(123)) == 123
+        assert len(roads_points(457)) == 457

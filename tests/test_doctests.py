@@ -1,0 +1,29 @@
+"""Run the doctests embedded in docstrings (they are the first thing a
+reader tries, so they must stay true)."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.heap
+import repro.query
+import repro.util.bitset
+
+MODULES = [
+    repro,
+    repro.util.bitset,
+    repro.core.heap,
+    repro.query,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_doctests(module):
+    failures, tested = doctest.testmod(
+        module, verbose=False, raise_on_error=False
+    )
+    assert tested > 0, f"no doctests collected from {module.__name__}"
+    assert failures == 0

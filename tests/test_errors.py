@@ -1,0 +1,102 @@
+"""Tests for the exception hierarchy contract.
+
+Library users catch ``ReproError`` to get everything this package
+raises; these tests pin that contract and the error-message quality.
+"""
+
+import pytest
+
+from repro.errors import (
+    ConsistencyError,
+    DimensionMismatchError,
+    GeometryError,
+    JoinError,
+    PageNotFoundError,
+    QueryError,
+    QuerySyntaxError,
+    ReproError,
+    RestartRequired,
+    StorageError,
+    TreeError,
+    TreeInvariantError,
+)
+
+LEAVES = [
+    DimensionMismatchError(2, 3),
+    PageNotFoundError(7),
+    TreeInvariantError("x"),
+    QuerySyntaxError("bad", 5),
+    RestartRequired("restart"),
+    ConsistencyError("inconsistent"),
+    GeometryError("geo"),
+    StorageError("store"),
+    TreeError("tree"),
+    QueryError("query"),
+    JoinError("join"),
+]
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for error in LEAVES:
+            assert isinstance(error, ReproError)
+
+    def test_specific_parentage(self):
+        assert isinstance(DimensionMismatchError(2, 3), GeometryError)
+        assert isinstance(PageNotFoundError(1), StorageError)
+        assert isinstance(TreeInvariantError("x"), TreeError)
+        assert isinstance(QuerySyntaxError("x"), QueryError)
+        assert isinstance(RestartRequired("x"), JoinError)
+        assert isinstance(ConsistencyError("x"), JoinError)
+
+    def test_repro_error_is_an_exception(self):
+        with pytest.raises(Exception):
+            raise ReproError("boom")
+
+
+class TestMessages:
+    def test_dimension_mismatch_carries_dims(self):
+        error = DimensionMismatchError(2, 3)
+        assert error.expected == 2
+        assert error.got == 3
+        assert "2" in str(error) and "3" in str(error)
+
+    def test_page_not_found_carries_id(self):
+        error = PageNotFoundError(42)
+        assert error.page_id == 42
+        assert "42" in str(error)
+
+    def test_query_syntax_position(self):
+        error = QuerySyntaxError("unexpected", 17)
+        assert error.position == 17
+        assert "position 17" in str(error)
+
+    def test_query_syntax_without_position(self):
+        error = QuerySyntaxError("unexpected")
+        assert error.position == -1
+        assert "position" not in str(error)
+
+
+class TestOneCatchGetsAll:
+    def test_geometry_path(self):
+        from repro.geometry.rectangle import Rect
+        with pytest.raises(ReproError):
+            Rect((1, 0), (0, 1))
+
+    def test_storage_path(self):
+        from repro.storage.pager import PageStore
+        with pytest.raises(ReproError):
+            PageStore().read(99)
+
+    def test_query_path(self):
+        from repro.query.parser import parse
+        with pytest.raises(ReproError):
+            parse("SELECT banana")
+
+    def test_join_path(self):
+        from repro.core.distance_join import IncrementalDistanceJoin
+        from repro.rtree.rstar import RStarTree
+        with pytest.raises(ReproError):
+            IncrementalDistanceJoin(
+                RStarTree(dim=2), RStarTree(dim=3)
+            )

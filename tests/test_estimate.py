@@ -1,0 +1,159 @@
+"""Unit tests for the maximum-distance estimators (Section 2.2.4/2.3)."""
+
+from repro.core.estimate import JoinEstimator, SemiJoinEstimator
+from repro.core.pairs import NODE, OBJ, Item, Pair
+from repro.geometry.rectangle import Rect
+from repro.util.counters import CounterRegistry
+
+INF = float("inf")
+R = Rect((0, 0), (1, 1))
+
+
+def node_pair(id1, id2, distance=0.0):
+    return Pair(
+        Item(NODE, R, node_id=id1, level=1),
+        Item(NODE, R, node_id=id2, level=1),
+        distance,
+    )
+
+
+def obj_pair(o1, o2, distance=0.0):
+    return Pair(
+        Item(OBJ, R, oid=o1),
+        Item(OBJ, R, oid=o2),
+        distance,
+    )
+
+
+class TestJoinEstimator:
+    def make(self, k, dmin=0.0, dmax=INF):
+        return JoinEstimator(k, dmin, dmax, CounterRegistry())
+
+    def test_no_trim_below_k(self):
+        est = self.make(k=100)
+        est.offer(node_pair(1, 2), 0.0, 10.0, 50)
+        assert est.current_dmax == INF
+        assert not est.trimmed
+
+    def test_trims_when_counts_exceed_k(self):
+        est = self.make(k=10)
+        est.offer(node_pair(1, 2), 0.0, 5.0, 8)
+        est.offer(node_pair(3, 4), 0.0, 9.0, 8)
+        # 16 >= 10 even without the 9.0 pair -> Dmax drops to 9.0... no:
+        # removing the 9.0 pair leaves 8 < 10, so nothing is evicted yet.
+        assert est.current_dmax == INF
+        est.offer(node_pair(5, 6), 0.0, 7.0, 8)
+        # total 24; evicting the largest (9.0, count 8) leaves 16 >= 10.
+        assert est.current_dmax == 9.0
+        assert est.trimmed
+
+    def test_trim_cascades(self):
+        est = self.make(k=1)
+        est.offer(node_pair(1, 2), 0.0, 5.0, 10)
+        est.offer(node_pair(3, 4), 0.0, 3.0, 10)
+        # Evicting 5.0 leaves 10 >= 1; evicting 3.0 would leave 0 < 1.
+        assert est.current_dmax == 5.0
+        assert est.tracked_pairs == 1
+
+    def test_ineligible_when_dmax_exceeds_current(self):
+        est = self.make(k=1, dmax=4.0)
+        est.offer(node_pair(1, 2), 0.0, 9.0, 100)
+        assert est.tracked_pairs == 0
+
+    def test_ineligible_when_below_dmin(self):
+        est = self.make(k=1, dmin=2.0)
+        est.offer(node_pair(1, 2), 1.0, 3.0, 100)
+        assert est.tracked_pairs == 0
+
+    def test_dequeue_removes_pair(self):
+        est = self.make(k=5)
+        pair = node_pair(1, 2)
+        est.offer(pair, 0.0, 5.0, 4)
+        est.on_dequeue(pair)
+        assert est.tracked_pairs == 0
+        assert est.tracked_total == 0
+
+    def test_dequeue_of_untracked_pair_is_noop(self):
+        est = self.make(k=5)
+        est.on_dequeue(node_pair(8, 9))
+        assert est.tracked_total == 0
+
+    def test_report_decrements_k_and_retrims(self):
+        est = self.make(k=2)
+        est.offer(node_pair(1, 2), 0.0, 5.0, 2)
+        est.offer(node_pair(3, 4), 0.0, 8.0, 2)
+        # total 4; evicting 8.0 leaves 2 >= 2 -> Dmax = 8.
+        assert est.current_dmax == 8.0
+        est.on_report()  # k = 1
+        # Now evicting 5.0 would leave 0 < 1, so 5.0 stays.
+        assert est.current_dmax == 8.0
+        est.offer(node_pair(5, 6), 0.0, 4.0, 2)
+        # total 4; evicting 5.0 leaves 2 >= 1 -> Dmax = 5.
+        assert est.current_dmax == 5.0
+
+    def test_dmax_never_increases(self):
+        est = self.make(k=1)
+        est.offer(node_pair(1, 2), 0.0, 5.0, 10)
+        first = est.current_dmax
+        est.offer(node_pair(3, 4), 0.0, 50.0, 10)
+        assert est.current_dmax <= first
+
+
+class TestSemiJoinEstimator:
+    def make(self, k, dmin=0.0, dmax=INF):
+        return SemiJoinEstimator(k, dmin, dmax, CounterRegistry())
+
+    def test_unique_first_item_keeps_tighter(self):
+        est = self.make(k=100)
+        est.offer(node_pair(1, 2), 0.0, 9.0, 5)
+        est.offer(node_pair(1, 3), 0.0, 4.0, 5)  # same first item, tighter
+        assert est.tracked_pairs == 1
+        assert est.tracked_total == 5
+        est.offer(node_pair(1, 4), 0.0, 7.0, 5)  # looser: ignored
+        assert est.tracked_pairs == 1
+
+    def test_counts_only_first_subtree(self):
+        est = self.make(k=4)
+        est.offer(node_pair(1, 2), 0.0, 5.0, 3)
+        est.offer(node_pair(2, 3), 0.0, 8.0, 3)
+        # total 6; evicting 8.0 leaves 3 < 4 -> no trim.
+        assert est.current_dmax == INF
+        est.offer(node_pair(3, 4), 0.0, 6.0, 3)
+        # total 9; evicting 8.0 leaves 6 >= 4.
+        assert est.current_dmax == 8.0
+
+    def test_expanded_node_barred_from_m(self):
+        est = self.make(k=100)
+        pair = node_pair(1, 2)
+        est.on_expand_first(pair)
+        est.offer(node_pair(1, 3), 0.0, 4.0, 5)
+        assert est.tracked_pairs == 0
+
+    def test_expand_removes_existing_entry(self):
+        est = self.make(k=100)
+        est.offer(node_pair(1, 2), 0.0, 4.0, 5)
+        est.on_expand_first(node_pair(1, 9))
+        assert est.tracked_pairs == 0
+        assert est.tracked_total == 0
+
+    def test_dequeue_only_removes_matching_second(self):
+        est = self.make(k=100)
+        est.offer(node_pair(1, 2), 0.0, 4.0, 5)
+        est.on_dequeue(node_pair(1, 3))  # different second item
+        assert est.tracked_pairs == 1
+        est.on_dequeue(node_pair(1, 2))  # exact pair
+        assert est.tracked_pairs == 0
+
+    def test_report_purges_first_item(self):
+        est = self.make(k=10)
+        est.offer(obj_pair(7, 1), 2.0, 2.0, 1)
+        est.on_report_first(("o", 7))
+        assert est.tracked_pairs == 0
+        assert est.k == 9
+
+    def test_objects_as_first_items(self):
+        est = self.make(k=1)
+        est.offer(obj_pair(1, 1), 1.0, 1.0, 1)
+        est.offer(obj_pair(2, 1), 3.0, 3.0, 1)
+        # total 2; evicting 3.0 leaves 1 >= 1.
+        assert est.current_dmax == 3.0

@@ -1,0 +1,192 @@
+"""Tests for the Section 5 future-work extensions: segment data sets,
+deferred leaf processing, and dimension-agnostic behaviour."""
+
+import pytest
+
+from repro.core.distance_join import IncrementalDistanceJoin
+from repro.core.semi_join import IncrementalDistanceSemiJoin
+from repro.datasets.tiger_like import (
+    EXTENT,
+    roads_segments,
+    water_segments,
+)
+from repro.geometry.shapes import LineSegment
+from repro.rtree.bulk import bulk_load_str
+from repro.util.counters import CounterRegistry
+
+from tests.conftest import make_points, make_tree
+
+
+class TestSegmentDatasets:
+    def test_counts_and_types(self):
+        water = water_segments(50)
+        roads = roads_segments(120)
+        assert len(water) == 50
+        assert len(roads) == 120
+        assert all(isinstance(s, LineSegment) for s in water + roads)
+
+    def test_deterministic(self):
+        a = water_segments(30)
+        b = water_segments(30)
+        assert all(
+            x.a == y.a and x.b == y.b for x, y in zip(a, b)
+        )
+
+    def test_within_universe(self):
+        for segment in water_segments(100) + roads_segments(100):
+            for point in (segment.a, segment.b):
+                assert 0.0 <= point.x <= EXTENT
+                assert 0.0 <= point.y <= EXTENT
+
+    def test_segments_have_extent(self):
+        assert all(s.length() > 0.0 for s in water_segments(50))
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            water_segments(0)
+        with pytest.raises(ValueError):
+            roads_segments(-1)
+
+
+class TestSegmentJoins:
+    def test_join_matches_brute_force(self):
+        water = water_segments(25)
+        roads = roads_segments(40)
+        join = IncrementalDistanceJoin(
+            bulk_load_str(water, max_entries=8),
+            bulk_load_str(roads, max_entries=8),
+            counters=CounterRegistry(),
+        )
+        got = []
+        for result in join:
+            got.append(result.distance)
+            if len(got) == 100:
+                break
+        truth = sorted(
+            w.distance_to(r) for w in water for r in roads
+        )[:100]
+        assert got == pytest.approx(truth)
+
+    def test_obr_mode_same_answers_fewer_dist_calcs(self):
+        water = water_segments(30)
+        roads = roads_segments(60)
+        tree_w = bulk_load_str(water, max_entries=8)
+        tree_r = bulk_load_str(roads, max_entries=8)
+
+        counters_direct = CounterRegistry()
+        direct = IncrementalDistanceJoin(
+            tree_w, tree_r, leaf_mode="direct",
+            counters=counters_direct,
+        )
+        got_direct = [next(direct).distance for __ in range(50)]
+
+        counters_obr = CounterRegistry()
+        obr = IncrementalDistanceJoin(
+            tree_w, tree_r, leaf_mode="obr", counters=counters_obr,
+        )
+        got_obr = [next(obr).distance for __ in range(50)]
+
+        assert got_direct == pytest.approx(got_obr)
+        # Deferred resolution computes exact segment distances only
+        # for surfaced obr/obr pairs.
+        assert (
+            counters_obr.value("dist_calcs")
+            < counters_direct.value("dist_calcs")
+        )
+        assert counters_obr.value("object_accesses") > 0
+
+    def test_segment_semi_join(self):
+        water = water_segments(20)
+        roads = roads_segments(35)
+        semi = IncrementalDistanceSemiJoin(
+            bulk_load_str(water, max_entries=8),
+            bulk_load_str(roads, max_entries=8),
+            counters=CounterRegistry(),
+        )
+        got = list(semi)
+        assert len(got) == len(water)
+        for result in got:
+            expected = min(
+                water[result.oid1].distance_to(r) for r in roads
+            )
+            assert result.distance == pytest.approx(expected)
+
+
+class TestEstimatorOnExtendedObjects:
+    def test_max_pairs_with_segments_obr_mode(self):
+        """The estimator's MINMAXDIST path (live only for objects with
+        extent) must never lose results: K pairs requested, K exact
+        closest pairs delivered."""
+        import pytest as pt
+
+        water = water_segments(40)
+        roads = roads_segments(60)
+        join = IncrementalDistanceJoin(
+            bulk_load_str(water, max_entries=8),
+            bulk_load_str(roads, max_entries=8),
+            leaf_mode="obr",
+            max_pairs=25,
+            counters=CounterRegistry(),
+        )
+        got = [r.distance for r in join]
+        truth = sorted(
+            w.distance_to(r) for w in water for r in roads
+        )[:25]
+        assert got == pt.approx(truth)
+
+    def test_semijoin_estimation_with_segments(self):
+        import pytest as pt
+
+        water = water_segments(30)
+        roads = roads_segments(50)
+        semi = IncrementalDistanceSemiJoin(
+            bulk_load_str(water, max_entries=8),
+            bulk_load_str(roads, max_entries=8),
+            leaf_mode="obr",
+            max_pairs=10,
+            counters=CounterRegistry(),
+        )
+        got = [r.distance for r in semi]
+        truth = sorted(
+            min(w.distance_to(r) for r in roads) for w in water
+        )[:10]
+        assert got == pt.approx(truth)
+
+
+class TestDeferredLeafProcessing:
+    def test_same_results_as_default(self, small_trees):
+        tree_a, tree_b, truth = small_trees
+        join = IncrementalDistanceJoin(
+            tree_a, tree_b, process_leaves_together=True,
+            counters=CounterRegistry(),
+        )
+        got = [next(join).distance for __ in range(200)]
+        assert got == pytest.approx([t[0] for t in truth[:200]])
+
+    def test_composes_with_breadth_first(self, small_trees):
+        tree_a, tree_b, truth = small_trees
+        join = IncrementalDistanceJoin(
+            tree_a, tree_b, process_leaves_together=True,
+            tie_break="breadth_first", counters=CounterRegistry(),
+        )
+        got = [next(join).distance for __ in range(100)]
+        assert got == pytest.approx([t[0] for t in truth[:100]])
+
+    def test_fewer_node_expansions(self):
+        points_a = make_points(200, seed=191)
+        points_b = make_points(200, seed=192)
+        tree_a = make_tree(points_a)
+        tree_b = make_tree(points_b)
+
+        def run(together):
+            counters = CounterRegistry()
+            join = IncrementalDistanceJoin(
+                tree_a, tree_b, process_leaves_together=together,
+                counters=counters,
+            )
+            for __, ___ in zip(range(2000), join):
+                pass
+            return counters.value("node_reads")
+
+        # Leaf/leaf pairs expand once instead of twice.
+        assert run(True) <= run(False)

@@ -1,0 +1,221 @@
+"""Unit + property tests for metrics and the MINDIST / MAXDIST /
+MINMAXDIST bounds.
+
+The property tests verify exactly the contracts the join algorithms'
+correctness rests on (paper Section 2.2): MINDIST lower-bounds and
+MAXDIST upper-bounds all point-pair distances, MINMAXDIST sits between
+them, and all bounds are *consistent* under containment (shrinking a
+rectangle can only increase MINDIST and decrease MAXDIST).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.metrics import (
+    CHESSBOARD,
+    EUCLIDEAN,
+    MANHATTAN,
+    MinkowskiMetric,
+)
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+
+METRICS = [EUCLIDEAN, MANHATTAN, CHESSBOARD, MinkowskiMetric(3.0)]
+
+
+def coords(dim=2):
+    return st.tuples(*([st.floats(-50, 50)] * dim))
+
+
+def points(dim=2):
+    return st.builds(Point, coords(dim))
+
+
+def rects(dim=2):
+    return st.builds(
+        lambda a, b: Rect(
+            tuple(min(x, y) for x, y in zip(a, b)),
+            tuple(max(x, y) for x, y in zip(a, b)),
+        ),
+        coords(dim),
+        coords(dim),
+    )
+
+
+def sample_inside(rect, fractions):
+    """A point inside ``rect`` at the given per-dim fractions."""
+    return Point(
+        lo + f * (hi - lo)
+        for lo, hi, f in zip(rect.lo, rect.hi, fractions)
+    )
+
+
+class TestPointMetrics:
+    def test_euclidean(self):
+        assert EUCLIDEAN.distance(Point((0, 0)), Point((3, 4))) == 5.0
+
+    def test_manhattan(self):
+        assert MANHATTAN.distance(Point((0, 0)), Point((3, 4))) == 7.0
+
+    def test_chessboard(self):
+        assert CHESSBOARD.distance(Point((0, 0)), Point((3, 4))) == 4.0
+
+    def test_minkowski_general(self):
+        m = MinkowskiMetric(3)
+        assert m.distance(Point((0,)), Point((2,))) == pytest.approx(2.0)
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            MinkowskiMetric(0.5)
+
+    def test_names(self):
+        assert EUCLIDEAN.name == "euclidean"
+        assert MANHATTAN.name == "manhattan"
+        assert CHESSBOARD.name == "chessboard"
+
+    def test_equality(self):
+        assert MinkowskiMetric(2) == EUCLIDEAN
+        assert MinkowskiMetric(2) != MANHATTAN
+
+
+class TestRectBounds:
+    def test_mindist_point_inside_is_zero(self):
+        r = Rect((0, 0), (2, 2))
+        assert EUCLIDEAN.mindist_point_rect(Point((1, 1)), r) == 0.0
+
+    def test_mindist_point_outside(self):
+        r = Rect((0, 0), (2, 2))
+        assert EUCLIDEAN.mindist_point_rect(Point((5, 2)), r) == 3.0
+        assert EUCLIDEAN.mindist_point_rect(Point((5, 6)), r) == 5.0
+
+    def test_maxdist_point(self):
+        r = Rect((0, 0), (2, 2))
+        assert EUCLIDEAN.maxdist_point_rect(Point((0, 0)), r) == pytest.approx(
+            math.sqrt(8)
+        )
+
+    def test_mindist_rects_disjoint(self):
+        a = Rect((0, 0), (1, 1))
+        b = Rect((4, 5), (6, 7))
+        assert EUCLIDEAN.mindist_rect_rect(a, b) == 5.0
+
+    def test_mindist_rects_overlapping_is_zero(self):
+        a = Rect((0, 0), (2, 2))
+        b = Rect((1, 1), (3, 3))
+        assert EUCLIDEAN.mindist_rect_rect(a, b) == 0.0
+
+    def test_maxdist_rects(self):
+        a = Rect((0, 0), (1, 1))
+        b = Rect((4, 0), (5, 1))
+        assert EUCLIDEAN.maxdist_rect_rect(a, b) == pytest.approx(
+            math.hypot(5, 1)
+        )
+
+    def test_minmaxdist_point_known_value(self):
+        # Query at origin, rect [1,2] x [1,2]: there is an object point
+        # on the nearer x-face (x=1, y at worst 2) and on the nearer
+        # y-face (y=1, x at worst 2); minimum of those worst cases.
+        r = Rect((1, 1), (2, 2))
+        value = EUCLIDEAN.minmaxdist_point_rect(Point((0, 0)), r)
+        assert value == pytest.approx(math.hypot(1, 2))
+
+    def test_degenerate_rects_all_bounds_equal(self):
+        a = Rect.from_point(Point((0, 0)))
+        b = Rect.from_point(Point((3, 4)))
+        for metric in METRICS:
+            d = metric.distance(Point((0, 0)), Point((3, 4)))
+            assert metric.mindist_rect_rect(a, b) == pytest.approx(d)
+            assert metric.maxdist_rect_rect(a, b) == pytest.approx(d)
+            assert metric.minmaxdist_rect_rect(a, b) == pytest.approx(d)
+
+
+class TestBoundProperties:
+    @given(points(), rects())
+    def test_point_bound_sandwich(self, p, r):
+        for metric in METRICS:
+            lo = metric.mindist_point_rect(p, r)
+            mid = metric.minmaxdist_point_rect(p, r)
+            hi = metric.maxdist_point_rect(p, r)
+            assert lo <= mid + 1e-9
+            assert mid <= hi + 1e-9
+
+    @given(rects(), rects())
+    def test_rect_bound_sandwich(self, a, b):
+        for metric in METRICS:
+            lo = metric.mindist_rect_rect(a, b)
+            mid = metric.minmaxdist_rect_rect(a, b)
+            hi = metric.maxdist_rect_rect(a, b)
+            assert lo <= mid + 1e-9
+            assert mid <= hi + 1e-9
+
+    @given(
+        rects(),
+        rects(),
+        st.tuples(st.floats(0, 1), st.floats(0, 1)),
+        st.tuples(st.floats(0, 1), st.floats(0, 1)),
+    )
+    def test_mindist_maxdist_bound_point_pairs(self, a, b, fa, fb):
+        pa = sample_inside(a, fa)
+        pb = sample_inside(b, fb)
+        for metric in METRICS:
+            d = metric.distance(pa, pb)
+            assert metric.mindist_rect_rect(a, b) <= d + 1e-9
+            assert metric.maxdist_rect_rect(a, b) >= d - 1e-9
+
+    @given(
+        rects(),
+        points(),
+        st.tuples(st.floats(0, 1), st.floats(0, 1)),
+    )
+    def test_consistency_under_containment(self, outer, p, f):
+        """Shrinking one side (child rect inside parent) can only move
+        MINDIST up and MAXDIST down -- the paper's consistency rule."""
+        inner = Rect.from_point(sample_inside(outer, f))
+        query = Rect.from_point(p)
+        for metric in METRICS:
+            assert (
+                metric.mindist_rect_rect(inner, query)
+                >= metric.mindist_rect_rect(outer, query) - 1e-9
+            )
+            assert (
+                metric.maxdist_rect_rect(inner, query)
+                <= metric.maxdist_rect_rect(outer, query) + 1e-9
+            )
+
+    @given(
+        st.tuples(st.floats(-50, 50), st.floats(-50, 50)),
+        st.tuples(st.floats(-50, 50), st.floats(-50, 50)),
+        st.tuples(st.floats(-50, 50), st.floats(-50, 50)),
+        st.tuples(st.floats(-50, 50), st.floats(-50, 50)),
+    )
+    def test_minmaxdist_bounds_minimally_bounded_objects(
+        self, a1, b1, a2, b2
+    ):
+        """The estimation-soundness claim (Section 2.2.4): for objects
+        that touch every face of their MBR, MINMAXDIST of the MBRs
+        upper-bounds the objects' exact minimum distance.  Diagonal
+        segments touch all four faces of their bounding box."""
+        from repro.geometry.shapes import LineSegment
+
+        seg1 = LineSegment(Point(a1), Point(b1))
+        seg2 = LineSegment(Point(a2), Point(b2))
+        exact = seg1.distance_to(seg2)
+        bound = EUCLIDEAN.minmaxdist_rect_rect(seg1.mbr(), seg2.mbr())
+        assert exact <= bound + 1e-6
+
+    @given(points(), points())
+    def test_metric_symmetry_and_identity(self, p, q):
+        for metric in METRICS:
+            assert metric.distance(p, q) == pytest.approx(
+                metric.distance(q, p)
+            )
+            assert metric.distance(p, p) == 0.0
+
+    @given(points(), points(), points())
+    def test_triangle_inequality(self, p, q, r):
+        for metric in METRICS:
+            assert metric.distance(p, r) <= (
+                metric.distance(p, q) + metric.distance(q, r) + 1e-7
+            )

@@ -1,0 +1,138 @@
+"""Unit tests for the item/pair model and the PairDistance oracle."""
+
+import pytest
+
+from repro.core.pairs import NODE, OBJ, OBR, Item, Pair, PairDistance
+from repro.errors import ConsistencyError
+from repro.geometry.metrics import EUCLIDEAN, MANHATTAN
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.geometry.shapes import LineSegment
+from repro.util.counters import CounterRegistry
+
+
+def P(x, y):
+    return Point((x, y))
+
+
+def obj_item(x, y, oid=0):
+    return Item(OBJ, Rect.from_point(P(x, y)), oid=oid, obj=P(x, y))
+
+
+def node_item(rect, node_id=0, level=1):
+    return Item(NODE, rect, node_id=node_id, level=level)
+
+
+class TestItem:
+    def test_identity_distinguishes_kinds(self):
+        r = Rect((0, 0), (1, 1))
+        assert Item(NODE, r, node_id=5).identity() == ("n", 5)
+        assert Item(OBJ, r, oid=5).identity() == ("o", 5)
+        assert Item(OBR, r, oid=5).identity() == ("o", 5)
+
+    def test_is_node(self):
+        r = Rect((0, 0), (1, 1))
+        assert Item(NODE, r).is_node
+        assert not Item(OBJ, r).is_node
+
+
+class TestPair:
+    def test_is_result(self):
+        assert Pair(obj_item(0, 0), obj_item(1, 1), 0.0).is_result
+        r = Rect((0, 0), (1, 1))
+        assert not Pair(Item(OBR, r), Item(OBR, r), 0.0).is_result
+
+    def test_is_obr_pair(self):
+        r = Rect((0, 0), (1, 1))
+        assert Pair(Item(OBR, r), Item(OBR, r), 0.0).is_obr_pair
+        assert not Pair(Item(OBJ, r), Item(OBR, r), 0.0).is_obr_pair
+
+    def test_node_count(self):
+        r = Rect((0, 0), (1, 1))
+        assert Pair(node_item(r), node_item(r), 0.0).node_count == 2
+        assert Pair(node_item(r), obj_item(0, 0), 0.0).node_count == 1
+        assert Pair(obj_item(0, 0), obj_item(1, 1), 0.0).node_count == 0
+
+
+class TestPairDistance:
+    def test_object_distance_uses_metric(self):
+        counters = CounterRegistry()
+        pd = PairDistance(MANHATTAN, counters)
+        d = pd.object_distance(obj_item(0, 0), obj_item(3, 4))
+        assert d == 7.0
+        assert counters.value("dist_calcs") == 1
+
+    def test_mindist_objects_is_exact(self):
+        pd = PairDistance(EUCLIDEAN)
+        assert pd.mindist(obj_item(0, 0), obj_item(3, 4)) == 5.0
+
+    def test_mindist_node_counts_bound_calc(self):
+        counters = CounterRegistry()
+        pd = PairDistance(EUCLIDEAN, counters)
+        n = node_item(Rect((10, 0), (12, 2)))
+        pd.mindist(n, obj_item(0, 0))
+        assert counters.value("bound_calcs") == 1
+        assert counters.value("dist_calcs") == 0
+
+    def test_maxdist_upper_bounds_mindist(self):
+        pd = PairDistance(EUCLIDEAN)
+        a = node_item(Rect((0, 0), (2, 2)))
+        b = node_item(Rect((5, 0), (7, 2)))
+        assert pd.maxdist(a, b) >= pd.mindist(a, b)
+
+    def test_estimation_maxdist_uses_minmax_for_obrs(self):
+        pd = PairDistance(EUCLIDEAN)
+        r1 = Rect((0, 0), (2, 2))
+        r2 = Rect((10, 0), (12, 2))
+        i1 = Item(OBR, r1, oid=0)
+        i2 = Item(OBR, r2, oid=1)
+        est = pd.estimation_maxdist(i1, i2)
+        assert est <= pd.maxdist(i1, i2)
+        assert est >= pd.mindist(i1, i2)
+        # Node pairs must use the plain (safe) MAXDIST.
+        n1 = node_item(r1)
+        n2 = node_item(r2)
+        assert pd.estimation_maxdist(n1, n2) == pd.maxdist(n1, n2)
+
+    def test_shape_objects_use_exact_distance(self):
+        pd = PairDistance(EUCLIDEAN)
+        seg1 = LineSegment(P(0, 0), P(10, 0))
+        seg2 = LineSegment(P(0, 3), P(10, 3))
+        i1 = Item(OBJ, seg1.mbr(), oid=0, obj=seg1)
+        i2 = Item(OBJ, seg2.mbr(), oid=1, obj=seg2)
+        assert pd.object_distance(i1, i2) == 3.0
+
+    def test_exact_shapes_disabled_falls_back_to_rects(self):
+        pd = PairDistance(EUCLIDEAN, exact_shapes=False)
+        seg1 = LineSegment(P(0, 0), P(10, 0))
+        seg2 = LineSegment(P(5, 3), P(15, 3))
+        i1 = Item(OBJ, seg1.mbr(), oid=0, obj=seg1)
+        i2 = Item(OBJ, seg2.mbr(), oid=1, obj=seg2)
+        # Rect mindist: y gap 3, x overlap -> 3... with rects
+        # [0,10]x[0,0] and [5,15]x[3,3] the mindist is 3.
+        assert pd.object_distance(i1, i2) == 3.0
+
+    def test_none_objects_use_rect_distance(self):
+        pd = PairDistance(EUCLIDEAN)
+        i1 = Item(OBJ, Rect((0, 0), (1, 1)), oid=0, obj=None)
+        i2 = Item(OBJ, Rect((4, 0), (5, 1)), oid=1, obj=None)
+        assert pd.object_distance(i1, i2) == 3.0
+
+
+class TestConsistencyCheck:
+    def test_violation_detected(self):
+        pd = PairDistance(EUCLIDEAN, check_consistency=True)
+        parent = Pair(obj_item(0, 0), obj_item(3, 4), 5.0)
+        with pytest.raises(ConsistencyError):
+            pd.check_child(parent, 4.0)
+
+    def test_no_violation_passes(self):
+        pd = PairDistance(EUCLIDEAN, check_consistency=True)
+        parent = Pair(obj_item(0, 0), obj_item(3, 4), 5.0)
+        pd.check_child(parent, 5.0)
+        pd.check_child(parent, 6.0)
+
+    def test_disabled_by_default(self):
+        pd = PairDistance(EUCLIDEAN)
+        parent = Pair(obj_item(0, 0), obj_item(3, 4), 5.0)
+        pd.check_child(parent, 0.0)  # no exception

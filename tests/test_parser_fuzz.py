@@ -1,0 +1,54 @@
+"""Fuzz tests: the SQL front end must fail *predictably*.
+
+Whatever the input, ``parse`` either returns a Query or raises
+:class:`QuerySyntaxError` -- never an arbitrary exception, which is
+what separates a usable parser from a stack-trace generator.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QuerySyntaxError
+from repro.query.lexer import tokenize
+from repro.query.parser import parse
+
+# Text biased toward SQL-looking content so the fuzzer reaches deep
+# parser states, plus raw unicode for the lexer.
+sql_words = st.sampled_from([
+    "SELECT", "FROM", "WHERE", "ORDER", "BY", "GROUP", "STOP",
+    "AFTER", "AND", "AS", "DESC", "MIN", "DISTANCE", "BETWEEN",
+    "*", ",", "(", ")", ".", "<=", ">=", "<", ">", "=",
+    "a", "b", "d", "geom", "pop", "1", "2.5", "1e3", "-4",
+])
+sql_soup = st.lists(sql_words, max_size=30).map(" ".join)
+
+
+@settings(max_examples=300, deadline=None)
+@given(sql_soup)
+def test_parse_never_raises_unexpectedly(text):
+    try:
+        query = parse(text)
+    except QuerySyntaxError:
+        return
+    # If it parsed, the result must be internally coherent.
+    assert query.relation1 and query.relation2
+    dmin, dmax = query.distance_bounds()
+    assert dmin <= dmax
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(max_size=60))
+def test_tokenize_never_raises_unexpectedly(text):
+    try:
+        tokens = tokenize(text)
+    except QuerySyntaxError:
+        return
+    assert tokens[-1].type == "EOF"
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(max_size=60))
+def test_parse_arbitrary_text(text):
+    try:
+        parse(text)
+    except QuerySyntaxError:
+        pass

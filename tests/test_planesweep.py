@@ -1,0 +1,103 @@
+"""Unit + property tests for the plane-sweep candidate generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.planesweep import restrict_entries, sweep_pairs
+from repro.geometry.metrics import EUCLIDEAN
+from repro.geometry.rectangle import Rect
+from repro.rtree.entry import LeafEntry
+
+INF = float("inf")
+
+
+def entries(intervals):
+    """Entries with the given x-intervals (y fixed)."""
+    return [
+        LeafEntry(Rect((lo, 0.0), (hi, 1.0)), oid)
+        for oid, (lo, hi) in enumerate(intervals)
+    ]
+
+
+def brute(a, b, gap):
+    out = set()
+    for e1 in a:
+        for e2 in b:
+            if (
+                e2.rect.lo[0] <= e1.rect.hi[0] + gap
+                and e1.rect.lo[0] <= e2.rect.hi[0] + gap
+            ):
+                out.add((e1.oid, e2.oid))
+    return out
+
+
+class TestSweep:
+    def test_paper_figure4_lookahead(self):
+        # Figure 4: with a non-zero max distance, r1 must be paired
+        # with s3 (projection gap <= Dmax) in addition to s1 and s2.
+        r = entries([(10, 20)])
+        s = entries([(8, 12), (15, 25), (22, 28), (40, 50)])
+        got = set(sweep_pairs(r, s, max_gap=3.0))
+        assert {(e2.oid) for __, e2 in got} == {0, 1, 2}
+
+    def test_zero_gap_is_intersection_join(self):
+        a = entries([(0, 5), (10, 15)])
+        b = entries([(4, 6), (20, 30)])
+        got = {(e1.oid, e2.oid) for e1, e2 in sweep_pairs(a, b, 0.0)}
+        assert got == {(0, 0)}
+
+    def test_infinite_gap_is_cross_product(self):
+        a = entries([(0, 1), (5, 6)])
+        b = entries([(100, 101)])
+        got = list(sweep_pairs(a, b, INF))
+        assert len(got) == 2
+
+    def test_empty_inputs(self):
+        assert list(sweep_pairs([], entries([(0, 1)]), 1.0)) == []
+        assert list(sweep_pairs(entries([(0, 1)]), [], 1.0)) == []
+
+    def test_no_duplicates_on_equal_lows(self):
+        a = entries([(5, 10), (5, 12)])
+        b = entries([(5, 8), (5, 9)])
+        got = list(sweep_pairs(a, b, 1.0))
+        keys = [(e1.oid, e2.oid) for e1, e2 in got]
+        assert len(keys) == len(set(keys)) == 4
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 10)),
+            max_size=20,
+        ),
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 10)),
+            max_size=20,
+        ),
+        st.floats(0, 30),
+    )
+    def test_property_matches_brute_force(self, raw_a, raw_b, gap):
+        a = entries([(lo, lo + w) for lo, w in raw_a])
+        b = entries([(lo, lo + w) for lo, w in raw_b])
+        got = [(e1.oid, e2.oid) for e1, e2 in sweep_pairs(a, b, gap)]
+        assert len(got) == len(set(got)), "duplicates produced"
+        assert set(got) == brute(a, b, gap)
+
+
+class TestRestrict:
+    def test_keeps_close_entries(self):
+        region = Rect((0, 0), (10, 10))
+        close = LeafEntry(Rect((11, 0), (12, 1)), 0)
+        far = LeafEntry(Rect((50, 50), (51, 51)), 1)
+        kept = restrict_entries([close, far], region, EUCLIDEAN, 5.0)
+        assert kept == [close]
+
+    def test_infinite_distance_keeps_all(self):
+        region = Rect((0, 0), (1, 1))
+        items = entries([(100, 101), (200, 201)])
+        assert restrict_entries(items, region, EUCLIDEAN, INF) == items
+
+    def test_boundary_inclusive(self):
+        region = Rect((0, 0), (1, 1))
+        at_limit = LeafEntry(Rect((4, 0), (5, 1)), 0)
+        kept = restrict_entries([at_limit], region, EUCLIDEAN, 3.0)
+        assert kept == [at_limit]

@@ -1,0 +1,72 @@
+"""Unit tests for Point."""
+
+import pytest
+
+from repro.errors import DimensionMismatchError, GeometryError
+from repro.geometry.point import Point
+
+
+class TestConstruction:
+    def test_coords_are_floats(self):
+        p = Point((1, 2))
+        assert p.coords == (1.0, 2.0)
+        assert isinstance(p.coords[0], float)
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            Point(())
+
+    def test_any_dimension(self):
+        p = Point(range(7))
+        assert p.dim == 7
+
+    def test_immutable(self):
+        p = Point((1, 2))
+        with pytest.raises(AttributeError):
+            p.coords = (3, 4)
+
+
+class TestAccess:
+    def test_xy(self):
+        p = Point((3.5, 4.5))
+        assert p.x == 3.5
+        assert p.y == 4.5
+
+    def test_y_on_1d_rejected(self):
+        with pytest.raises(GeometryError):
+            Point((1.0,)).y
+
+    def test_indexing_and_iteration(self):
+        p = Point((1, 2, 3))
+        assert p[1] == 2.0
+        assert list(p) == [1.0, 2.0, 3.0]
+        assert len(p) == 3
+
+
+class TestEquality:
+    def test_value_equality(self):
+        assert Point((0, 0)) == Point((0.0, 0.0))
+        assert Point((0, 0)) != Point((0, 1))
+
+    def test_hashable(self):
+        assert len({Point((1, 2)), Point((1, 2)), Point((2, 1))}) == 2
+
+    def test_not_equal_other_type(self):
+        assert Point((1, 2)) != (1.0, 2.0)
+
+
+class TestOps:
+    def test_translated(self):
+        p = Point((1, 2)).translated((0.5, -0.5))
+        assert p == Point((1.5, 1.5))
+
+    def test_translated_dim_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            Point((1, 2)).translated((1,))
+
+    def test_check_dim(self):
+        with pytest.raises(DimensionMismatchError):
+            Point((1, 2)).check_dim(3)
+
+    def test_repr_roundtrips_visually(self):
+        assert repr(Point((1, 2.5))) == "Point((1, 2.5))"

@@ -1,0 +1,246 @@
+"""Unit + property tests for the pair queues (memory and hybrid)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.heap import BinaryHeap
+from repro.core.pqueue import (
+    AdaptiveHybridPairQueue,
+    HybridPairQueue,
+    MemoryPairQueue,
+)
+from repro.storage.pager import PageStore
+from repro.util.counters import CounterRegistry
+
+
+def key(distance, seq=0):
+    return (distance, 0, 0, seq)
+
+
+class TestMemoryQueue:
+    def test_orders_by_key(self):
+        q = MemoryPairQueue()
+        q.push(key(3.0), "c")
+        q.push(key(1.0), "a")
+        q.push(key(2.0), "b")
+        assert [q.pop()[1] for __ in range(3)] == ["a", "b", "c"]
+
+    def test_len_and_bool(self):
+        q = MemoryPairQueue()
+        assert not q
+        q.push(key(1.0), None)
+        assert len(q) == 1
+        assert q
+
+    def test_binary_heap_variant(self):
+        q = MemoryPairQueue(heap_class=BinaryHeap)
+        q.push(key(2.0), "b")
+        q.push(key(1.0), "a")
+        assert q.pop()[1] == "a"
+
+
+class TestHybridQueue:
+    def test_requires_positive_dt(self):
+        with pytest.raises(ValueError):
+            HybridPairQueue(dt=0.0)
+
+    def test_tier_routing(self):
+        q = HybridPairQueue(dt=10.0)
+        q.push(key(5.0), "heap")     # < D1 = 10
+        q.push(key(15.0), "list")    # < D2 = 20
+        q.push(key(35.0), "disk")    # >= D2
+        assert q.memory_size() == 2
+        assert q.disk_size() == 1
+        assert len(q) == 3
+
+    def test_pop_crosses_tiers_in_order(self):
+        q = HybridPairQueue(dt=10.0)
+        values = [35.0, 5.0, 15.0, 25.0, 95.0, 0.5]
+        for i, v in enumerate(values):
+            q.push(key(v, i), v)
+        out = [q.pop()[1] for __ in range(len(values))]
+        assert out == sorted(values)
+
+    def test_refill_skips_empty_bands(self):
+        q = HybridPairQueue(dt=1.0)
+        q.push(key(1000.0), "far")
+        q.push(key(0.1), "near")
+        assert q.pop()[1] == "near"
+        assert q.pop()[1] == "far"
+
+    def test_push_below_d1_after_refill(self):
+        q = HybridPairQueue(dt=10.0)
+        q.push(key(15.0), "a")
+        assert q.pop()[1] == "a"  # refill advanced D1 to 20
+        q.push(key(12.0), "b")    # now goes straight to the heap
+        assert q.memory_size() == 1
+        assert q.pop()[1] == "b"
+
+    def test_disk_counters(self):
+        counters = CounterRegistry()
+        q = HybridPairQueue(dt=1.0, counters=counters)
+        for i in range(20):
+            q.push(key(100.0 + i, i), i)
+        assert counters.value("pq_disk_writes") == 20
+        while q:
+            q.pop()
+        assert counters.value("pq_disk_reads") == 20
+
+    def test_disk_pages_freed_after_drain(self):
+        store = PageStore()
+        q = HybridPairQueue(dt=1.0, store=store)
+        for i in range(200):
+            q.push(key(50.0 + i * 0.1, i), i)
+        while q:
+            q.pop()
+        assert store.page_count == 0
+
+    def test_page_capacity_respected(self):
+        store = PageStore(page_size=128)  # 2 records per page
+        q = HybridPairQueue(dt=1.0, store=store)
+        for i in range(10):
+            q.push(key(100.0, i), i)
+        assert store.page_count == 5
+
+    def test_peek_does_not_remove(self):
+        q = HybridPairQueue(dt=10.0)
+        q.push(key(50.0), "x")
+        assert q.peek()[1] == "x"
+        assert len(q) == 1
+
+    def test_empty_pop_raises(self):
+        q = HybridPairQueue(dt=10.0)
+        with pytest.raises(IndexError):
+            q.pop()
+
+    def test_equal_distances_ordered_by_tiebreak(self):
+        q = HybridPairQueue(dt=10.0)
+        q.push((5.0, 1, 0, 0), "second")
+        q.push((5.0, 0, 0, 1), "first")
+        assert q.pop()[1] == "first"
+
+
+class TestAdaptiveQueue:
+    def test_calibrates_after_warmup(self):
+        q = AdaptiveHybridPairQueue(calibration_size=10)
+        for i in range(9):
+            q.push(key(float(i), i), i)
+        assert q.dt is None
+        q.push(key(9.0, 9), 9)
+        assert q.dt is not None
+        assert q.dt > 0.0
+
+    def test_quantile_drives_dt(self):
+        q = AdaptiveHybridPairQueue(
+            calibration_size=100, target_heap_fraction=0.25
+        )
+        for i in range(100):
+            q.push(key(float(i), i), i)
+        # 25th percentile of 0..99 is ~25.
+        assert 20.0 <= q.dt <= 30.0
+
+    def test_order_preserved_across_calibration(self):
+        import random
+        rng = random.Random(4)
+        q = AdaptiveHybridPairQueue(calibration_size=50)
+        values = [rng.uniform(0, 1000) for __ in range(400)]
+        for i, v in enumerate(values):
+            q.push(key(v, i), v)
+        out = [q.pop()[1] for __ in range(len(values))]
+        assert out == sorted(values)
+
+    def test_pop_during_calibration(self):
+        q = AdaptiveHybridPairQueue(calibration_size=100)
+        q.push(key(5.0), "a")
+        q.push(key(1.0), "b")
+        assert q.pop()[1] == "b"
+        assert len(q) == 1
+
+    def test_all_zero_distances(self):
+        q = AdaptiveHybridPairQueue(calibration_size=4)
+        for i in range(6):
+            q.push(key(0.0, i), i)
+        assert q.dt == 1.0  # fallback
+        assert len(q) == 6
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AdaptiveHybridPairQueue(calibration_size=0)
+        with pytest.raises(ValueError):
+            AdaptiveHybridPairQueue(target_heap_fraction=1.5)
+
+    def test_spills_to_disk_after_calibration(self):
+        counters = CounterRegistry()
+        q = AdaptiveHybridPairQueue(
+            calibration_size=20, counters=counters,
+            target_heap_fraction=0.2,
+        )
+        for i in range(200):
+            q.push(key(float(i), i), i)
+        assert q.disk_size() > 0
+        assert counters.value("pq_disk_writes") > 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.floats(0, 500), min_size=1, max_size=300),
+    st.integers(2, 100),
+)
+def test_property_adaptive_equals_memory(distances, calibration):
+    """Property: the adaptive queue's output order is exactly a plain
+    heap's, for any input and calibration size."""
+    mem = MemoryPairQueue()
+    adaptive = AdaptiveHybridPairQueue(calibration_size=calibration)
+    for i, d in enumerate(distances):
+        mem.push(key(d, i), i)
+        adaptive.push(key(d, i), i)
+    out_mem = [mem.pop() for __ in range(len(distances))]
+    out_adaptive = [adaptive.pop() for __ in range(len(distances))]
+    assert out_mem == out_adaptive
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(0, 500), min_size=1, max_size=300),
+    st.floats(0.5, 100),
+)
+def test_property_hybrid_equals_memory(distances, dt):
+    """Property: the hybrid queue yields exactly the order a plain
+    heap does, for any push set and any D_T."""
+    mem = MemoryPairQueue()
+    hybrid = HybridPairQueue(dt=dt)
+    for i, d in enumerate(distances):
+        mem.push(key(d, i), i)
+        hybrid.push(key(d, i), i)
+    out_mem = [mem.pop() for __ in range(len(distances))]
+    out_hybrid = [hybrid.pop() for __ in range(len(distances))]
+    assert out_mem == out_hybrid
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_property_hybrid_interleaved(data):
+    """Property: interleaved pushes and pops stay globally sorted as
+    long as pushes never go below the last popped key (which is how
+    the join uses the queue -- children are at least as far as their
+    parent)."""
+    dt = data.draw(st.floats(0.5, 50))
+    q = HybridPairQueue(dt=dt)
+    rng_seed = data.draw(st.integers(0, 10_000))
+    rng = random.Random(rng_seed)
+    floor = 0.0
+    popped = []
+    size = 0
+    for __ in range(300):
+        if size and rng.random() < 0.4:
+            k, __v = q.pop()
+            popped.append(k[0])
+            floor = max(floor, k[0])
+            size -= 1
+        else:
+            d = floor + rng.uniform(0, 100)
+            q.push(key(d, rng.randrange(1_000_000)), None)
+            size += 1
+    assert popped == sorted(popped)

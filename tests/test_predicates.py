@@ -1,0 +1,231 @@
+"""Tests for attribute predicates and plan selection (paper Sections 1
+and 5: "find the city nearest to any river, such that the city has a
+population of more than 5 million", and the two query plans)."""
+
+import random
+
+import pytest
+
+from repro.errors import QueryError, QuerySyntaxError
+from repro.geometry.metrics import EUCLIDEAN
+from repro.geometry.point import Point
+from repro.query.executor import Database
+from repro.query.parser import parse
+from repro.util.counters import CounterRegistry
+
+from tests.conftest import make_points
+
+
+def build_db(seed_cities=211, seed_rivers=212, city_count=80,
+             river_count=120):
+    rng = random.Random(seed_cities + 1000)
+    cities = make_points(city_count, seed=seed_cities)
+    populations = [rng.randint(1_000, 10_000_000) for __ in cities]
+    rivers = make_points(river_count, seed=seed_rivers)
+    db = Database(counters=CounterRegistry())
+    db.create_relation("cities", cities,
+                       attributes={"pop": populations})
+    db.create_relation("rivers", rivers)
+    return db, cities, populations, rivers
+
+
+def brute_answer(cities, populations, rivers, threshold, limit):
+    qualifying = [
+        (EUCLIDEAN.distance(c, r), i, j)
+        for i, c in enumerate(cities)
+        if populations[i] > threshold
+        for j, r in enumerate(rivers)
+    ]
+    qualifying.sort()
+    return qualifying[:limit]
+
+
+SQL = (
+    "SELECT * FROM cities, rivers, "
+    "DISTANCE(cities.geom, rivers.geom) AS d "
+    "WHERE cities.pop > {threshold} ORDER BY d STOP AFTER {limit}"
+)
+
+
+class TestParsing:
+    def test_attribute_predicate_parsed(self):
+        query = parse(SQL.format(threshold=5_000_000, limit=3))
+        assert len(query.attribute_predicates) == 1
+        predicate = query.attribute_predicates[0]
+        assert predicate.relation == "cities"
+        assert predicate.attribute == "pop"
+        assert predicate.op == ">"
+        assert predicate.value == 5_000_000
+
+    def test_mixes_with_distance_predicates(self):
+        query = parse(
+            "SELECT * FROM a, b, DISTANCE(a.g, b.g) AS d "
+            "WHERE a.size >= 10 AND d <= 5 AND b.kind = 2"
+        )
+        assert len(query.attribute_predicates) == 2
+        assert query.distance_bounds() == (0.0, 5.0)
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse(
+                "SELECT * FROM a, b, DISTANCE(a.g, b.g) AS d "
+                "WHERE c.x > 1"
+            )
+
+    def test_predicate_ops(self):
+        from repro.query.ast_nodes import AttributePredicate
+        p = AttributePredicate("r", "a", "<", 5.0)
+        assert p.matches(4.9) and not p.matches(5.0)
+        p = AttributePredicate("r", "a", ">=", 5.0)
+        assert p.matches(5.0) and not p.matches(4.9)
+        p = AttributePredicate("r", "a", "=", 5.0)
+        assert p.matches(5.0) and not p.matches(5.1)
+
+
+class TestExecution:
+    @pytest.mark.parametrize("strategy", ["pipeline", "prefilter", "auto"])
+    def test_strategies_agree_with_brute_force(self, strategy):
+        db, cities, populations, rivers = build_db()
+        threshold, limit = 5_000_000, 10
+        rows = list(db.execute(
+            SQL.format(threshold=threshold, limit=limit),
+            strategy=strategy,
+        ))
+        truth = brute_answer(cities, populations, rivers, threshold,
+                             limit)
+        assert len(rows) == len(truth)
+        for row, (dist, i, j) in zip(rows, truth):
+            assert row.d == pytest.approx(dist)
+            assert row.oid1 == i
+            assert populations[row.oid1] > threshold
+
+    def test_prefilter_reports_original_oids(self):
+        db, cities, populations, __ = build_db()
+        rows = list(db.execute(
+            SQL.format(threshold=8_000_000, limit=5),
+            strategy="prefilter",
+        ))
+        for row in rows:
+            assert populations[row.oid1] > 8_000_000
+            assert row.geom1 == cities[row.oid1]
+
+    def test_predicates_on_both_sides(self):
+        rng = random.Random(7)
+        stores = make_points(50, seed=221)
+        store_sizes = [rng.uniform(0, 100) for __ in stores]
+        depots = make_points(50, seed=222)
+        depot_caps = [rng.uniform(0, 100) for __ in depots]
+        db = Database(counters=CounterRegistry())
+        db.create_relation("stores", stores,
+                           attributes={"size": store_sizes})
+        db.create_relation("depots", depots,
+                           attributes={"cap": depot_caps})
+        sql = (
+            "SELECT * FROM stores, depots, "
+            "DISTANCE(stores.geom, depots.geom) AS d "
+            "WHERE stores.size > 50 AND depots.cap > 50 "
+            "ORDER BY d STOP AFTER 5"
+        )
+        for strategy in ("pipeline", "prefilter"):
+            rows = list(db.execute(sql, strategy=strategy))
+            for row in rows:
+                assert store_sizes[row.oid1] > 50
+                assert depot_caps[row.oid2] > 50
+
+    def test_semi_join_with_predicate(self):
+        db, cities, populations, rivers = build_db()
+        sql = (
+            "SELECT *, MIN(d) FROM cities, rivers, "
+            "DISTANCE(cities.geom, rivers.geom) AS d "
+            "WHERE cities.pop > 5000000 GROUP BY cities.geom ORDER BY d"
+        )
+        qualifying = [
+            i for i in range(len(cities))
+            if populations[i] > 5_000_000
+        ]
+        for strategy in ("pipeline", "prefilter"):
+            rows = list(db.execute(sql, strategy=strategy))
+            assert sorted(r.oid1 for r in rows) == qualifying
+            for row in rows:
+                expected = min(
+                    EUCLIDEAN.distance(cities[row.oid1], r)
+                    for r in rivers
+                )
+                assert row.d == pytest.approx(expected)
+
+    def test_unqualified_attribute_rejected(self):
+        db, *__ = build_db()
+        with pytest.raises(QueryError):
+            list(db.execute(
+                "SELECT * FROM cities, rivers, "
+                "DISTANCE(cities.geom, rivers.geom) AS d "
+                "WHERE cities.nonexistent > 1"
+            ))
+
+    def test_attribute_length_mismatch_rejected(self):
+        db = Database()
+        with pytest.raises(QueryError):
+            db.create_relation(
+                "x", make_points(5, seed=1), attributes={"a": [1, 2]}
+            )
+
+    def test_no_matching_objects(self):
+        db, *__ = build_db()
+        rows = list(db.execute(
+            SQL.format(threshold=999_999_999, limit=5)
+        ))
+        assert rows == []
+
+
+class TestPlanChoice:
+    def test_high_selectivity_prefers_prefilter(self):
+        """A predicate keeping ~0.1% of a large relation should make
+        restrict-first the winner (the paper's Section 5 intuition)."""
+        db, cities, populations, __ = build_db(
+            city_count=400, river_count=400
+        )
+        plan = db.explain(
+            SQL.format(threshold=9_990_000, limit=400)
+            .replace(" STOP AFTER 400", "")
+        )
+        assert plan.selectivity1 < 0.05
+        assert plan.prefilter_cost < plan.pipeline_cost
+        assert plan.strategy == "prefilter"
+
+    def test_low_selectivity_prefers_pipeline(self):
+        db, *__ = build_db()
+        plan = db.explain(
+            SQL.format(threshold=1, limit=3)
+        )
+        assert plan.selectivity1 > 0.9
+        assert plan.strategy == "pipeline"
+
+    def test_explain_reports_selectivities(self):
+        db, cities, populations, __ = build_db()
+        plan = db.explain(SQL.format(threshold=5_000_000, limit=3))
+        expected = sum(
+            1 for p in populations if p > 5_000_000
+        ) / len(populations)
+        assert plan.selectivity1 == pytest.approx(expected)
+        assert plan.selectivity2 == 1.0
+        assert "selectivity" in plan.pretty()
+
+    def test_auto_executes_correctly_either_way(self):
+        db, cities, populations, rivers = build_db()
+        for threshold in (1, 9_900_000):
+            rows = list(db.execute(
+                SQL.format(threshold=threshold, limit=5)
+            ))
+            truth = brute_answer(
+                cities, populations, rivers, threshold, 5
+            )
+            assert [r.d for r in rows] == pytest.approx(
+                [t[0] for t in truth]
+            )
+
+    def test_invalid_strategy_rejected(self):
+        db, *__ = build_db()
+        with pytest.raises(ValueError):
+            list(db.execute(
+                SQL.format(threshold=1, limit=1), strategy="psychic"
+            ))

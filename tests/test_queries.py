@@ -1,0 +1,220 @@
+"""Unit tests for single-tree queries (range, k-NN, incremental NN)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.geometry.metrics import EUCLIDEAN, MANHATTAN
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.rtree.bulk import bulk_load_str
+from repro.rtree.queries import (
+    incremental_nearest,
+    nearest_neighbors,
+    nearest_neighbors_bnb,
+    range_search,
+)
+from repro.rtree.rstar import RStarTree
+
+from tests.conftest import make_points, make_tree
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    points = make_points(250, seed=31)
+    return make_tree(points), points
+
+
+class TestRangeSearch:
+    def test_matches_brute_force(self, loaded):
+        tree, points = loaded
+        window = Rect((20, 30), (60, 70))
+        got = sorted(e.oid for e in range_search(tree, window))
+        expected = sorted(
+            i for i, p in enumerate(points) if window.contains_point(p)
+        )
+        assert got == expected
+
+    def test_empty_window(self, loaded):
+        tree, __ = loaded
+        window = Rect((200, 200), (300, 300))
+        assert list(range_search(tree, window)) == []
+
+    def test_whole_universe(self, loaded):
+        tree, points = loaded
+        window = Rect((0, 0), (100, 100))
+        assert len(list(range_search(tree, window))) == len(points)
+
+    def test_empty_tree(self):
+        tree = RStarTree(dim=2, max_entries=4)
+        assert list(range_search(tree, Rect((0, 0), (1, 1)))) == []
+
+
+class TestIncrementalNearest:
+    def test_order_matches_brute_force(self, loaded):
+        tree, points = loaded
+        query = Point((50, 50))
+        expected = sorted(
+            (EUCLIDEAN.distance(p, query), i) for i, p in enumerate(points)
+        )
+        got = list(incremental_nearest(tree, query))
+        assert len(got) == len(points)
+        for neighbor, (dist, __) in zip(got, expected):
+            assert neighbor.distance == pytest.approx(dist)
+
+    def test_lazy_consumption(self, loaded):
+        tree, __ = loaded
+        generator = incremental_nearest(tree, Point((10, 10)))
+        first = next(generator)
+        second = next(generator)
+        assert first.distance <= second.distance
+
+    def test_max_distance_truncates(self, loaded):
+        tree, points = loaded
+        query = Point((50, 50))
+        got = list(incremental_nearest(tree, query, max_distance=10.0))
+        expected = [
+            p for p in points if EUCLIDEAN.distance(p, query) <= 10.0
+        ]
+        assert len(got) == len(expected)
+
+    def test_other_metric(self, loaded):
+        tree, points = loaded
+        query = Point((50, 50))
+        got = list(incremental_nearest(tree, query, metric=MANHATTAN))
+        expected = sorted(
+            MANHATTAN.distance(p, query) for p in points
+        )
+        for neighbor, dist in zip(got, expected):
+            assert neighbor.distance == pytest.approx(dist)
+
+    def test_rect_query(self, loaded):
+        tree, points = loaded
+        window = Rect((40, 40), (60, 60))
+        first = next(incremental_nearest(tree, window))
+        expected = min(
+            EUCLIDEAN.mindist_point_rect(p, window) for p in points
+        )
+        assert first.distance == pytest.approx(expected)
+
+    def test_empty_tree(self):
+        tree = RStarTree(dim=2, max_entries=4)
+        assert list(incremental_nearest(tree, Point((0, 0)))) == []
+
+
+class TestKNearest:
+    def test_k_results(self, loaded):
+        tree, __ = loaded
+        assert len(nearest_neighbors(tree, Point((1, 1)), k=7)) == 7
+
+    def test_k_larger_than_tree(self, loaded):
+        tree, points = loaded
+        got = nearest_neighbors(tree, Point((1, 1)), k=10_000)
+        assert len(got) == len(points)
+
+    def test_k_must_be_positive(self, loaded):
+        tree, __ = loaded
+        with pytest.raises(ValueError):
+            nearest_neighbors(tree, Point((0, 0)), k=0)
+
+    def test_bulk_loaded_tree_gives_same_answers(self, loaded):
+        __, points = loaded
+        bulk = bulk_load_str(points, max_entries=8)
+        query = Point((33, 66))
+        a = [n.distance for n in nearest_neighbors(bulk, query, k=10)]
+        expected = sorted(
+            EUCLIDEAN.distance(p, query) for p in points
+        )[:10]
+        assert a == pytest.approx(expected)
+
+
+class TestBranchAndBoundKNN:
+    def test_matches_incremental(self, loaded):
+        tree, __ = loaded
+        for k in (1, 5, 20):
+            query = Point((37.0, 71.0))
+            a = [n.distance for n in nearest_neighbors(tree, query, k=k)]
+            b = [
+                n.distance
+                for n in nearest_neighbors_bnb(tree, query, k=k)
+            ]
+            assert a == pytest.approx(b)
+
+    def test_k_larger_than_tree(self, loaded):
+        tree, points = loaded
+        got = nearest_neighbors_bnb(tree, Point((0, 0)), k=10_000)
+        assert len(got) == len(points)
+
+    def test_prunes_subtrees(self, loaded):
+        tree, __ = loaded
+        tree.counters.reset()
+        nearest_neighbors_bnb(tree, Point((5.0, 5.0)), k=1)
+        assert tree.counters.value("pruned_bnb") > 0
+
+    def test_empty_tree(self):
+        tree = RStarTree(dim=2, max_entries=4)
+        assert nearest_neighbors_bnb(tree, Point((0, 0))) == []
+
+    def test_other_metric(self, loaded):
+        tree, points = loaded
+        query = Point((50, 50))
+        got = [
+            n.distance
+            for n in nearest_neighbors_bnb(
+                tree, query, k=5, metric=MANHATTAN
+            )
+        ]
+        expected = sorted(
+            MANHATTAN.distance(p, query) for p in points
+        )[:5]
+        assert got == pytest.approx(expected)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 100), st.floats(0, 100)),
+        min_size=1, max_size=60,
+    ),
+    st.tuples(st.floats(0, 100), st.floats(0, 100)),
+)
+def test_property_bnb_equals_incremental(raw, query_xy):
+    """Property: branch-and-bound and incremental k-NN agree on
+    arbitrary data for several k."""
+    points = [Point(xy) for xy in raw]
+    tree = make_tree(points, max_entries=4)
+    query = Point(query_xy)
+    for k in (1, 3, len(points)):
+        a = [n.distance for n in nearest_neighbors(tree, query, k=k)]
+        b = [n.distance for n in nearest_neighbors_bnb(tree, query, k=k)]
+        assert a == pytest.approx(b)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 100), st.floats(0, 100)),
+        min_size=1, max_size=60,
+    ),
+    st.tuples(st.floats(0, 100), st.floats(0, 100)),
+)
+def test_property_incremental_nn_is_sorted_and_complete(raw, query_xy):
+    """Property: INN yields every object exactly once, sorted by
+    distance, for arbitrary data and query."""
+    points = [Point(xy) for xy in raw]
+    tree = make_tree(points, max_entries=4)
+    query = Point(query_xy)
+    got = list(incremental_nearest(tree, query))
+    assert len(got) == len(points)
+    distances = [n.distance for n in got]
+    assert distances == sorted(distances)
+    assert sorted(n.oid for n in got) == list(range(len(points)))
+    brute_min = min(EUCLIDEAN.distance(p, query) for p in points)
+    assert distances[0] == pytest.approx(brute_min)

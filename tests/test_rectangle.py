@@ -1,0 +1,160 @@
+"""Unit tests for Rect."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DimensionMismatchError, GeometryError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+
+
+def coords(dim=2):
+    return st.tuples(*([st.floats(-100, 100)] * dim))
+
+
+def rects(dim=2):
+    return st.builds(
+        lambda a, b: Rect(
+            tuple(min(x, y) for x, y in zip(a, b)),
+            tuple(max(x, y) for x, y in zip(a, b)),
+        ),
+        coords(dim),
+        coords(dim),
+    )
+
+
+class TestConstruction:
+    def test_lo_hi(self):
+        r = Rect((0, 1), (2, 3))
+        assert r.lo == (0.0, 1.0)
+        assert r.hi == (2.0, 3.0)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect((1, 0), (0, 1))
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            Rect((0, 0), (1, 1, 1))
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect((), ())
+
+    def test_degenerate_allowed(self):
+        r = Rect((1, 1), (1, 1))
+        assert r.is_degenerate()
+        assert r.area() == 0.0
+
+    def test_from_point(self):
+        p = Point((3, 4))
+        r = Rect.from_point(p)
+        assert r.lo == r.hi == (3.0, 4.0)
+
+    def test_from_points(self):
+        r = Rect.from_points([Point((0, 5)), Point((3, 1))])
+        assert r == Rect((0, 1), (3, 5))
+
+    def test_from_points_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect.from_points([])
+
+    def test_union_of(self):
+        r = Rect.union_of([Rect((0, 0), (1, 1)), Rect((2, -1), (3, 0))])
+        assert r == Rect((0, -1), (3, 1))
+
+    def test_immutable(self):
+        r = Rect((0, 0), (1, 1))
+        with pytest.raises(AttributeError):
+            r.lo = (5, 5)
+
+
+class TestMeasures:
+    def test_area(self):
+        assert Rect((0, 0), (2, 3)).area() == 6.0
+
+    def test_margin(self):
+        assert Rect((0, 0), (2, 3)).margin() == 5.0
+
+    def test_center(self):
+        assert Rect((0, 0), (2, 4)).center() == Point((1, 2))
+
+    def test_side(self):
+        r = Rect((0, 1), (2, 5))
+        assert r.side(0) == 2.0
+        assert r.side(1) == 4.0
+
+
+class TestSetOps:
+    def test_union(self):
+        a = Rect((0, 0), (1, 1))
+        b = Rect((2, 2), (3, 3))
+        assert a.union(b) == Rect((0, 0), (3, 3))
+
+    def test_intersection_overlapping(self):
+        a = Rect((0, 0), (2, 2))
+        b = Rect((1, 1), (3, 3))
+        assert a.intersection(b) == Rect((1, 1), (2, 2))
+
+    def test_intersection_disjoint_is_none(self):
+        a = Rect((0, 0), (1, 1))
+        b = Rect((2, 2), (3, 3))
+        assert a.intersection(b) is None
+
+    def test_intersects_at_boundary(self):
+        a = Rect((0, 0), (1, 1))
+        b = Rect((1, 1), (2, 2))
+        assert a.intersects(b)
+
+    def test_overlap_area(self):
+        a = Rect((0, 0), (2, 2))
+        b = Rect((1, 0), (3, 2))
+        assert a.overlap_area(b) == 2.0
+        assert a.overlap_area(Rect((5, 5), (6, 6))) == 0.0
+
+    def test_contains_point_boundary(self):
+        r = Rect((0, 0), (1, 1))
+        assert r.contains_point(Point((1, 0)))
+        assert not r.contains_point(Point((1.01, 0)))
+
+    def test_contains_rect(self):
+        outer = Rect((0, 0), (10, 10))
+        assert outer.contains_rect(Rect((1, 1), (2, 2)))
+        assert not Rect((1, 1), (2, 2)).contains_rect(outer)
+
+    def test_enlargement(self):
+        a = Rect((0, 0), (1, 1))
+        assert a.enlargement(Rect((0, 0), (1, 2))) == 1.0
+        assert a.enlargement(Rect((0, 0), (1, 1))) == 0.0
+
+    def test_corners_count(self):
+        assert len(list(Rect((0, 0, 0), (1, 1, 1)).corners())) == 8
+
+
+class TestProperties:
+    @given(rects(), rects())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_rect(a)
+        assert u.contains_rect(b)
+
+    @given(rects(), rects())
+    def test_union_commutative(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @given(rects(), rects())
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlap_area(b) == pytest.approx(b.overlap_area(a))
+
+    @given(rects(), rects())
+    def test_intersection_inside_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.contains_rect(inter)
+            assert b.contains_rect(inter)
+        else:
+            assert not a.intersects(b)
+
+    @given(rects())
+    def test_enlargement_nonnegative(self, a):
+        assert a.enlargement(Rect((0, 0), (1, 1))) >= -1e-9

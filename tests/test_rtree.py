@@ -1,0 +1,236 @@
+"""Unit + property tests for the R*-tree and classic R-tree."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import TreeError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.rtree.guttman import GuttmanRTree
+from repro.rtree.rstar import RStarTree
+from repro.rtree.validate import validate_tree
+from repro.util.counters import CounterRegistry
+
+from tests.conftest import make_points
+
+TREE_CLASSES = [RStarTree, GuttmanRTree]
+
+
+@pytest.mark.parametrize("tree_class", TREE_CLASSES)
+class TestInsertion:
+    def test_empty_tree(self, tree_class):
+        tree = tree_class(dim=2, max_entries=4)
+        assert len(tree) == 0
+        assert tree.height == 1
+        assert tree.bounds() is None
+
+    def test_single_insert(self, tree_class):
+        tree = tree_class(dim=2, max_entries=4)
+        oid = tree.insert_point((1.0, 2.0))
+        assert oid == 0
+        assert len(tree) == 1
+        assert tree.bounds() == Rect((1, 2), (1, 2))
+
+    def test_oids_sequential(self, tree_class):
+        tree = tree_class(dim=2, max_entries=4)
+        oids = [tree.insert_point((float(i), 0.0)) for i in range(10)]
+        assert oids == list(range(10))
+
+    def test_explicit_oid(self, tree_class):
+        tree = tree_class(dim=2, max_entries=4)
+        assert tree.insert(obj=Point((0, 0)), oid=42) == 42
+        assert tree.insert_point((1, 1)) == 43
+
+    def test_grows_and_stays_valid(self, tree_class):
+        tree = tree_class(dim=2, max_entries=4)
+        for point in make_points(200, seed=3):
+            tree.insert(obj=point)
+        assert len(tree) == 200
+        assert tree.height >= 3
+        validate_tree(tree)
+
+    def test_duplicate_points_allowed(self, tree_class):
+        tree = tree_class(dim=2, max_entries=4)
+        for __ in range(30):
+            tree.insert_point((5.0, 5.0))
+        validate_tree(tree)
+        assert len(tree) == 30
+
+    def test_collinear_points(self, tree_class):
+        tree = tree_class(dim=2, max_entries=4)
+        for i in range(50):
+            tree.insert_point((float(i), 0.0))
+        validate_tree(tree)
+
+    def test_rect_objects(self, tree_class):
+        tree = tree_class(dim=2, max_entries=4)
+        for i in range(20):
+            tree.insert(rect=Rect((i, 0), (i + 2, 2)), obj=None)
+        validate_tree(tree)
+
+    def test_dimension_mismatch_rejected(self, tree_class):
+        tree = tree_class(dim=2, max_entries=4)
+        with pytest.raises(TreeError):
+            tree.insert(obj=Point((1, 2, 3)))
+
+    def test_3d_tree(self, tree_class):
+        tree = tree_class(dim=3, max_entries=4)
+        rng = random.Random(1)
+        for __ in range(60):
+            tree.insert(obj=Point(
+                (rng.random(), rng.random(), rng.random())
+            ))
+        validate_tree(tree)
+
+    def test_items_iterates_everything(self, tree_class):
+        tree = tree_class(dim=2, max_entries=4)
+        points = make_points(40, seed=8)
+        for point in points:
+            tree.insert(obj=point)
+        seen = sorted(entry.oid for entry in tree.items())
+        assert seen == list(range(40))
+
+
+@pytest.mark.parametrize("tree_class", TREE_CLASSES)
+class TestDeletion:
+    def test_delete_existing(self, tree_class):
+        tree = tree_class(dim=2, max_entries=4)
+        points = make_points(50, seed=4)
+        for point in points:
+            tree.insert(obj=point)
+        assert tree.delete(10, Rect.from_point(points[10]))
+        assert len(tree) == 49
+        validate_tree(tree)
+        remaining = {entry.oid for entry in tree.items()}
+        assert 10 not in remaining
+
+    def test_delete_missing_returns_false(self, tree_class):
+        tree = tree_class(dim=2, max_entries=4)
+        tree.insert_point((0, 0))
+        assert not tree.delete(99, Rect((0, 0), (0, 0)))
+        assert len(tree) == 1
+
+    def test_delete_everything(self, tree_class):
+        tree = tree_class(dim=2, max_entries=4)
+        points = make_points(60, seed=6)
+        for point in points:
+            tree.insert(obj=point)
+        for oid, point in enumerate(points):
+            assert tree.delete(oid, Rect.from_point(point))
+            validate_tree(tree)
+        assert len(tree) == 0
+        assert tree.height == 1
+
+    def test_delete_shrinks_height(self, tree_class):
+        tree = tree_class(dim=2, max_entries=4)
+        points = make_points(100, seed=7)
+        for point in points:
+            tree.insert(obj=point)
+        tall = tree.height
+        for oid, point in enumerate(points[:95]):
+            tree.delete(oid, Rect.from_point(point))
+        validate_tree(tree)
+        assert tree.height < tall
+
+    def test_reinsert_after_delete(self, tree_class):
+        tree = tree_class(dim=2, max_entries=4)
+        points = make_points(30, seed=9)
+        for point in points:
+            tree.insert(obj=point)
+        tree.delete(0, Rect.from_point(points[0]))
+        new_oid = tree.insert(obj=points[0])
+        assert new_oid == 30
+        validate_tree(tree)
+
+
+class TestRStarSpecifics:
+    def test_forced_reinserts_happen(self):
+        counters = CounterRegistry()
+        tree = RStarTree(dim=2, max_entries=8, counters=counters)
+        for point in make_points(300, seed=12):
+            tree.insert(obj=point)
+        assert counters.value("forced_reinserts") > 0
+
+    def test_min_subtree_count(self):
+        tree = RStarTree(dim=2, max_entries=10, min_entries=4)
+        assert tree.min_subtree_count(0) == 4
+        assert tree.min_subtree_count(2) == 64
+
+    def test_avg_subtree_count_grows_with_level(self):
+        tree = RStarTree(dim=2, max_entries=8)
+        for point in make_points(120, seed=13):
+            tree.insert(obj=point)
+        assert tree.avg_subtree_count(1) > tree.avg_subtree_count(0)
+
+    def test_node_io_counted(self):
+        counters = CounterRegistry()
+        tree = RStarTree(
+            dim=2, max_entries=4, counters=counters, buffer_pages=2
+        )
+        for point in make_points(100, seed=14):
+            tree.insert(obj=point)
+        counters.reset()
+        list(tree.items())
+        assert counters.value("node_reads") > 0
+        # With only 2 buffer pages most reads must miss.
+        assert counters.value("node_io") > 0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            RStarTree(dim=2, max_entries=1)
+        with pytest.raises(ValueError):
+            RStarTree(dim=2, max_entries=8, min_entries=5)
+        with pytest.raises(ValueError):
+            RStarTree(dim=0)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 1000), st.floats(0, 1000)),
+        min_size=1,
+        max_size=120,
+    ),
+    st.sampled_from([4, 8]),
+)
+def test_property_insert_keeps_invariants(raw_points, max_entries):
+    """Property: any insertion sequence yields a valid R*-tree that
+    contains exactly the inserted objects."""
+    tree = RStarTree(dim=2, max_entries=max_entries)
+    for xy in raw_points:
+        tree.insert(obj=Point(xy))
+    validate_tree(tree)
+    assert len(tree) == len(raw_points)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.data())
+def test_property_mixed_insert_delete(data):
+    """Property: random interleavings of inserts and deletes keep the
+    tree valid and consistent with a model dict."""
+    tree = RStarTree(dim=2, max_entries=4)
+    model = {}
+    ops = data.draw(st.integers(10, 80))
+    rng_seed = data.draw(st.integers(0, 10_000))
+    rng = random.Random(rng_seed)
+    for __ in range(ops):
+        if model and rng.random() < 0.4:
+            oid = rng.choice(list(model))
+            point = model.pop(oid)
+            assert tree.delete(oid, Rect.from_point(point))
+        else:
+            point = Point((rng.uniform(0, 100), rng.uniform(0, 100)))
+            oid = tree.insert(obj=point)
+            model[oid] = point
+    validate_tree(tree)
+    assert {e.oid for e in tree.items()} == set(model)

@@ -1,0 +1,129 @@
+"""Unit tests for extended spatial objects (segments, polygons)."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.shapes import LineSegment, PointObject, Polygon
+
+
+def P(x, y):
+    return Point((x, y))
+
+
+class TestPointObject:
+    def test_mbr_degenerate(self):
+        o = PointObject(P(1, 2))
+        assert o.mbr().lo == o.mbr().hi == (1.0, 2.0)
+
+    def test_distance_point_point(self):
+        assert PointObject(P(0, 0)).distance_to(PointObject(P(3, 4))) == 5.0
+
+
+class TestLineSegment:
+    def test_requires_2d(self):
+        with pytest.raises(GeometryError):
+            LineSegment(Point((0, 0, 0)), Point((1, 1, 1)))
+
+    def test_mbr(self):
+        s = LineSegment(P(0, 2), P(3, 0))
+        assert s.mbr().lo == (0.0, 0.0)
+        assert s.mbr().hi == (3.0, 2.0)
+
+    def test_length(self):
+        assert LineSegment(P(0, 0), P(3, 4)).length() == 5.0
+
+    def test_distance_to_point_perpendicular(self):
+        s = LineSegment(P(0, 0), P(10, 0))
+        assert s.distance_to_point(P(5, 3)) == 3.0
+
+    def test_distance_to_point_beyond_endpoint(self):
+        s = LineSegment(P(0, 0), P(10, 0))
+        assert s.distance_to_point(P(13, 4)) == 5.0
+
+    def test_distance_degenerate_segment(self):
+        s = LineSegment(P(1, 1), P(1, 1))
+        assert s.distance_to_point(P(4, 5)) == 5.0
+
+    def test_segment_segment_parallel(self):
+        a = LineSegment(P(0, 0), P(10, 0))
+        b = LineSegment(P(0, 2), P(10, 2))
+        assert a.distance_to(b) == 2.0
+
+    def test_segment_segment_crossing_is_zero(self):
+        a = LineSegment(P(0, 0), P(2, 2))
+        b = LineSegment(P(0, 2), P(2, 0))
+        assert a.distance_to(b) == 0.0
+        assert a.intersects_segment(b)
+
+    def test_segment_segment_touching_endpoint(self):
+        a = LineSegment(P(0, 0), P(1, 1))
+        b = LineSegment(P(1, 1), P(2, 0))
+        assert a.distance_to(b) == 0.0
+
+    def test_segment_segment_skew(self):
+        a = LineSegment(P(0, 0), P(1, 0))
+        b = LineSegment(P(3, 1), P(4, 2))
+        assert a.distance_to(b) == pytest.approx(math.hypot(2, 1))
+
+    def test_distance_to_point_object(self):
+        s = LineSegment(P(0, 0), P(10, 0))
+        assert s.distance_to(PointObject(P(5, 2))) == 2.0
+
+
+class TestPolygon:
+    def square(self):
+        return Polygon([P(0, 0), P(4, 0), P(4, 4), P(0, 4)])
+
+    def test_requires_three_vertices(self):
+        with pytest.raises(GeometryError):
+            Polygon([P(0, 0), P(1, 1)])
+
+    def test_mbr(self):
+        assert self.square().mbr().hi == (4.0, 4.0)
+
+    def test_contains_point_inside(self):
+        assert self.square().contains_point(P(2, 2))
+
+    def test_contains_point_outside(self):
+        assert not self.square().contains_point(P(5, 2))
+
+    def test_contains_point_on_boundary(self):
+        assert self.square().contains_point(P(4, 2))
+        assert self.square().contains_point(P(0, 0))
+
+    def test_distance_point_inside_zero(self):
+        assert self.square().distance_to_point(P(1, 1)) == 0.0
+
+    def test_distance_point_outside(self):
+        assert self.square().distance_to_point(P(7, 2)) == 3.0
+
+    def test_distance_to_segment_intersecting(self):
+        s = LineSegment(P(-1, 2), P(5, 2))
+        assert self.square().distance_to(s) == 0.0
+
+    def test_distance_to_segment_outside(self):
+        s = LineSegment(P(6, 0), P(6, 4))
+        assert self.square().distance_to(s) == 2.0
+
+    def test_distance_polygon_polygon_disjoint(self):
+        other = Polygon([P(7, 0), P(9, 0), P(9, 4), P(7, 4)])
+        assert self.square().distance_to(other) == 3.0
+
+    def test_distance_polygon_polygon_nested(self):
+        inner = Polygon([P(1, 1), P(2, 1), P(2, 2), P(1, 2)])
+        assert self.square().distance_to(inner) == 0.0
+
+    def test_distance_to_point_object(self):
+        assert self.square().distance_to(PointObject(P(7, 2))) == 3.0
+
+    def test_concave_polygon_containment(self):
+        # A "C" shape: the notch must not count as inside.
+        c_shape = Polygon([
+            P(0, 0), P(4, 0), P(4, 1), P(1, 1),
+            P(1, 3), P(4, 3), P(4, 4), P(0, 4),
+        ])
+        assert c_shape.contains_point(P(0.5, 2))
+        assert not c_shape.contains_point(P(2.5, 2))

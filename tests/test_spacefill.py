@@ -1,0 +1,155 @@
+"""Tests for space-filling-curve bulk loading and tree quality metrics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.distance_join import IncrementalDistanceJoin
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.rtree.spacefill import (
+    bulk_load_curve,
+    hilbert_key_2d,
+    morton_key,
+)
+from repro.rtree.stats import tree_quality
+from repro.rtree.validate import validate_tree
+from repro.util.counters import CounterRegistry
+
+from tests.conftest import brute_force_pairs, make_points, make_tree
+
+
+class TestCurveKeys:
+    def test_morton_interleaves(self):
+        # (1, 0) -> bit 0 set; (0, 1) -> bit 1 set.
+        assert morton_key([1, 0], order=4) == 1
+        assert morton_key([0, 1], order=4) == 2
+        assert morton_key([1, 1], order=4) == 3
+
+    def test_morton_any_dimension(self):
+        assert morton_key([1, 0, 0], order=4) == 1
+        assert morton_key([0, 0, 1], order=4) == 4
+
+    def test_hilbert_order1(self):
+        # The order-1 Hilbert curve visits (0,0),(0,1),(1,1),(1,0).
+        visits = sorted(
+            (hilbert_key_2d(x, y, order=1), (x, y))
+            for x in (0, 1) for y in (0, 1)
+        )
+        assert [cell for __, cell in visits] == [
+            (0, 0), (0, 1), (1, 1), (1, 0)
+        ]
+
+    def test_hilbert_is_a_bijection(self):
+        order = 4
+        keys = {
+            hilbert_key_2d(x, y, order)
+            for x in range(16) for y in range(16)
+        }
+        assert keys == set(range(256))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_hilbert_locality(self, x, y):
+        """Adjacent curve positions are adjacent cells (the property
+        that makes Hilbert packing cluster well)."""
+        order = 8
+        key = hilbert_key_2d(x, y, order)
+        # Reconstruct neighbours by brute scanning a small window.
+        for dx, dy in ((1, 0), (0, 1)):
+            nx, ny = x + dx, y + dy
+            if nx < 256 and ny < 256:
+                other = hilbert_key_2d(nx, ny, order)
+                assert other != key
+
+
+class TestCurveBulkLoad:
+    @pytest.mark.parametrize("curve", ["hilbert", "morton"])
+    def test_valid_tree_and_complete(self, curve):
+        points = make_points(300, seed=241)
+        tree = bulk_load_curve(points, curve=curve, max_entries=8)
+        validate_tree(tree, allow_underfull=True)
+        assert len(tree) == 300
+        by_oid = {e.oid: e.obj for e in tree.items()}
+        for i, point in enumerate(points):
+            assert by_oid[i] == point
+
+    @pytest.mark.parametrize("curve", ["hilbert", "morton", "str"])
+    def test_join_answers_identical(self, curve):
+        points_a = make_points(80, seed=242)
+        points_b = make_points(80, seed=243)
+        tree_a = bulk_load_curve(points_a, curve=curve, max_entries=8)
+        tree_b = make_tree(points_b)
+        join = IncrementalDistanceJoin(
+            tree_a, tree_b, counters=CounterRegistry()
+        )
+        got = [next(join).distance for __ in range(100)]
+        truth = [
+            t[0] for t in brute_force_pairs(points_a, points_b)[:100]
+        ]
+        assert got == pytest.approx(truth)
+
+    def test_hilbert_requires_2d(self):
+        points = [Point((1.0, 2.0, 3.0))]
+        with pytest.raises(GeometryError):
+            bulk_load_curve(points, curve="hilbert")
+        tree = bulk_load_curve(points, curve="morton")
+        assert len(tree) == 1
+
+    def test_empty_and_single(self):
+        assert len(bulk_load_curve([], curve="hilbert")) == 0
+        tree = bulk_load_curve([Point((0.0, 0.0))], curve="hilbert")
+        assert len(tree) == 1
+
+    def test_unknown_curve_rejected(self):
+        with pytest.raises(ValueError):
+            bulk_load_curve([Point((0, 0))], curve="spiral")
+
+    def test_inserts_after_curve_load(self):
+        points = make_points(60, seed=244)
+        tree = bulk_load_curve(points, curve="hilbert", max_entries=8)
+        tree.insert_point((50.0, 50.0))
+        validate_tree(tree, allow_underfull=True)
+        assert len(tree) == 61
+
+    def test_duplicate_coordinates(self):
+        points = [Point((5.0, 5.0))] * 40
+        tree = bulk_load_curve(points, curve="hilbert", max_entries=8)
+        validate_tree(tree, allow_underfull=True)
+        assert len(tree) == 40
+
+
+class TestTreeQuality:
+    def test_metrics_populated(self):
+        tree = make_tree(make_points(200, seed=245))
+        quality = tree_quality(tree)
+        assert quality.nodes > 1
+        assert quality.height == tree.height
+        assert 0.0 < quality.avg_fill <= 1.0
+        assert quality.total_margin > 0.0
+        assert quality.coverage_ratio > 0.0
+
+    def test_empty_tree(self):
+        from repro.rtree.rstar import RStarTree
+        quality = tree_quality(RStarTree(dim=2, max_entries=4))
+        assert quality.nodes == 1
+
+    def test_hilbert_beats_morton_on_overlap(self):
+        """Hilbert's locality should pack tighter than Morton on the
+        clustered TIGER-like data (the classic empirical result)."""
+        from repro.datasets.tiger_like import roads_points
+        points = roads_points(3000)
+        hilbert = tree_quality(
+            bulk_load_curve(points, curve="hilbert", max_entries=16)
+        )
+        morton = tree_quality(
+            bulk_load_curve(points, curve="morton", max_entries=16)
+        )
+        assert hilbert.sibling_overlap <= morton.sibling_overlap * 1.2
+
+    def test_str_quality_reasonable(self):
+        points = make_points(400, seed=246)
+        from repro.rtree.bulk import bulk_load_str
+        packed = tree_quality(bulk_load_str(points, max_entries=8))
+        inserted = tree_quality(make_tree(points, max_entries=8))
+        # Bulk packing should not be wildly worse than R* insertion.
+        assert packed.sibling_overlap <= inserted.sibling_overlap * 5

@@ -1,0 +1,104 @@
+"""Unit tests for the R* and quadratic split algorithms."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TreeError
+from repro.geometry.rectangle import Rect
+from repro.rtree.entry import LeafEntry
+from repro.rtree.split import quadratic_split, rstar_split
+
+
+def entries_from_boxes(boxes):
+    return [
+        LeafEntry(Rect(lo, hi), oid) for oid, (lo, hi) in enumerate(boxes)
+    ]
+
+
+def random_entries(count, seed):
+    rng = random.Random(seed)
+    boxes = []
+    for __ in range(count):
+        x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+        boxes.append(((x, y), (x + rng.uniform(0, 5), y + rng.uniform(0, 5))))
+    return entries_from_boxes(boxes)
+
+
+@pytest.mark.parametrize("split", [rstar_split, quadratic_split])
+class TestSplitContracts:
+    def test_partition_is_exact(self, split):
+        entries = random_entries(11, seed=1)
+        g1, g2 = split(entries, min_entries=4)
+        assert len(g1) + len(g2) == len(entries)
+        ids = sorted(e.oid for e in g1) + sorted(e.oid for e in g2)
+        assert sorted(ids) == list(range(len(entries)))
+
+    def test_min_fill_respected(self, split):
+        for seed in range(5):
+            entries = random_entries(9, seed=seed)
+            g1, g2 = split(entries, min_entries=4)
+            assert len(g1) >= 4
+            assert len(g2) >= 4
+
+    def test_too_few_entries_rejected(self, split):
+        entries = random_entries(5, seed=0)
+        with pytest.raises(TreeError):
+            split(entries, min_entries=3)
+
+    def test_minimum_possible_split(self, split):
+        entries = random_entries(2, seed=3)
+        g1, g2 = split(entries, min_entries=1)
+        assert len(g1) == len(g2) == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(5, 21))
+    def test_random_partitions(self, split, seed, count):
+        entries = random_entries(count, seed=seed)
+        min_entries = max(1, count // 3)
+        if count < 2 * min_entries:
+            return
+        g1, g2 = split(entries, min_entries)
+        assert len(g1) >= min_entries
+        assert len(g2) >= min_entries
+        assert len(g1) + len(g2) == count
+
+
+class TestRStarSplitQuality:
+    def test_separates_two_clusters(self):
+        # Two well-separated clusters must end up in different groups.
+        left = [((i, 0), (i + 1, 1)) for i in range(5)]
+        right = [((i + 100, 0), (i + 101, 1)) for i in range(5)]
+        entries = entries_from_boxes(left + right)
+        g1, g2 = rstar_split(entries, min_entries=4)
+        sides = [
+            {("L" if e.rect.lo[0] < 50 else "R") for e in group}
+            for group in (g1, g2)
+        ]
+        # One group may need an entry of the other cluster to meet the
+        # minimum fill (5 vs 4), but no group may mix both clusters
+        # when a clean 5/5 split exists.
+        assert sides[0] != sides[1] or all(len(s) == 1 for s in sides)
+
+    def test_zero_overlap_when_possible(self):
+        entries = entries_from_boxes(
+            [((i * 10, 0), (i * 10 + 1, 1)) for i in range(10)]
+        )
+        g1, g2 = rstar_split(entries, min_entries=4)
+        bb1 = Rect.union_of([e.rect for e in g1])
+        bb2 = Rect.union_of([e.rect for e in g2])
+        assert bb1.overlap_area(bb2) == 0.0
+
+
+class TestQuadraticSplitQuality:
+    def test_seeds_are_extreme_pair(self):
+        entries = entries_from_boxes(
+            [((0, 0), (1, 1)), ((100, 100), (101, 101)), ((1, 1), (2, 2))]
+        )
+        g1, g2 = quadratic_split(entries, min_entries=1)
+        all_x = {e.rect.lo[0] for e in g1} | {e.rect.lo[0] for e in g2}
+        assert all_x == {0.0, 100.0, 1.0}
+        # The far-away box sits alone in its group.
+        lonely = g1 if len(g1) == 1 else g2
+        assert lonely[0].rect.lo[0] == 100.0

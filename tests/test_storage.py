@@ -1,0 +1,143 @@
+"""Unit tests for the simulated pager and buffer pool."""
+
+import pytest
+
+from repro.errors import PageNotFoundError, StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import PageStore
+from repro.util.counters import CounterRegistry
+
+
+class TestPageStore:
+    def test_allocate_and_read(self):
+        store = PageStore()
+        pid = store.allocate("hello", 5)
+        assert store.read(pid).payload == "hello"
+
+    def test_ids_are_unique_and_sequential(self):
+        store = PageStore()
+        ids = [store.allocate() for __ in range(5)]
+        assert ids == sorted(set(ids))
+
+    def test_write_overwrites(self):
+        store = PageStore()
+        pid = store.allocate("a", 1)
+        store.write(pid, "bb", 2)
+        assert store.read(pid).payload == "bb"
+        assert store.read(pid).size_bytes == 2
+
+    def test_free_then_read_raises(self):
+        store = PageStore()
+        pid = store.allocate()
+        store.free(pid)
+        with pytest.raises(PageNotFoundError):
+            store.read(pid)
+
+    def test_double_free_raises(self):
+        store = PageStore()
+        pid = store.allocate()
+        store.free(pid)
+        with pytest.raises(PageNotFoundError):
+            store.free(pid)
+
+    def test_oversized_payload_rejected(self):
+        store = PageStore(page_size=16)
+        with pytest.raises(StorageError):
+            store.allocate("x", 17)
+        pid = store.allocate("x", 16)
+        with pytest.raises(StorageError):
+            store.write(pid, "y", 17)
+
+    def test_counters(self):
+        counters = CounterRegistry()
+        store = PageStore(counters=counters)
+        pid = store.allocate("a", 1)
+        store.read(pid)
+        store.read(pid)
+        store.write(pid, "b", 1)
+        assert counters.value("page_reads") == 2
+        assert counters.value("page_writes") == 2  # allocate + write
+        assert counters.value("pages_allocated") == 1
+
+    def test_total_bytes_and_count(self):
+        store = PageStore()
+        store.allocate("a", 10)
+        store.allocate("b", 20)
+        assert store.page_count == 2
+        assert store.total_bytes() == 30
+
+    def test_exists(self):
+        store = PageStore()
+        pid = store.allocate()
+        assert store.exists(pid)
+        assert not store.exists(pid + 1)
+
+
+class TestBufferPool:
+    def test_hit_after_first_read(self):
+        counters = CounterRegistry()
+        store = PageStore(counters=counters)
+        pool = BufferPool(store, capacity=4, counters=counters)
+        pid = store.allocate("x", 1)
+        counters.reset()
+        pool.read(pid)
+        pool.read(pid)
+        assert counters.value("buffer_misses") == 1
+        assert counters.value("buffer_hits") == 1
+        assert counters.value("page_reads") == 1
+
+    def test_lru_eviction(self):
+        counters = CounterRegistry()
+        store = PageStore(counters=counters)
+        pool = BufferPool(store, capacity=2, counters=counters)
+        a, b, c = (store.allocate(i, 1) for i in range(3))
+        pool.read(a)
+        pool.read(b)
+        pool.read(c)  # evicts a
+        assert not pool.contains(a)
+        assert pool.contains(b)
+        assert pool.contains(c)
+
+    def test_lru_refresh_on_access(self):
+        store = PageStore()
+        pool = BufferPool(store, capacity=2)
+        a, b, c = (store.allocate(i, 1) for i in range(3))
+        pool.read(a)
+        pool.read(b)
+        pool.read(a)  # a is now most recent
+        pool.read(c)  # evicts b
+        assert pool.contains(a)
+        assert not pool.contains(b)
+
+    def test_invalidate(self):
+        store = PageStore()
+        pool = BufferPool(store, capacity=2)
+        pid = store.allocate("x", 1)
+        pool.read(pid)
+        pool.invalidate(pid)
+        assert not pool.contains(pid)
+
+    def test_clear_simulates_cold_cache(self):
+        counters = CounterRegistry()
+        store = PageStore(counters=counters)
+        pool = BufferPool(store, capacity=2, counters=counters)
+        pid = store.allocate("x", 1)
+        pool.read(pid)
+        pool.clear()
+        counters.reset()
+        pool.read(pid)
+        assert counters.value("buffer_misses") == 1
+
+    def test_hit_ratio(self):
+        store = PageStore()
+        pool = BufferPool(store, capacity=4)
+        pid = store.allocate("x", 1)
+        assert pool.hit_ratio() == 0.0
+        pool.read(pid)
+        pool.read(pid)
+        pool.read(pid)
+        assert pool.hit_ratio() == pytest.approx(2 / 3)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BufferPool(PageStore(), capacity=0)

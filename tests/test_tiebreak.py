@@ -1,0 +1,91 @@
+"""Unit tests for queue key construction / tie-break policies."""
+
+import pytest
+
+from repro.core.pairs import NODE, OBJ, OBR, Item, Pair
+from repro.core.tiebreak import BREADTH_FIRST, DEPTH_FIRST, KeyMaker
+from repro.geometry.rectangle import Rect
+
+R = Rect((0, 0), (1, 1))
+
+
+def node(level):
+    return Item(NODE, R, node_id=1, level=level)
+
+
+def obj():
+    return Item(OBJ, R, oid=1)
+
+
+def obr():
+    return Item(OBR, R, oid=1)
+
+
+class TestRanks:
+    def test_result_pairs_first(self):
+        km = KeyMaker(DEPTH_FIRST)
+        k_obj = km.key(Pair(obj(), obj(), 5.0), 5.0)
+        k_obr = km.key(Pair(obr(), obr(), 5.0), 5.0)
+        k_one_node = km.key(Pair(node(0), obj(), 5.0), 5.0)
+        k_two_nodes = km.key(Pair(node(0), node(0), 5.0), 5.0)
+        assert k_obj < k_obr < k_one_node < k_two_nodes
+
+    def test_distance_dominates_rank(self):
+        km = KeyMaker(DEPTH_FIRST)
+        near_nodes = km.key(Pair(node(2), node(2), 1.0), 1.0)
+        far_objects = km.key(Pair(obj(), obj(), 2.0), 2.0)
+        assert near_nodes < far_objects
+
+
+class TestDepthPolicy:
+    def test_depth_first_prefers_deeper(self):
+        km = KeyMaker(DEPTH_FIRST)
+        deep = km.key(Pair(node(0), node(0), 1.0), 1.0)
+        shallow = km.key(Pair(node(3), node(3), 1.0), 1.0)
+        assert deep < shallow
+
+    def test_breadth_first_prefers_shallower(self):
+        km = KeyMaker(BREADTH_FIRST)
+        deep = km.key(Pair(node(0), node(0), 1.0), 1.0)
+        shallow = km.key(Pair(node(3), node(3), 1.0), 1.0)
+        assert shallow < deep
+
+    def test_depth_first_lifo_on_full_tie(self):
+        km = KeyMaker(DEPTH_FIRST)
+        first = km.key(Pair(node(1), node(1), 1.0), 1.0)
+        second = km.key(Pair(node(1), node(1), 1.0), 1.0)
+        assert second < first  # most recent wins
+
+    def test_breadth_first_fifo_on_full_tie(self):
+        km = KeyMaker(BREADTH_FIRST)
+        first = km.key(Pair(node(1), node(1), 1.0), 1.0)
+        second = km.key(Pair(node(1), node(1), 1.0), 1.0)
+        assert first < second
+
+
+class TestDescending:
+    def test_descending_negates_distance(self):
+        km = KeyMaker(DEPTH_FIRST, descending=True)
+        near = km.key(Pair(obj(), obj(), 1.0), 1.0)
+        far = km.key(Pair(obj(), obj(), 9.0), 9.0)
+        assert far < near
+
+    def test_distance_of_recovers_magnitude(self):
+        km = KeyMaker(DEPTH_FIRST, descending=True)
+        k = km.key(Pair(obj(), obj(), 3.0), 3.0)
+        assert KeyMaker.distance_of(k) == 3.0
+
+
+class TestValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            KeyMaker("sideways")
+
+    def test_keys_are_totally_ordered(self):
+        km = KeyMaker(DEPTH_FIRST)
+        keys = [
+            km.key(Pair(node(i % 3), obj(), float(i % 4)), float(i % 4))
+            for i in range(20)
+        ]
+        # sorting must not raise (total order, no incomparable tuples)
+        assert len(sorted(keys)) == 20

@@ -1,0 +1,104 @@
+"""Tests for the real TIGER/Line RT1 reader (synthetic fixture data)."""
+
+import pytest
+
+from repro.datasets.tiger import (
+    TigerFormatError,
+    iter_rt1,
+    parse_rt1_line,
+    read_centroids,
+    read_road_centroids,
+    read_water_centroids,
+)
+
+
+def make_rt1(cfcc: str, frlong: int, frlat: int, tolong: int,
+             tolat: int) -> str:
+    """Build a fixed-width Record Type 1 line with the given CFCC and
+    signed 6-implied-decimal coordinates (given as raw integers)."""
+    line = [" "] * 228
+    line[0] = "1"
+    line[55:58] = list(f"{cfcc:<3}"[:3])
+
+    def put(start, width, value):
+        text = f"{value:+0{width}d}"
+        line[start:start + width] = list(text)
+
+    put(190, 10, frlong)
+    put(200, 9, frlat)
+    put(209, 10, tolong)
+    put(219, 9, tolat)
+    return "".join(line)
+
+
+ROAD = make_rt1("A41", -77038000, 38897000, -77036000, 38899000)
+WATER = make_rt1("H11", -77100000, 38800000, -77050000, 38850000)
+RAIL = make_rt1("B11", -77000000, 38900000, -76990000, 38910000)
+
+
+class TestParseLine:
+    def test_road_record(self):
+        record = parse_rt1_line(ROAD)
+        assert record["cfcc"] == "A41"
+        assert record["start"].x == pytest.approx(-77.038)
+        assert record["start"].y == pytest.approx(38.897)
+        assert record["end"].x == pytest.approx(-77.036)
+        assert record["centroid"].x == pytest.approx(-77.037)
+        assert record["centroid"].y == pytest.approx(38.898)
+
+    def test_non_rt1_lines_skipped(self):
+        assert parse_rt1_line("2" + " " * 227) is None
+        assert parse_rt1_line("") is None
+
+    def test_short_line_rejected(self):
+        with pytest.raises(TigerFormatError):
+            parse_rt1_line("1" + " " * 100)
+
+    def test_bad_coordinate_rejected(self):
+        broken = ROAD[:190] + "##########" + ROAD[200:]
+        with pytest.raises(TigerFormatError):
+            parse_rt1_line(broken)
+
+    def test_iter_mixed_records(self):
+        lines = ["2" + " " * 227, ROAD, WATER, "3" + " " * 227, RAIL]
+        records = list(iter_rt1(lines))
+        assert [r["cfcc"] for r in records] == ["A41", "H11", "B11"]
+
+
+class TestReadFiles:
+    @pytest.fixture
+    def rt1_file(self, tmp_path):
+        path = tmp_path / "dc.rt1"
+        path.write_text("\n".join([ROAD, WATER, RAIL, ROAD]) + "\n")
+        return str(path)
+
+    def test_read_all(self, rt1_file):
+        assert len(read_centroids(rt1_file)) == 4
+
+    def test_read_roads(self, rt1_file):
+        roads = read_road_centroids(rt1_file)
+        assert len(roads) == 2
+        assert roads[0].x == pytest.approx(-77.037)
+
+    def test_read_water(self, rt1_file):
+        water = read_water_centroids(rt1_file)
+        assert len(water) == 1
+        assert water[0].x == pytest.approx(-77.075)
+        assert water[0].y == pytest.approx(38.825)
+
+    def test_feeds_the_join(self, rt1_file):
+        """End to end: real-format data straight into the paper's
+        operators."""
+        from repro.core.distance_join import IncrementalDistanceJoin
+        from repro.rtree.bulk import bulk_load_str
+        from repro.util.counters import CounterRegistry
+
+        roads = read_road_centroids(rt1_file)
+        water = read_water_centroids(rt1_file)
+        join = IncrementalDistanceJoin(
+            bulk_load_str(water, max_entries=4),
+            bulk_load_str(roads, max_entries=4),
+            counters=CounterRegistry(),
+        )
+        results = list(join)
+        assert len(results) == len(water) * len(roads)

@@ -1,0 +1,127 @@
+"""Tests for the execution tracer."""
+
+import pytest
+
+from repro.core.distance_join import IncrementalDistanceJoin
+from repro.core.knn_join import KNearestNeighborJoin
+from repro.core.reverse import ReverseDistanceJoin
+from repro.core.semi_join import IncrementalDistanceSemiJoin
+from repro.core.trace import JoinTrace, traced_join
+from repro.util.counters import CounterRegistry
+
+from tests.conftest import brute_force_pairs, make_points, make_tree
+
+
+@pytest.fixture(scope="module")
+def trees():
+    points_a = make_points(30, seed=231)
+    points_b = make_points(30, seed=232)
+    return (
+        make_tree(points_a), make_tree(points_b), points_a, points_b
+    )
+
+
+class TestTracedJoin:
+    def test_results_unchanged(self, trees):
+        tree_a, tree_b, points_a, points_b = trees
+        join, __ = traced_join(
+            IncrementalDistanceJoin, tree_a, tree_b,
+            counters=CounterRegistry(),
+        )
+        got = [next(join).distance for __ in range(40)]
+        truth = [
+            t[0] for t in brute_force_pairs(points_a, points_b)[:40]
+        ]
+        assert got == pytest.approx(truth)
+
+    def test_events_recorded(self, trees):
+        tree_a, tree_b, *__ = trees
+        join, trace = traced_join(
+            IncrementalDistanceJoin, tree_a, tree_b,
+            counters=CounterRegistry(),
+        )
+        next(join)
+        kinds = {event.kind for event in trace.events}
+        assert kinds == {"push", "pop", "expand", "report"}
+        # The very first push is the root/root pair.
+        assert trace.events[0].kind == "push"
+        assert "node#" in trace.events[0].label
+
+    def test_tallies_consistent(self, trees):
+        tree_a, tree_b, *__ = trees
+        join, trace = traced_join(
+            IncrementalDistanceJoin, tree_a, tree_b,
+            counters=CounterRegistry(),
+        )
+        for __ in range(10):
+            next(join)
+        assert trace.reported == 10
+        assert trace.pops >= trace.expansions + trace.reported - 1
+        assert trace.pushes >= trace.pops  # queue never went negative
+
+    def test_pop_distances_monotone(self, trees):
+        """The trace exposes the paper's core invariant directly:
+        popped pair distances never decrease."""
+        tree_a, tree_b, *__ = trees
+        join, trace = traced_join(
+            IncrementalDistanceJoin, tree_a, tree_b,
+            counters=CounterRegistry(),
+        )
+        for __ in range(30):
+            next(join)
+        pops = [e.distance for e in trace.events if e.kind == "pop"]
+        assert pops == sorted(pops)
+
+    def test_render(self, trees):
+        tree_a, tree_b, *__ = trees
+        join, trace = traced_join(
+            IncrementalDistanceJoin, tree_a, tree_b,
+            counters=CounterRegistry(),
+        )
+        next(join)
+        text = trace.render(limit=5)
+        assert "push" in text
+        assert "totals:" in text
+
+    def test_max_events_bounds_memory(self, trees):
+        tree_a, tree_b, *__ = trees
+        trace = JoinTrace(max_events=10)
+        join, trace = traced_join(
+            IncrementalDistanceJoin, tree_a, tree_b, trace=trace,
+            counters=CounterRegistry(),
+        )
+        for __ in range(20):
+            next(join)
+        assert len(trace.events) == 10
+        assert trace.reported == 20  # tallies keep counting
+
+    def test_works_with_semi_join(self, trees):
+        tree_a, tree_b, points_a, __ = trees
+        join, trace = traced_join(
+            IncrementalDistanceSemiJoin, tree_a, tree_b,
+            counters=CounterRegistry(),
+        )
+        results = list(join)
+        assert len(results) == len(points_a)
+        assert trace.reported == len(points_a)
+
+    def test_works_with_reverse_join(self, trees):
+        tree_a, tree_b, *__ = trees
+        join, trace = traced_join(
+            ReverseDistanceJoin, tree_a, tree_b,
+            counters=CounterRegistry(),
+        )
+        first = next(join)
+        second = next(join)
+        assert first.distance >= second.distance
+        assert trace.reported == 2
+
+    def test_works_with_knn_join(self, trees):
+        tree_a, tree_b, points_a, __ = trees
+        join, trace = traced_join(
+            KNearestNeighborJoin, tree_a, tree_b, k=2,
+            counters=CounterRegistry(),
+        )
+        results = list(join)
+        assert len(results) == 2 * len(points_a)
+        assert trace.reported == len(results)
