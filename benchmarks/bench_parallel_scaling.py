@@ -1,0 +1,156 @@
+"""Parallel join scaling -- sequential vs the partitioned engine.
+
+Runs the Water ⋈ Roads workload through the sequential
+:class:`IncrementalDistanceJoin` and through
+:class:`repro.parallel.ParallelDistanceJoin` at several worker counts,
+reporting wall-clock time, speedup over sequential, and result-pair
+throughput (``MeasuredRun.throughput_pairs_per_sec``).
+
+Notes on reading the numbers:
+
+- the ``process`` backend is the one that can exceed one core; on a
+  single-core machine (or under heavy co-tenancy) speedups above 1x
+  are physically unavailable and the table will honestly show <= 1x,
+  dominated by process start-up and result pickling;
+- the ``thread`` backend shares one GIL, so it measures the engine's
+  overhead, not CPU scaling;
+- partitioned execution also changes *work*: each worker joins only a
+  tile pair, so total distance calculations typically drop for small
+  K (a tile pair reaches its K-th pair with a shallower frontier).
+
+Usage::
+
+    python benchmarks/bench_parallel_scaling.py            # full table
+    python benchmarks/bench_parallel_scaling.py --tiny     # CI smoke
+    python benchmarks/bench_parallel_scaling.py --backend thread
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+import pytest
+
+import sys as _sys
+from pathlib import Path as _Path
+
+# Allow `python benchmarks/bench_*.py` without installing the
+# benchmarks package (pytest imports it via the repo root).
+_sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import SCRIPT_SCALE, TEST_SCALE, workload
+from repro.bench.reporting import format_table
+from repro.bench.runner import consume, run_join
+from repro.core.distance_join import IncrementalDistanceJoin
+from repro.parallel import ParallelDistanceJoin
+
+#: Worker counts swept by the script (1 shows pure engine overhead).
+WORKER_COUNTS = [1, 2, 4]
+
+#: Result sizes swept by the full script run.
+SCRIPT_PAIRS = [100, 1000, 10000]
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_parallel_scaling_smoke(benchmark, workers):
+    load = workload(TEST_SCALE)
+
+    def once():
+        load.cold_caches()
+        load.reset_counters()
+        consume(ParallelDistanceJoin(
+            load.tree1, load.tree2,
+            workers=workers, backend="thread",
+            max_pairs=100, counters=load.counters,
+        ), 100)
+
+    benchmark(once)
+
+
+def _measure(load, pairs: int, backend: str) -> List[dict]:
+    rows = []
+    sequential = run_join(
+        lambda: IncrementalDistanceJoin(
+            load.tree1, load.tree2,
+            max_pairs=pairs, counters=load.counters,
+        ),
+        pairs, load.counters, before=load.cold_caches,
+    )
+    rows.append({
+        "variant": "sequential",
+        "pairs": sequential.pairs_produced,
+        "time_s": round(sequential.seconds, 4),
+        "speedup": 1.0,
+        "pairs_per_s": round(sequential.throughput_pairs_per_sec),
+        "dist_calcs": sequential.dist_calcs,
+    })
+    for workers in WORKER_COUNTS:
+        run = run_join(
+            lambda: ParallelDistanceJoin(
+                load.tree1, load.tree2,
+                workers=workers, backend=backend,
+                max_pairs=pairs, counters=load.counters,
+            ),
+            pairs, load.counters, before=load.cold_caches,
+        )
+        rows.append({
+            "variant": f"parallel x{workers} ({backend})",
+            "pairs": run.pairs_produced,
+            "time_s": round(run.seconds, 4),
+            "speedup": round(
+                sequential.seconds / run.seconds, 2
+            ) if run.seconds > 0 else float("inf"),
+            "pairs_per_s": round(run.throughput_pairs_per_sec),
+            "dist_calcs": run.dist_calcs,
+        })
+    return rows
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="parallel join scaling benchmark"
+    )
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="one small configuration (CI smoke test)",
+    )
+    parser.add_argument(
+        "--backend", default="process",
+        choices=["serial", "thread", "process"],
+        help="parallel backend to sweep (default: process)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="workload scale override (default: REPRO_BENCH_SCALE)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.tiny:
+        scale = args.scale if args.scale is not None else 0.005
+        pair_sweep = [100]
+        backend = "thread" if args.backend == "process" else args.backend
+    else:
+        scale = args.scale if args.scale is not None else SCRIPT_SCALE
+        pair_sweep = SCRIPT_PAIRS
+        backend = args.backend
+
+    load = workload(scale)
+    rows = []
+    for pairs in pair_sweep:
+        rows.extend(_measure(load, pairs, backend))
+    print(format_table(
+        rows,
+        columns=[
+            "variant", "pairs", "time_s", "speedup", "pairs_per_s",
+            "dist_calcs",
+        ],
+        title=(
+            f"Parallel scaling, Water x Roads at scale {scale:g}, "
+            f"backend={backend}"
+        ),
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -7,7 +7,10 @@ they run on, the paper's engineering strategies (tie-breaking, node
 policies, distance ranges, maximum-distance estimation, the hybrid
 memory/disk priority queue, semi-join filters), the non-incremental
 baselines, synthetic TIGER-like data sets, and a small SQL dialect with
-``DISTANCE JOIN`` / ``STOP AFTER``.
+``DISTANCE JOIN`` / ``STOP AFTER``.  On top of the paper, the
+:mod:`repro.parallel` package runs the join partitioned across worker
+threads or processes with an order-preserving stream merge (SQL hint
+``PARALLEL <n>``, CLI flag ``--workers``).
 
 Quickstart
 ----------
@@ -82,7 +85,11 @@ from repro.core import (
     closest_pairs,
     intersection_join,
 )
-from repro.util.counters import CounterRegistry
+from repro.parallel import (
+    ParallelDistanceJoin,
+    ParallelDistanceSemiJoin,
+)
+from repro.util.counters import CounterRegistry, CounterSnapshot
 
 __version__ = "1.0.0"
 
@@ -143,6 +150,10 @@ __all__ = [
     "DMAX_LOCAL",
     "DMAX_GLOBAL_NODES",
     "DMAX_GLOBAL_ALL",
+    # parallel engine
+    "ParallelDistanceJoin",
+    "ParallelDistanceSemiJoin",
     # misc
     "CounterRegistry",
+    "CounterSnapshot",
 ]

@@ -1,8 +1,12 @@
 """Measured execution of join iterators.
 
-A :class:`MeasuredRun` captures wall-clock time plus the counter
-totals the paper's Table 1 reports (distance calculations, maximum
-queue size, node I/O) for producing a given number of result pairs.
+A :class:`MeasuredRun` captures elapsed time plus the counter totals
+the paper's Table 1 reports (distance calculations, maximum queue
+size, node I/O) for producing a given number of result pairs.
+
+Timing always uses the monotonic ``time.perf_counter`` clock --
+``time.time`` is subject to NTP adjustment and coarse resolution,
+which makes small benchmark runs noisy.
 """
 
 from __future__ import annotations
@@ -39,6 +43,17 @@ class MeasuredRun:
     def max_queue_size(self) -> int:
         """Peak priority-queue size (Table 1 measure)."""
         return self.peaks.get("queue_size", 0)
+
+    @property
+    def throughput_pairs_per_sec(self) -> float:
+        """Result pairs produced per second of wall-clock time.
+
+        The headline number for the parallel-scaling benchmark; 0.0
+        for a run too fast for the clock to resolve.
+        """
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.pairs_produced / self.seconds
 
     def row(self) -> Dict[str, Any]:
         """A flat dict for table formatting."""

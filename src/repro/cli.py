@@ -160,8 +160,14 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 def cmd_query(args: argparse.Namespace) -> int:
     """``repro query``: run a SQL query, streaming rows to stdout."""
+    from repro.query.parser import parse
+
     db = _build_database(args.relation)
-    rows = db.execute(args.sql)
+    query = parse(args.sql)
+    if args.workers is not None:
+        # CLI flag and SQL hint are equivalent; the flag wins.
+        query.parallel = args.workers
+    rows = db.execute_query(query)
     printed = 0
     for row in rows:
         coords1 = ",".join(f"{c:g}" for c in row.geom1.coords) \
@@ -207,6 +213,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # argument parsing
 # ----------------------------------------------------------------------
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {text!r}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -261,6 +276,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=None,
         help="stop printing after this many rows (the pipeline stops "
              "with it)",
+    )
+    query.add_argument(
+        "--workers", type=_positive_int, default=None, metavar="N",
+        help="execute with the partitioned parallel join engine using "
+             "N workers (same as a PARALLEL N hint in the SQL)",
     )
     query.set_defaults(func=cmd_query)
 

@@ -34,6 +34,12 @@ class Point:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Point is immutable")
 
+    def __reduce__(self):
+        # Immutability blocks the default slot-state pickling (it goes
+        # through __setattr__); reconstruct through the constructor so
+        # points can cross process boundaries (parallel join workers).
+        return (Point, (self.coords,))
+
     @property
     def dim(self) -> int:
         """Dimensionality of the point."""

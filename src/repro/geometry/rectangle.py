@@ -54,6 +54,13 @@ class Rect:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Rect is immutable")
 
+    def __reduce__(self):
+        # Immutability blocks the default slot-state pickling (it goes
+        # through __setattr__); reconstruct through the constructor so
+        # rectangles can cross process boundaries (parallel join
+        # workers).
+        return (Rect, (self.lo, self.hi))
+
     # ------------------------------------------------------------------
     # constructors
     # ------------------------------------------------------------------

@@ -1,0 +1,70 @@
+"""Partitioned parallel join engine with order-preserving stream merge.
+
+The package parallelises the paper's incremental distance join by
+tiling the joint data space (:mod:`~repro.parallel.partition`),
+shipping picklable tile-pair join tasks (:mod:`~repro.parallel.plan`)
+to serial/thread/process backends (:mod:`~repro.parallel.executor`),
+and recombining the per-task ordered streams with a watermark k-way
+merge (:mod:`~repro.parallel.merge`) so the public operators
+(:mod:`~repro.parallel.join`) keep the sequential algorithm's
+incremental, distance-ordered iterator contract.
+
+See ``docs/PARALLEL.md`` for the architecture and the correctness
+argument.
+"""
+
+from repro.parallel.executor import (
+    BACKENDS,
+    DEFAULT_BATCH_SIZE,
+    PROCESS,
+    SERIAL,
+    THREAD,
+    StreamExecutor,
+    TaskBatch,
+)
+from repro.parallel.join import (
+    ParallelDistanceJoin,
+    ParallelDistanceSemiJoin,
+    default_workers,
+)
+from repro.parallel.merge import OrderedStreamMerge
+from repro.parallel.partition import (
+    GRID,
+    PARTITION_METHODS,
+    STR,
+    GridPartitioner,
+    Partitioner,
+    STRPartitioner,
+    TaskObject,
+    Tile,
+    joint_bounds,
+    make_partitioner,
+    reference_point,
+)
+from repro.parallel.plan import JoinSpec, TileJoinTask
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BATCH_SIZE",
+    "GRID",
+    "PARTITION_METHODS",
+    "PROCESS",
+    "SERIAL",
+    "STR",
+    "GridPartitioner",
+    "JoinSpec",
+    "OrderedStreamMerge",
+    "ParallelDistanceJoin",
+    "ParallelDistanceSemiJoin",
+    "Partitioner",
+    "STRPartitioner",
+    "StreamExecutor",
+    "TaskBatch",
+    "TaskObject",
+    "Tile",
+    "TileJoinTask",
+    "default_workers",
+    "joint_bounds",
+    "make_partitioner",
+    "reference_point",
+]

@@ -1,0 +1,402 @@
+"""Worker execution backends for the parallel distance join.
+
+The parent drives each :class:`TileJoinTask` as an *incremental
+stream*: it asks for one batch of ``batch_size`` result pairs at a
+time, and the worker keeps the underlying join's priority queue alive
+between batches so each request costs only the incremental work (the
+paper's fast-first property survives parallelisation).
+
+Three backends share one protocol:
+
+``serial``
+    Runs tasks inline in the parent (no pool).  The degenerate
+    one-worker configuration, also the easiest to debug.
+``thread``
+    A :class:`~concurrent.futures.ThreadPoolExecutor`.  Threads share
+    the parent's memory, so tasks need not pickle; best for I/O-bound
+    buffered trees and for small joins where process start-up would
+    dominate.
+``process``
+    One single-worker :class:`~concurrent.futures.ProcessPoolExecutor`
+    *lane* per worker slot, with tasks pinned to lanes round-robin.
+    Pinning guarantees that the process holding a task's live join
+    receives every follow-up batch request, so queue state is never
+    rebuilt.  If a lane process dies and state is lost anyway, the
+    parent transparently reopens the task and skips the results it
+    already consumed.
+
+Workers retain per-task state in a module-level cache keyed by a
+parent-unique run token, report cumulative counters with every batch
+(:class:`~repro.util.counters.CounterSnapshot`), and drop all state on
+``close``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.core.distance_join import JoinResult
+from repro.errors import JoinError
+from repro.parallel.plan import TileJoinTask
+from repro.util.counters import CounterRegistry, CounterSnapshot
+from repro.util.validation import require
+
+#: Executor backend names ("auto" resolves before a pool is built).
+SERIAL = "serial"
+THREAD = "thread"
+PROCESS = "process"
+BACKENDS = (SERIAL, THREAD, PROCESS)
+
+#: Default result pairs per worker round-trip.
+DEFAULT_BATCH_SIZE = 64
+
+_RUN_SEQ = itertools.count()
+
+
+class TaskBatch(NamedTuple):
+    """One worker round-trip: a chunk of ordered results plus status."""
+
+    task_id: int
+    results: Tuple[JoinResult, ...]
+    produced: int  # cumulative results produced by this task so far
+    done: bool
+    counters: CounterSnapshot
+    worker: str  # pid/thread label, for per-worker breakdowns
+
+
+class TaskStateLost(RuntimeError):
+    """A worker was asked to advance a task it has no state for."""
+
+    def __init__(self, task_id: int) -> None:
+        super().__init__(f"no live state for task {task_id}")
+        self.task_id = task_id
+
+
+# ----------------------------------------------------------------------
+# worker-side functions (module level so the process backend can pickle
+# references to them; the thread/serial backends call them directly)
+# ----------------------------------------------------------------------
+
+
+class _WorkerTaskState:
+    """A live join held inside a worker between batch requests."""
+
+    __slots__ = ("task", "join", "table1", "table2", "counters",
+                 "produced")
+
+    def __init__(self, task: TileJoinTask) -> None:
+        self.task = task
+        self.counters = CounterRegistry()
+        self.join, self.table1, self.table2 = task.build_join(
+            self.counters
+        )
+        self.produced = 0
+
+
+_WORKER_TASKS: Dict[Tuple[str, int], _WorkerTaskState] = {}
+
+
+def _worker_label() -> str:
+    thread = threading.current_thread()
+    if thread is threading.main_thread():
+        return f"pid-{os.getpid()}"
+    return f"pid-{os.getpid()}/{thread.name}"
+
+
+def _pull_batch(
+    state: _WorkerTaskState, batch_size: int
+) -> TaskBatch:
+    results: List[JoinResult] = []
+    done = False
+    while len(results) < batch_size:
+        try:
+            result = next(state.join)
+        except StopIteration:
+            done = True
+            break
+        results.append(
+            state.task.translate(result, state.table1, state.table2)
+        )
+    state.produced += len(results)
+    return TaskBatch(
+        task_id=state.task.task_id,
+        results=tuple(results),
+        produced=state.produced,
+        done=done,
+        counters=state.counters.full_snapshot(),
+        worker=_worker_label(),
+    )
+
+
+def _open_task(
+    run_token: str, task: TileJoinTask, offset: int, batch_size: int
+) -> TaskBatch:
+    """Build (or rebuild) a task's join, skip ``offset`` results the
+    parent already consumed, and pull the first batch."""
+    state = _WorkerTaskState(task)
+    for __ in range(offset):
+        try:
+            next(state.join)
+        except StopIteration:
+            break
+    state.produced = offset
+    _WORKER_TASKS[(run_token, task.task_id)] = state
+    return _pull_batch(state, batch_size)
+
+
+def _advance_task(
+    run_token: str, task_id: int, batch_size: int
+) -> TaskBatch:
+    """Pull the next batch from a task opened earlier in this worker."""
+    state = _WORKER_TASKS.get((run_token, task_id))
+    if state is None:
+        raise TaskStateLost(task_id)
+    return _pull_batch(state, batch_size)
+
+
+def _close_run(run_token: str) -> int:
+    """Drop every task state of one run; returns how many were live."""
+    keys = [key for key in _WORKER_TASKS if key[0] == run_token]
+    for key in keys:
+        del _WORKER_TASKS[key]
+    return len(keys)
+
+
+# ----------------------------------------------------------------------
+# parent-side pools
+# ----------------------------------------------------------------------
+
+
+def _completed_future(value: TaskBatch) -> "Future[TaskBatch]":
+    future: "Future[TaskBatch]" = Future()
+    future.set_result(value)
+    return future
+
+
+class SerialPool:
+    """Inline execution: every request completes synchronously."""
+
+    backend = SERIAL
+
+    def __init__(self, run_token: str) -> None:
+        self._run_token = run_token
+
+    def submit_open(
+        self, task: TileJoinTask, offset: int, batch_size: int
+    ) -> "Future[TaskBatch]":
+        return _completed_future(
+            _open_task(self._run_token, task, offset, batch_size)
+        )
+
+    def submit_advance(
+        self, task_id: int, batch_size: int
+    ) -> "Future[TaskBatch]":
+        return _completed_future(
+            _advance_task(self._run_token, task_id, batch_size)
+        )
+
+    def shutdown(self, cancel: bool = True) -> None:
+        _close_run(self._run_token)
+
+
+class ThreadPool:
+    """A shared thread pool; task state lives in this process."""
+
+    backend = THREAD
+
+    def __init__(self, run_token: str, workers: int) -> None:
+        self._run_token = run_token
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers,
+            thread_name_prefix="repro-join",
+        )
+
+    def submit_open(
+        self, task: TileJoinTask, offset: int, batch_size: int
+    ) -> "Future[TaskBatch]":
+        return self._pool.submit(
+            _open_task, self._run_token, task, offset, batch_size
+        )
+
+    def submit_advance(
+        self, task_id: int, batch_size: int
+    ) -> "Future[TaskBatch]":
+        return self._pool.submit(
+            _advance_task, self._run_token, task_id, batch_size
+        )
+
+    def shutdown(self, cancel: bool = True) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=cancel)
+        _close_run(self._run_token)
+
+
+class ProcessLanes:
+    """One single-process lane per worker slot, tasks pinned by id.
+
+    Pinning keeps each task's live priority queue in the process that
+    built it.  The parent still survives a lost lane: a
+    :class:`TaskStateLost` escape triggers a re-open with an offset.
+    """
+
+    backend = PROCESS
+
+    def __init__(self, run_token: str, workers: int) -> None:
+        self._run_token = run_token
+        self._lanes = [
+            ProcessPoolExecutor(max_workers=1) for __ in range(workers)
+        ]
+        self._lane_of: Dict[int, int] = {}
+        self._next_lane = 0
+
+    def _lane(self, task_id: int) -> ProcessPoolExecutor:
+        lane = self._lane_of.get(task_id)
+        if lane is None:
+            lane = self._next_lane
+            self._lane_of[task_id] = lane
+            self._next_lane = (self._next_lane + 1) % len(self._lanes)
+        return self._lanes[lane]
+
+    def submit_open(
+        self, task: TileJoinTask, offset: int, batch_size: int
+    ) -> "Future[TaskBatch]":
+        return self._lane(task.task_id).submit(
+            _open_task, self._run_token, task, offset, batch_size
+        )
+
+    def submit_advance(
+        self, task_id: int, batch_size: int
+    ) -> "Future[TaskBatch]":
+        return self._lane(task_id).submit(
+            _advance_task, self._run_token, task_id, batch_size
+        )
+
+    def shutdown(self, cancel: bool = True) -> None:
+        for lane in self._lanes:
+            lane.shutdown(wait=False, cancel_futures=cancel)
+
+
+def make_pool(backend: str, workers: int):
+    """Build a pool; ``workers`` is ignored by the serial backend."""
+    require(backend in BACKENDS,
+            f"backend must be one of {BACKENDS}")
+    require(workers >= 1, "workers must be at least 1")
+    run_token = f"{os.getpid()}-{next(_RUN_SEQ)}"
+    if backend == SERIAL:
+        return SerialPool(run_token)
+    if backend == THREAD:
+        return ThreadPool(run_token, workers)
+    return ProcessLanes(run_token, workers)
+
+
+class StreamExecutor:
+    """Drives every task of one parallel join as a buffered stream.
+
+    The merge layer asks for a task's next batch with
+    :meth:`request`; completed batches are collected with
+    :meth:`next_batch`, which blocks up to ``timeout`` seconds.  At
+    most one request per task is in flight -- worker task state is
+    single-cursor, so overlapping requests for one task would race.
+    """
+
+    def __init__(
+        self,
+        tasks: List[TileJoinTask],
+        backend: str,
+        workers: int,
+        timeout: Optional[float] = None,
+    ) -> None:
+        self._tasks = {task.task_id: task for task in tasks}
+        self._pool = make_pool(backend, workers)
+        self._timeout = timeout
+        self._opened: Dict[int, bool] = {}
+        self._produced: Dict[int, int] = {}
+        self._pending: Dict["Future[TaskBatch]", int] = {}
+        self._closed = False
+
+    @property
+    def backend(self) -> str:
+        return self._pool.backend
+
+    def has_pending(self) -> bool:
+        return bool(self._pending)
+
+    def pending_for(self, task_id: int) -> bool:
+        return task_id in self._pending.values()
+
+    def request(self, task_id: int, batch_size: int) -> None:
+        """Ask for the next batch of ``task_id`` (no-op if in flight)."""
+        if self._closed:
+            raise JoinError("parallel join executor is closed")
+        if self.pending_for(task_id):
+            return
+        if self._opened.get(task_id):
+            future = self._pool.submit_advance(task_id, batch_size)
+        else:
+            future = self._pool.submit_open(
+                self._tasks[task_id],
+                self._produced.get(task_id, 0),
+                batch_size,
+            )
+            self._opened[task_id] = True
+        self._pending[future] = task_id
+
+    def next_batch(self, batch_size: int) -> TaskBatch:
+        """Wait for any in-flight request to complete and return it.
+
+        Transparently re-opens a task whose worker lost its state
+        (process backend after a lane restart), skipping the results
+        the parent already consumed.
+        """
+        while True:
+            if not self._pending:
+                raise JoinError(
+                    "next_batch called with no request in flight"
+                )
+            done, __ = wait(
+                self._pending, timeout=self._timeout,
+                return_when=FIRST_COMPLETED,
+            )
+            if not done:
+                self.close()
+                raise JoinError(
+                    f"parallel join timed out after "
+                    f"{self._timeout}s waiting for a worker batch"
+                )
+            future = done.pop()
+            task_id = self._pending.pop(future)
+            try:
+                batch = future.result()
+            except TaskStateLost:
+                # Lane restarted: rebuild the join where we left off.
+                self._opened[task_id] = False
+                self.request(task_id, batch_size)
+                continue
+            except JoinError:
+                self.close()
+                raise
+            except Exception as exc:  # worker crash: surface cleanly
+                self.close()
+                raise JoinError(
+                    f"parallel join worker failed on task "
+                    f"{task_id}: {exc!r}"
+                ) from exc
+            self._produced[task_id] = batch.produced
+            return batch
+
+    def close(self) -> None:
+        """Cancel outstanding work and release the pool."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pending.clear()
+        self._pool.shutdown(cancel=True)

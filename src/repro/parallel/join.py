@@ -1,0 +1,375 @@
+"""The partitioned parallel distance join and semi-join operators.
+
+:class:`ParallelDistanceJoin` provides the same incremental iterator
+contract as :class:`~repro.core.distance_join.IncrementalDistanceJoin`
+-- result pairs in non-decreasing distance, lazily, with ``stop after
+K`` costing only incremental work -- but executes as a fleet of
+independent per-partition-pair joins whose ordered streams are
+recombined by an order-preserving watermark merge
+(:mod:`repro.parallel.merge`).
+
+Output order is the canonical total order ``(distance, oid1, oid2)``:
+deterministic, independent of worker count, partitioning method, and
+backend.  The sequential join emits equal-distance ties in traversal
+order instead, so byte-identical comparison against it requires
+canonicalizing its ties the same way (see ``docs/PARALLEL.md``).
+
+Differences from the sequential operator, all checked at construction:
+
+- ``descending`` (farthest-first) is not supported -- the watermark
+  merge is a min-merge;
+- the worker queue is always the in-memory pairing-heap queue
+  (per-tile queues are small);
+- with the ``process`` backend every task and knob must pickle; a
+  non-picklable ``pair_filter`` silently falls back to the ``thread``
+  backend (counted as ``parallel_backend_fallback``).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.distance_join import (
+    EVEN,
+    LEAF_MODES,
+    NODE_POLICIES,
+    JoinResult,
+)
+from repro.core.pairs import Pair
+from repro.core.semi_join import (
+    DMAX_LOCAL,
+    DMAX_STRATEGIES,
+    FILTER_STRATEGIES,
+    INSIDE2,
+)
+from repro.core.tiebreak import DEPTH_FIRST
+from repro.errors import JoinError
+from repro.geometry.metrics import EUCLIDEAN, Metric
+from repro.parallel.executor import (
+    BACKENDS,
+    DEFAULT_BATCH_SIZE,
+    PROCESS,
+    SERIAL,
+    THREAD,
+    StreamExecutor,
+    TaskBatch,
+)
+from repro.parallel.merge import OrderedStreamMerge
+from repro.parallel.partition import GRID, make_partitioner
+from repro.parallel.plan import JoinSpec, TileJoinTask
+from repro.rtree.base import RTreeBase
+from repro.util.counters import CounterRegistry, CounterSnapshot
+from repro.util.validation import require
+
+_INF = float("inf")
+
+
+def default_workers() -> int:
+    """Worker count used when the caller does not choose one."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+class ParallelDistanceJoin:
+    """Partitioned parallel incremental distance join of two R-trees.
+
+    Parameters
+    ----------
+    tree1, tree2:
+        The spatial indexes of the two joined relations.
+    workers:
+        Worker slots (default: CPU count capped at 8).
+    backend:
+        ``"serial"``, ``"thread"``, ``"process"`` or ``"auto"``
+        (serial for one worker, otherwise threads; choose
+        ``"process"`` explicitly for CPU-bound scaling).
+    partitions:
+        Number of space tiles per relation (default: ``workers``).
+        Tasks are the cross product of non-empty tiles, so expect up
+        to ``partitions**2`` tasks.
+    partition_method:
+        ``"grid"`` (uniform tiles) or ``"str"`` (quantile-balanced
+        sort-tile-recursive tiles).
+    batch_size:
+        Result pairs per worker round-trip.
+    timeout:
+        Seconds to wait for any single worker batch before raising
+        :class:`~repro.errors.JoinError` (None = wait forever).
+    metric, min_distance, max_distance, max_pairs, tie_break,
+    node_policy, leaf_mode, estimate, aggressive, pair_filter,
+    process_leaves_together, counters:
+        As in the sequential join; applied inside every worker task
+        (``counters`` aggregates all workers' registries).
+    """
+
+    _semi_join = False
+
+    def __init__(
+        self,
+        tree1: RTreeBase,
+        tree2: RTreeBase,
+        *,
+        workers: Optional[int] = None,
+        backend: str = "auto",
+        partitions: Optional[int] = None,
+        partition_method: str = GRID,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        timeout: Optional[float] = None,
+        metric: Metric = EUCLIDEAN,
+        min_distance: float = 0.0,
+        max_distance: float = _INF,
+        max_pairs: Optional[int] = None,
+        tie_break: str = DEPTH_FIRST,
+        node_policy: str = EVEN,
+        leaf_mode: str = "direct",
+        estimate: bool = True,
+        aggressive: bool = False,
+        pair_filter: Optional[Callable[[Pair], bool]] = None,
+        process_leaves_together: bool = False,
+        counters: Optional[CounterRegistry] = None,
+        filter_strategy: str = INSIDE2,
+        dmax_strategy: str = DMAX_LOCAL,
+    ) -> None:
+        if tree1.dim != tree2.dim:
+            raise JoinError(
+                f"cannot join trees of dimension {tree1.dim} and "
+                f"{tree2.dim}"
+            )
+        if workers is None:
+            workers = default_workers()
+        require(workers >= 1, "workers must be at least 1")
+        require(batch_size >= 1, "batch_size must be at least 1")
+        require(node_policy in NODE_POLICIES,
+                f"node_policy must be one of {NODE_POLICIES}")
+        require(leaf_mode in LEAF_MODES,
+                f"leaf_mode must be one of {LEAF_MODES}")
+        require(min_distance >= 0.0, "min_distance must be non-negative")
+        require(max_distance >= min_distance,
+                "max_distance must be >= min_distance")
+        if max_pairs is not None:
+            require(max_pairs >= 1, "max_pairs must be at least 1")
+        require(backend in BACKENDS + ("auto",),
+                f'backend must be one of {BACKENDS + ("auto",)}')
+        require(filter_strategy in FILTER_STRATEGIES,
+                f"filter_strategy must be one of {FILTER_STRATEGIES}")
+        require(dmax_strategy in DMAX_STRATEGIES,
+                f"dmax_strategy must be one of {DMAX_STRATEGIES}")
+
+        self.tree1 = tree1
+        self.tree2 = tree2
+        self.workers = workers
+        self.max_pairs = max_pairs
+        self.batch_size = batch_size
+        self.timeout = timeout
+        self.partitions = partitions if partitions is not None else workers
+        self.partition_method = partition_method
+        self.counters = counters if counters is not None else tree1.counters
+        self.backend = self._resolve_backend(backend, pair_filter)
+
+        spec = JoinSpec(
+            metric=metric,
+            min_distance=float(min_distance),
+            max_distance=float(max_distance),
+            max_pairs=None if self._semi_join else max_pairs,
+            tie_break=tie_break,
+            node_policy=node_policy,
+            leaf_mode=leaf_mode,
+            estimate=estimate,
+            aggressive=aggressive,
+            process_leaves_together=process_leaves_together,
+            semi_join=self._semi_join,
+            filter_strategy=filter_strategy,
+            dmax_strategy=dmax_strategy,
+            max_entries=max(tree1.max_entries, tree2.max_entries),
+            pair_filter=pair_filter,
+        )
+        self.tasks: List[TileJoinTask] = self._plan_tasks(spec)
+        self.counters.add("parallel_tasks", len(self.tasks))
+        self.counters.observe("parallel_partitions", self.partitions)
+
+        self._task_snapshots: Dict[int, CounterSnapshot] = {}
+        self._task_workers: Dict[int, str] = {}
+        self._executor: Optional[StreamExecutor] = None
+        self._merge: Optional[OrderedStreamMerge] = None
+        self._produced = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+
+    def _resolve_backend(
+        self, backend: str, pair_filter: Optional[Callable]
+    ) -> str:
+        if backend == "auto":
+            backend = SERIAL if self.workers == 1 else THREAD
+        if backend == PROCESS and pair_filter is not None:
+            try:
+                pickle.dumps(pair_filter)
+            except Exception:
+                self.counters.add("parallel_backend_fallback")
+                return THREAD
+        return backend
+
+    def _plan_tasks(self, spec: JoinSpec) -> List[TileJoinTask]:
+        if len(self.tree1) == 0 or len(self.tree2) == 0:
+            return []
+        partitioner = make_partitioner(
+            self.partition_method, self.tree1, self.tree2,
+            self.partitions,
+        )
+        groups1 = partitioner.assign(self.tree1.items())
+        groups2 = partitioner.assign(self.tree2.items())
+        tasks: List[TileJoinTask] = []
+        for index1 in sorted(groups1):
+            for index2 in sorted(groups2):
+                tasks.append(TileJoinTask(
+                    task_id=len(tasks),
+                    tile1=partitioner.tiles[index1],
+                    tile2=partitioner.tiles[index2],
+                    objects1=groups1[index1],
+                    objects2=groups2[index2],
+                    spec=spec,
+                ))
+        return tasks
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def _on_batch(self, batch: TaskBatch) -> None:
+        previous = self._task_snapshots.get(batch.task_id)
+        delta = (
+            batch.counters.delta_from(previous)
+            if previous is not None else batch.counters
+        )
+        self.counters.merge(delta)
+        self.counters.add("parallel_batches")
+        self._task_snapshots[batch.task_id] = batch.counters
+        self._task_workers[batch.task_id] = batch.worker
+
+    def _start(self) -> None:
+        self._executor = StreamExecutor(
+            self.tasks,
+            backend=self.backend,
+            workers=self.workers,
+            timeout=self.timeout,
+        )
+        self._merge = self._make_merge()
+
+    def _make_merge(self) -> OrderedStreamMerge:
+        return OrderedStreamMerge(
+            self._executor,
+            [task.task_id for task in self.tasks],
+            self.batch_size,
+            on_batch=self._on_batch,
+        )
+
+    def __iter__(self) -> "ParallelDistanceJoin":
+        return self
+
+    def __next__(self) -> JoinResult:
+        if self._closed:
+            raise StopIteration
+        if self.max_pairs is not None and self._produced >= self.max_pairs:
+            self.close()
+            raise StopIteration
+        if not self.tasks:
+            raise StopIteration
+        if self._merge is None:
+            self._start()
+        try:
+            result = next(self._merge)
+        except StopIteration:
+            self.close()
+            raise
+        self._produced += 1
+        self.counters.add("parallel_pairs_reported")
+        return result
+
+    # ------------------------------------------------------------------
+    # lifecycle / introspection
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Cancel outstanding worker batches and release the pool.
+
+        Safe to call repeatedly; iteration afterwards reports
+        exhaustion.  Also invoked automatically when the iterator is
+        exhausted, when ``max_pairs`` is reached, and on garbage
+        collection.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._executor is not None:
+            self._executor.close()
+
+    def __enter__(self) -> "ParallelDistanceJoin":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def task_counter_snapshots(self) -> Dict[int, CounterSnapshot]:
+        """Latest per-task worker counter snapshots (task id keyed)."""
+        return dict(self._task_snapshots)
+
+    def worker_breakdown(self) -> Dict[str, CounterSnapshot]:
+        """Aggregate the per-task snapshots by executing worker."""
+        merged: Dict[str, CounterRegistry] = {}
+        for task_id, snapshot in self._task_snapshots.items():
+            worker = self._task_workers.get(task_id, "?")
+            registry = merged.setdefault(worker, CounterRegistry())
+            registry.merge(snapshot)
+        return {
+            worker: registry.full_snapshot()
+            for worker, registry in merged.items()
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(workers={self.workers}, "
+            f"backend={self.backend}, tasks={len(self.tasks)}, "
+            f"produced={self._produced})"
+        )
+
+
+class ParallelDistanceSemiJoin(ParallelDistanceJoin):
+    """Partitioned parallel distance semi-join.
+
+    Each tile-pair task runs a sequential distance semi-join, so a
+    task reports the nearest inner-tile object for each of its outer
+    objects; the watermark merge recombines the candidate streams in
+    global distance order and a best-per-object filter keeps only the
+    first (hence globally nearest) result for every outer object id --
+    the same output set as the sequential semi-join.
+
+    When equally-distant nearest neighbours exist in different inner
+    tiles, the reported partner is the one with the smallest inner
+    object id (the canonical choice); the sequential operator reports
+    whichever its traversal finds first.  Distances always agree.
+
+    Worker streams run uncapped (``max_pairs`` applies only to merged
+    output) and the merge stops early once every outer object has been
+    reported.
+    """
+
+    _semi_join = True
+
+    def _make_merge(self) -> OrderedStreamMerge:
+        return OrderedStreamMerge(
+            self._executor,
+            [task.task_id for task in self.tasks],
+            self.batch_size,
+            on_batch=self._on_batch,
+            dedup_outer=True,
+            expected_outer=len(self.tree1),
+        )

@@ -1,0 +1,191 @@
+"""Order-preserving k-way merge of per-partition result streams.
+
+Every tile-pair task yields its result pairs in non-decreasing
+distance, so a task's next known distance is a *frontier watermark*:
+nothing it will ever emit can be closer than its buffered head.  A
+result pair may therefore be released to the consumer only once its
+distance is below every live stream's watermark (streams that finished
+drop out).  This is the classic watermark condition of ordered stream
+merging (cf. the frontier maintenance in *Dynamic Enumeration of
+Similarity Joins*, Agarwal et al.).
+
+Equal distances get one extra refinement: the merge gathers the whole
+tie group -- every pair at the minimal distance, across all streams --
+before emitting any of it, and sorts the group by ``(oid1, oid2)``.
+The output order is then the *canonical* total order
+``(distance, oid1, oid2)``, identical for every worker count and
+partitioning, which is what makes the parallel join's output
+deterministic and testable against the sequential algorithm.  Waiting
+for the group is safe and cheap: it only requires each live stream's
+watermark to move strictly past the tie distance, i.e. at most one
+extra buffered element per stream.
+
+The merge is fully incremental: pulling ``K`` results consumes at most
+``K`` pairs plus one watermark element from each stream, so ``stop
+after K`` costs the same incremental work as the sequential join,
+divided across workers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Set
+
+from repro.core.distance_join import JoinResult
+from repro.parallel.executor import StreamExecutor, TaskBatch
+
+
+class _Stream:
+    """Parent-side buffer over one task's ordered result stream."""
+
+    __slots__ = ("task_id", "buffer", "done")
+
+    def __init__(self, task_id: int) -> None:
+        self.task_id = task_id
+        self.buffer: Deque[JoinResult] = deque()
+        self.done = False
+
+    @property
+    def exhausted(self) -> bool:
+        return self.done and not self.buffer
+
+    @property
+    def needs_data(self) -> bool:
+        return not self.done and not self.buffer
+
+
+class OrderedStreamMerge:
+    """Merge per-task result streams into one globally ordered stream.
+
+    Parameters
+    ----------
+    executor:
+        The :class:`StreamExecutor` driving the worker tasks.
+    task_ids:
+        Ids of every task feeding the merge.
+    batch_size:
+        Result pairs per worker round-trip.
+    on_batch:
+        Callback invoked with every arriving :class:`TaskBatch`
+        (counter aggregation hooks in the join layer).
+    dedup_outer:
+        Semi-join mode: emit only the first (nearest) result for each
+        outer object id and drop the rest.
+    expected_outer:
+        With ``dedup_outer``, the number of distinct outer objects;
+        the merge finishes early once all of them have been reported.
+    """
+
+    def __init__(
+        self,
+        executor: StreamExecutor,
+        task_ids: List[int],
+        batch_size: int,
+        on_batch: Optional[Callable[[TaskBatch], None]] = None,
+        dedup_outer: bool = False,
+        expected_outer: Optional[int] = None,
+    ) -> None:
+        self._executor = executor
+        self._streams: Dict[int, _Stream] = {
+            task_id: _Stream(task_id) for task_id in task_ids
+        }
+        self._batch_size = batch_size
+        self._on_batch = on_batch
+        self._dedup_outer = dedup_outer
+        self._expected_outer = expected_outer
+        self._seen_outer: Set[int] = set()
+        self._ready: Deque[JoinResult] = deque()
+
+    # ------------------------------------------------------------------
+    # stream plumbing
+    # ------------------------------------------------------------------
+
+    def _absorb(self, batch: TaskBatch) -> None:
+        stream = self._streams[batch.task_id]
+        stream.buffer.extend(batch.results)
+        if batch.done:
+            stream.done = True
+        if self._on_batch is not None:
+            self._on_batch(batch)
+
+    def _fill(self, needy: List[_Stream]) -> None:
+        """Request data for every needy stream, then block until each
+        has either data or a done flag."""
+        for stream in needy:
+            self._executor.request(stream.task_id, self._batch_size)
+        while any(stream.needs_data for stream in needy):
+            self._absorb(self._executor.next_batch(self._batch_size))
+
+    def _fill_all_live(self) -> bool:
+        """Ensure every live stream is buffered; False when all
+        streams are exhausted."""
+        while True:
+            needy = [
+                s for s in self._streams.values() if s.needs_data
+            ]
+            if not needy:
+                break
+            self._fill(needy)
+        return any(
+            not s.exhausted for s in self._streams.values()
+        )
+
+    # ------------------------------------------------------------------
+    # the watermark merge
+    # ------------------------------------------------------------------
+
+    def _collect_tie_group(self) -> List[JoinResult]:
+        """Pop the full group of pairs at the global minimum distance.
+
+        Precondition: every live stream has a buffered head.  A stream
+        contributes its leading run of pairs at the minimum distance;
+        the run is only complete once the stream's watermark (next
+        buffered element) moves strictly past it or the stream ends.
+        """
+        d = min(
+            s.buffer[0].distance
+            for s in self._streams.values() if s.buffer
+        )
+        group: List[JoinResult] = []
+        for stream in self._streams.values():
+            while True:
+                while stream.buffer and stream.buffer[0].distance == d:
+                    group.append(stream.buffer.popleft())
+                if stream.buffer or stream.done:
+                    break
+                self._fill([stream])
+        group.sort(key=lambda r: (r.oid1, r.oid2))
+        return group
+
+    def _emit_group(self, group: List[JoinResult]) -> None:
+        if not self._dedup_outer:
+            self._ready.extend(group)
+            return
+        for result in group:
+            if result.oid1 in self._seen_outer:
+                continue
+            self._seen_outer.add(result.oid1)
+            self._ready.append(result)
+
+    def _semi_join_complete(self) -> bool:
+        return (
+            self._dedup_outer
+            and self._expected_outer is not None
+            and len(self._seen_outer) >= self._expected_outer
+        )
+
+    # ------------------------------------------------------------------
+    # iterator protocol
+    # ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[JoinResult]:
+        return self
+
+    def __next__(self) -> JoinResult:
+        while not self._ready:
+            if self._semi_join_complete():
+                raise StopIteration
+            if not self._fill_all_live():
+                raise StopIteration
+            self._emit_group(self._collect_tie_group())
+        return self._ready.popleft()

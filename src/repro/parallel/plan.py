@@ -1,0 +1,236 @@
+"""Per-tile join tasks: the unit of work shipped to a worker.
+
+A :class:`TileJoinTask` is a picklable description of one tile-pair
+join: the two tiles' object lists plus a :class:`JoinSpec` of strategy
+knobs.  Workers rebuild two small R*-trees from the object lists (STR
+bulk load, the same build path as the benchmark harness) and run the
+ordinary sequential :class:`IncrementalDistanceJoin` or
+:class:`IncrementalDistanceSemiJoin` over them -- the parallel engine
+reuses the paper's algorithm unchanged inside each partition pair.
+
+Workers index their tiles with dense local object ids and translate
+results back to the original ids before returning them, so the parent
+never sees worker-local numbering.  A user ``pair_filter`` is wrapped
+the same way: it always observes original object ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from repro.core.distance_join import (
+    EVEN,
+    IncrementalDistanceJoin,
+    JoinResult,
+)
+from repro.core.pairs import NODE, Item, Pair
+from repro.core.semi_join import (
+    DMAX_LOCAL,
+    INSIDE2,
+    IncrementalDistanceSemiJoin,
+)
+from repro.core.tiebreak import DEPTH_FIRST
+from repro.geometry.metrics import EUCLIDEAN, Metric
+from repro.parallel.partition import TaskObject, Tile
+from repro.rtree.base import DEFAULT_MAX_ENTRIES
+from repro.rtree.bulk import bulk_load_str
+from repro.util.counters import CounterRegistry
+
+_INF = float("inf")
+
+
+@dataclass
+class JoinSpec:
+    """Strategy knobs applied inside every worker join.
+
+    Mirrors the sequential join's parameters (see
+    :class:`repro.core.distance_join.IncrementalDistanceJoin`); the
+    worker queue is always the in-memory pairing-heap queue -- per-tile
+    queues are small, so the hybrid disk queue would only add overhead.
+
+    ``max_pairs`` bounds each worker stream.  For the plain join the
+    parent's ``stop after K`` bound is safe per stream: the global
+    K-smallest results can never include more than K elements of any
+    one ordered stream, so capping (and with it the paper's
+    maximum-distance estimation) applies per tile pair -- except that
+    the stream must finish the equal-distance group containing its
+    K-th result (see :func:`_soft_capped`).  For the semi-join the
+    parent discards duplicate outer objects *after* merging, so worker
+    streams must stay uncapped (``None``).
+    """
+
+    metric: Metric = EUCLIDEAN
+    min_distance: float = 0.0
+    max_distance: float = _INF
+    max_pairs: Optional[int] = None
+    tie_break: str = DEPTH_FIRST
+    node_policy: str = EVEN
+    leaf_mode: str = "direct"
+    estimate: bool = True
+    aggressive: bool = False
+    process_leaves_together: bool = False
+    semi_join: bool = False
+    filter_strategy: str = INSIDE2
+    dmax_strategy: str = DMAX_LOCAL
+    max_entries: int = DEFAULT_MAX_ENTRIES
+    pair_filter: Optional[Callable[[Pair], bool]] = None
+
+
+@dataclass
+class TileJoinTask:
+    """One partition-pair join, fully described and picklable."""
+
+    task_id: int
+    tile1: Tile
+    tile2: Tile
+    objects1: List[TaskObject]
+    objects2: List[TaskObject]
+    spec: JoinSpec = field(default_factory=JoinSpec)
+
+    def build_join(
+        self, counters: Optional[CounterRegistry] = None
+    ) -> Tuple[Iterator[JoinResult], List[TaskObject],
+               List[TaskObject]]:
+        """Materialize the worker-side join.
+
+        Returns the join iterator plus the two local-oid -> original
+        ``TaskObject`` tables used to translate results back.
+        """
+        spec = self.spec
+        counters = counters if counters is not None else CounterRegistry()
+        tree1 = _build_tile_tree(self.objects1, spec.max_entries, counters)
+        tree2 = _build_tile_tree(self.objects2, spec.max_entries, counters)
+        kwargs: dict = dict(
+            metric=spec.metric,
+            min_distance=spec.min_distance,
+            max_distance=spec.max_distance,
+            max_pairs=spec.max_pairs,
+            tie_break=spec.tie_break,
+            node_policy=spec.node_policy,
+            leaf_mode=spec.leaf_mode,
+            estimate=spec.estimate,
+            aggressive=spec.aggressive,
+            process_leaves_together=spec.process_leaves_together,
+            counters=counters,
+        )
+        if spec.pair_filter is not None:
+            kwargs["pair_filter"] = _translated_filter(
+                spec.pair_filter, self.objects1, self.objects2
+            )
+        if spec.semi_join:
+            join: IncrementalDistanceJoin = IncrementalDistanceSemiJoin(
+                tree1, tree2,
+                filter_strategy=spec.filter_strategy,
+                dmax_strategy=spec.dmax_strategy,
+                **kwargs,
+            )
+        else:
+            join = IncrementalDistanceJoin(tree1, tree2, **kwargs)
+        stream: Iterator[JoinResult] = join
+        if spec.max_pairs is not None and not spec.semi_join:
+            stream = _soft_capped(join, spec.max_pairs)
+        return stream, self.objects1, self.objects2
+
+    def translate(
+        self,
+        result: JoinResult,
+        table1: List[TaskObject],
+        table2: List[TaskObject],
+    ) -> JoinResult:
+        """Map a worker-local result onto original ids and payloads."""
+        original1 = table1[result.oid1]
+        original2 = table2[result.oid2]
+        return JoinResult(
+            result.distance,
+            original1.oid, original1.obj,
+            original2.oid, original2.obj,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TileJoinTask(id={self.task_id}, "
+            f"tiles=({self.tile1.index}, {self.tile2.index}), "
+            f"sizes=({len(self.objects1)}, {len(self.objects2)}))"
+        )
+
+
+def _soft_capped(
+    join: IncrementalDistanceJoin, cap: int
+) -> Iterator[JoinResult]:
+    """Stream ``join``, ending only after the equal-distance group
+    containing the ``cap``-th result is complete.
+
+    A stream cut at exactly ``cap`` results could split a tie group in
+    the worker's traversal order, dropping members that rank earlier
+    in the canonical ``(distance, oid1, oid2)`` order than kept ones
+    -- the merge would then emit a non-canonical (worker-count
+    dependent) subset of the ties.  Extending past the cap to the end
+    of the boundary group restores determinism, and remains safe to
+    truncate there: any dropped pair is strictly farther than ``cap``
+    pairs of this stream alone, so it can never be among the global
+    ``cap`` smallest.
+
+    The join keeps its own ``max_pairs == cap`` during the capped
+    phase so maximum-distance estimation engages as usual; past the
+    cap the bound is raised one result at a time to peek at the tie
+    tail.  Estimation cannot have pruned that tail: its bound is an
+    upper bound on the ``cap``-th distance and the join prunes
+    strictly above it.
+    """
+    produced = 0
+    boundary = float("-inf")
+    while True:
+        if produced >= cap:
+            join.max_pairs = produced + 1
+        try:
+            result = next(join)
+        except StopIteration:
+            return
+        if produced >= cap and result.distance > boundary:
+            return
+        boundary = result.distance
+        produced += 1
+        yield result
+
+
+def _build_tile_tree(
+    objects: List[TaskObject],
+    max_entries: int,
+    counters: CounterRegistry,
+):
+    """STR bulk load a tile's objects, preserving payloads.
+
+    Objects with a payload are loaded as that payload (so exact-shape
+    distances keep working in the worker); payload-less entries are
+    loaded as their bounding rectangle.
+    """
+    return bulk_load_str(
+        [o.obj if o.obj is not None else o.rect for o in objects],
+        max_entries=max_entries,
+        counters=counters,
+    )
+
+
+def _translated_filter(
+    pair_filter: Callable[[Pair], bool],
+    table1: List[TaskObject],
+    table2: List[TaskObject],
+) -> Callable[[Pair], bool]:
+    """Wrap a user pair filter so it sees original object ids."""
+
+    def _original(item: Item, table: List[TaskObject]) -> Item:
+        if item.kind == NODE or item.oid < 0:
+            return item
+        original = table[item.oid]
+        return Item(item.kind, item.rect, node_id=item.node_id,
+                    level=item.level, oid=original.oid, obj=item.obj)
+
+    def keep(pair: Pair) -> bool:
+        return pair_filter(Pair(
+            _original(pair.item1, table1),
+            _original(pair.item2, table2),
+            pair.distance,
+        ))
+
+    return keep

@@ -67,6 +67,8 @@ class Query:
         True for ``ORDER BY d DESC`` (reverse/farthest-first).
     stop_after:
         The ``STOP AFTER n`` bound, or None.
+    parallel:
+        The ``PARALLEL n`` worker-count hint, or None (sequential).
     """
 
     relation1: str = ""
@@ -82,6 +84,7 @@ class Query:
     )
     descending: bool = False
     stop_after: Optional[int] = None
+    parallel: Optional[int] = None
 
     @property
     def is_semi_join(self) -> bool:

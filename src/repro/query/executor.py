@@ -45,6 +45,10 @@ from repro.core.semi_join import IncrementalDistanceSemiJoin
 from repro.errors import QueryError
 from repro.geometry.metrics import EUCLIDEAN, Metric
 from repro.geometry.point import Point
+from repro.parallel.join import (
+    ParallelDistanceJoin,
+    ParallelDistanceSemiJoin,
+)
 from repro.query.ast_nodes import Query
 from repro.query.costmodel import JoinCostModel, estimate_build_cost
 from repro.query.parser import parse
@@ -89,6 +93,7 @@ class PlanExplanation(NamedTuple):
     estimated_cost: float
     pipeline_cost: float
     prefilter_cost: float
+    parallel: Optional[int] = None
 
     def pretty(self) -> str:
         """A human-readable plan description."""
@@ -103,6 +108,8 @@ class PlanExplanation(NamedTuple):
             f"  distance range: [{self.min_distance:g}, "
             f"{self.max_distance:g}], {bound}",
         ]
+        if self.parallel is not None:
+            lines.append(f"  parallel workers: {self.parallel}")
         if self.selectivity1 < 1.0 or self.selectivity2 < 1.0:
             lines.append(
                 f"  predicate selectivity: "
@@ -344,6 +351,16 @@ class Database:
         return choice, pipeline, prefilter
 
     def _operator(self, query: Query) -> type:
+        if query.parallel is not None:
+            if query.descending:
+                raise QueryError(
+                    "PARALLEL does not support ORDER BY ... DESC "
+                    "(the parallel merge is nearest-first)"
+                )
+            return (
+                ParallelDistanceSemiJoin if query.is_semi_join
+                else ParallelDistanceJoin
+            )
         if query.is_semi_join:
             return (
                 ReverseDistanceSemiJoin if query.descending
@@ -384,6 +401,8 @@ class Database:
         )
         kwargs.update(join_kwargs)
         operator = self._operator(query)
+        if query.parallel is not None:
+            kwargs.setdefault("workers", query.parallel)
 
         mapping1: Optional[List[int]] = None
         mapping2: Optional[List[int]] = None
@@ -520,4 +539,5 @@ class Database:
             estimated_cost=min(pipeline_cost, prefilter_cost),
             pipeline_cost=pipeline_cost,
             prefilter_cost=prefilter_cost,
+            parallel=query.parallel,
         )

@@ -8,6 +8,7 @@ Grammar (terminals in caps, ``[]`` optional, ``{}`` repetition)::
                   [GROUP BY qualified]
                   [ORDER BY ident [ASC | DESC]]
                   [STOP AFTER NUMBER]
+                  [PARALLEL NUMBER]
     select_list := "*" ["," MIN "(" ident ")"]
                  | MIN "(" ident ")" ["," "*"]
     distance_term := DISTANCE "(" qualified "," qualified ")" [AS ident]
@@ -19,8 +20,9 @@ Grammar (terminals in caps, ``[]`` optional, ``{}`` repetition)::
 
 This is the paper's Figure 1 surface: the distance term in the FROM
 clause, distance predicates in WHERE, GROUP BY for the semi-join,
-ORDER BY d (DESC for the reverse variant), and the STOP AFTER
-extension.
+ORDER BY d (DESC for the reverse variant), the STOP AFTER extension,
+and a PARALLEL worker-count hint routing the query to the partitioned
+parallel engine (:mod:`repro.parallel`).
 """
 
 from __future__ import annotations
@@ -116,6 +118,15 @@ class _Parser:
                     f"{number.text}", number.position,
                 )
             query.stop_after = int(value)
+        if self._accept(KEYWORD, "PARALLEL"):
+            number = self._expect(NUMBER)
+            value = float(number.text)
+            if value != int(value) or value < 1:
+                raise QuerySyntaxError(
+                    f"PARALLEL needs a positive integer, got "
+                    f"{number.text}", number.position,
+                )
+            query.parallel = int(value)
         self._expect(EOF)
         self._validate(query)
         return query
@@ -248,6 +259,11 @@ class _Parser:
             raise QuerySyntaxError(
                 f"contradictory distance predicates: "
                 f"d >= {dmin} and d <= {dmax}"
+            )
+        if query.parallel is not None and query.descending:
+            raise QuerySyntaxError(
+                "PARALLEL does not support ORDER BY ... DESC "
+                "(the parallel engine's merge is nearest-first)"
             )
 
 

@@ -1,7 +1,7 @@
 """Small general-purpose utilities shared across the library."""
 
 from repro.util.bitset import Bitset
-from repro.util.counters import Counter, CounterRegistry
+from repro.util.counters import Counter, CounterRegistry, CounterSnapshot
 from repro.util.validation import (
     require,
     require_non_negative,
@@ -13,6 +13,7 @@ __all__ = [
     "Bitset",
     "Counter",
     "CounterRegistry",
+    "CounterSnapshot",
     "require",
     "require_non_negative",
     "require_positive",

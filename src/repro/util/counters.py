@@ -9,7 +9,8 @@ collect exactly those measures (and more) deterministically.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Mapping, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Tuple, Union
 
 
 class Counter:
@@ -45,6 +46,49 @@ class Counter:
 
     def __repr__(self) -> str:
         return f"Counter({self.name}={self.value}, peak={self.peak})"
+
+
+@dataclass
+class CounterSnapshot:
+    """A frozen, picklable view of a registry: totals plus peaks.
+
+    Parallel join workers run against private registries and ship
+    snapshots back with each result batch; the parent merges them with
+    :meth:`CounterRegistry.merge`.  Snapshots are plain dataclasses of
+    dicts, so they pickle cheaply across process boundaries.
+    """
+
+    values: Dict[str, int] = field(default_factory=dict)
+    peaks: Dict[str, int] = field(default_factory=dict)
+
+    def value(self, name: str) -> int:
+        """Total of ``name`` at snapshot time (0 if never touched)."""
+        return self.values.get(name, 0)
+
+    def peak(self, name: str) -> int:
+        """High-water mark of ``name`` at snapshot time."""
+        return self.peaks.get(name, 0)
+
+    def delta_from(self, earlier: "CounterSnapshot") -> "CounterSnapshot":
+        """The increment between ``earlier`` and this snapshot.
+
+        Values subtract (what happened in between); peaks keep this
+        snapshot's high-water marks (a peak is a level, not a flow).
+        Used to merge a worker's periodic snapshots into a parent
+        registry without double counting.
+        """
+        values = {
+            name: total - earlier.values.get(name, 0)
+            for name, total in self.values.items()
+            if total != earlier.values.get(name, 0)
+        }
+        return CounterSnapshot(values=values, peaks=dict(self.peaks))
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{name}={value}" for name, value in sorted(self.values.items())
+        )
+        return f"CounterSnapshot({body})"
 
 
 class CounterRegistry:
@@ -111,6 +155,33 @@ class CounterRegistry:
     def snapshot_peaks(self) -> Mapping[str, int]:
         """An immutable view of current peaks, for reporting."""
         return {name: c.peak for name, c in sorted(self._counters.items())}
+
+    def full_snapshot(self) -> CounterSnapshot:
+        """Totals and peaks together as a picklable value object."""
+        return CounterSnapshot(
+            values={n: c.value for n, c in self._counters.items()},
+            peaks={n: c.peak for n, c in self._counters.items()},
+        )
+
+    def merge(
+        self, other: Union["CounterRegistry", CounterSnapshot]
+    ) -> None:
+        """Fold another registry's (or snapshot's) work into this one.
+
+        Totals add; peaks combine by maximum -- the merged registry
+        reports the work of all contributors and the highest level any
+        single contributor observed.  This is how the parallel join
+        aggregates per-worker registries into the parent's.
+        """
+        snap = other.full_snapshot() if isinstance(
+            other, CounterRegistry
+        ) else other
+        for name, value in snap.values.items():
+            if value:
+                self.counter(name).add(value)
+        for name, peak in snap.peaks.items():
+            if peak:
+                self.counter(name).observe(peak)
 
     def __iter__(self) -> Iterator[Tuple[str, Counter]]:
         return iter(sorted(self._counters.items()))

@@ -1,6 +1,8 @@
 """Unit tests for the performance-counter registry."""
 
-from repro.util.counters import Counter, CounterRegistry
+import pickle
+
+from repro.util.counters import Counter, CounterRegistry, CounterSnapshot
 
 
 class TestCounter:
@@ -67,3 +69,82 @@ class TestRegistry:
     def test_same_counter_object_returned(self):
         r = CounterRegistry()
         assert r.counter("a") is r.counter("a")
+
+
+class TestMergeAndSnapshots:
+    def test_merge_registry_adds_values(self):
+        a = CounterRegistry()
+        b = CounterRegistry()
+        a.add("dist_calcs", 10)
+        b.add("dist_calcs", 5)
+        b.add("node_io", 3)
+        a.merge(b)
+        assert a.value("dist_calcs") == 15
+        assert a.value("node_io") == 3
+
+    def test_merge_takes_peak_maximum(self):
+        a = CounterRegistry()
+        b = CounterRegistry()
+        a.observe("queue_size", 10)
+        b.observe("queue_size", 25)
+        a.merge(b)
+        assert a.peak("queue_size") == 25
+        b2 = CounterRegistry()
+        b2.observe("queue_size", 7)
+        a.merge(b2)
+        assert a.peak("queue_size") == 25
+
+    def test_merge_accepts_snapshot(self):
+        a = CounterRegistry()
+        b = CounterRegistry()
+        b.add("pairs_reported", 4)
+        b.observe("queue_size", 9)
+        a.merge(b.full_snapshot())
+        assert a.value("pairs_reported") == 4
+        assert a.peak("queue_size") == 9
+
+    def test_full_snapshot_is_a_value_copy(self):
+        r = CounterRegistry()
+        r.add("x", 2)
+        snap = r.full_snapshot()
+        r.add("x", 5)
+        assert snap.value("x") == 2
+        assert r.value("x") == 7
+
+    def test_snapshot_delta(self):
+        r = CounterRegistry()
+        r.add("x", 3)
+        r.observe("g", 4)
+        earlier = r.full_snapshot()
+        r.add("x", 7)
+        r.add("y", 1)
+        r.observe("g", 9)
+        delta = r.full_snapshot().delta_from(earlier)
+        assert delta.value("x") == 7
+        assert delta.value("y") == 1
+        # peaks are not differenced: the later high-water mark stands
+        assert delta.peak("g") == 9
+
+    def test_snapshot_pickles(self):
+        r = CounterRegistry()
+        r.add("dist_calcs", 42)
+        r.observe("queue_size", 17)
+        snap = r.full_snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        assert isinstance(clone, CounterSnapshot)
+        assert clone.value("dist_calcs") == 42
+        assert clone.peak("queue_size") == 17
+
+    def test_merging_deltas_reconstructs_totals(self):
+        # The parallel engine's aggregation scheme: workers report
+        # cumulative snapshots, the parent merges per-batch deltas.
+        worker = CounterRegistry()
+        parent = CounterRegistry()
+        previous = None
+        for batch in range(3):
+            worker.add("dist_calcs", 10 * (batch + 1))
+            snap = worker.full_snapshot()
+            delta = snap.delta_from(previous) if previous else snap
+            parent.merge(delta)
+            previous = snap
+        assert parent.value("dist_calcs") == worker.value("dist_calcs")
