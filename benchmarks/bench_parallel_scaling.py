@@ -40,7 +40,7 @@ from pathlib import Path as _Path
 _sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
 
 from benchmarks.common import SCRIPT_SCALE, TEST_SCALE, workload
-from repro.bench.reporting import format_table
+from repro.bench.reporting import format_table, write_run_metrics
 from repro.bench.runner import consume, run_join
 from repro.core.distance_join import IncrementalDistanceJoin
 from repro.parallel import ParallelDistanceJoin
@@ -68,7 +68,10 @@ def test_parallel_scaling_smoke(benchmark, workers):
     benchmark(once)
 
 
-def _measure(load, pairs: int, backend: str) -> List[dict]:
+def _measure(
+    load, pairs: int, backend: str,
+    measured: Optional[List[tuple]] = None,
+) -> List[dict]:
     rows = []
     sequential = run_join(
         lambda: IncrementalDistanceJoin(
@@ -76,7 +79,10 @@ def _measure(load, pairs: int, backend: str) -> List[dict]:
             max_pairs=pairs, counters=load.counters,
         ),
         pairs, load.counters, before=load.cold_caches,
+        label="sequential",
     )
+    if measured is not None:
+        measured.append((sequential, {"pairs_requested": pairs}))
     rows.append({
         "variant": "sequential",
         "pairs": sequential.pairs_produced,
@@ -93,7 +99,14 @@ def _measure(load, pairs: int, backend: str) -> List[dict]:
                 max_pairs=pairs, counters=load.counters,
             ),
             pairs, load.counters, before=load.cold_caches,
+            label=f"parallel-x{workers}-{backend}",
         )
+        if measured is not None:
+            measured.append((run, {
+                "pairs_requested": pairs,
+                "workers": workers,
+                "backend": backend,
+            }))
         rows.append({
             "variant": f"parallel x{workers} ({backend})",
             "pairs": run.pairs_produced,
@@ -124,6 +137,11 @@ def main(argv: Optional[List[str]] = None) -> None:
         "--scale", type=float, default=None,
         help="workload scale override (default: REPRO_BENCH_SCALE)",
     )
+    parser.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write every run's counters and timings to FILE as "
+             "JSON-lines (plus a Prometheus-style FILE.prom dump)",
+    )
     args = parser.parse_args(argv)
 
     if args.tiny:
@@ -137,8 +155,9 @@ def main(argv: Optional[List[str]] = None) -> None:
 
     load = workload(scale)
     rows = []
+    measured: Optional[List[tuple]] = [] if args.metrics else None
     for pairs in pair_sweep:
-        rows.extend(_measure(load, pairs, backend))
+        rows.extend(_measure(load, pairs, backend, measured))
     print(format_table(
         rows,
         columns=[
@@ -150,6 +169,13 @@ def main(argv: Optional[List[str]] = None) -> None:
             f"backend={backend}"
         ),
     ))
+    if args.metrics:
+        write_run_metrics(
+            args.metrics,
+            [run for run, __ in measured],
+            [labels for __, labels in measured],
+        )
+        print(f"metrics -> {args.metrics} (+ .prom)")
 
 
 if __name__ == "__main__":

@@ -1,13 +1,20 @@
-"""Plain-text table/series formatting for benchmark output.
+"""Plain-text table/series formatting + metrics export for benchmarks.
 
 The benchmark scripts print the same rows and series the paper's
 tables and figures report, so EXPERIMENTS.md can be filled in by
-copy-paste.
+copy-paste.  :func:`run_metrics` additionally serializes a
+:class:`~repro.bench.runner.MeasuredRun` into the observability
+layer's shared metric schema (:mod:`repro.util.obs`), so benchmark
+output, the CLI's ``--metrics`` flag, and ``EXPLAIN ANALYZE`` all
+emit identical records.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.util.counters import CounterSnapshot
+from repro.util.obs import Observer, metrics_records, write_metrics
 
 
 def format_table(
@@ -57,6 +64,41 @@ def format_series(
             row[label] = values[i] if i < len(values) else ""
         rows.append(row)
     return format_table(rows, columns, title=title)
+
+
+def run_metrics(
+    run: Any, labels: Optional[Mapping[str, Any]] = None
+) -> List[Dict[str, Any]]:
+    """A :class:`~repro.bench.runner.MeasuredRun` as shared-schema
+    metric records: its counters, peaks, and wall time (as the
+    ``bench.run`` span)."""
+    obs = Observer(max_events=0)
+    obs.record_span("bench.run", run.seconds)
+    label_dict: Dict[str, Any] = {}
+    if getattr(run, "label", ""):
+        label_dict["label"] = run.label
+    if labels:
+        label_dict.update(labels)
+    label_dict.setdefault("pairs", run.pairs_produced)
+    snapshot = CounterSnapshot(
+        values=dict(run.counters), peaks=dict(run.peaks)
+    )
+    return metrics_records(snapshot, obs, label_dict)
+
+
+def write_run_metrics(
+    path: str,
+    runs: Sequence[Any],
+    labels: Optional[Sequence[Mapping[str, Any]]] = None,
+) -> List[Dict[str, Any]]:
+    """Write many runs' metrics to ``path`` (JSON-lines plus a
+    ``.prom`` dump); ``labels`` optionally supplies one label mapping
+    per run.  Returns the records written."""
+    records: List[Dict[str, Any]] = []
+    for index, run in enumerate(runs):
+        run_labels = labels[index] if labels else None
+        records.extend(run_metrics(run, run_labels))
+    return write_metrics(path, records=records)
 
 
 def _fmt(value: Any) -> str:

@@ -12,9 +12,15 @@ Commands
 ``query``
     Run a Figure 1 SQL query over named relations (CSV files or
     snapshots) and print result rows -- lazily, so ``STOP AFTER``
-    queries return immediately.
+    queries return immediately.  An ``EXPLAIN [ANALYZE]`` prefix in
+    the SQL prints the plan (estimated, or annotated with actual
+    counters and stage timings) instead of rows; ``--metrics FILE``
+    exports the execution's counters and timings as JSON-lines plus a
+    Prometheus-style text dump.
 ``explain``
-    Print the plan and cost estimates for a query without running it.
+    Print the plan and cost estimates for a query without running it
+    (``--analyze`` or an ``EXPLAIN ANALYZE`` prefix runs it and
+    reports actuals).
 
 Examples
 --------
@@ -161,13 +167,32 @@ def cmd_info(args: argparse.Namespace) -> int:
 def cmd_query(args: argparse.Namespace) -> int:
     """``repro query``: run a SQL query, streaming rows to stdout."""
     from repro.query.parser import parse
+    from repro.util.obs import Observer, write_metrics
 
     db = _build_database(args.relation)
     query = parse(args.sql)
     if args.workers is not None:
         # CLI flag and SQL hint are equivalent; the flag wins.
         query.parallel = args.workers
-    rows = db.execute_query(query)
+
+    if query.explain:
+        if not query.analyze:
+            print(db.explain(query).pretty())
+            return 0
+        analyzed = db.explain_analyze(query)
+        print(analyzed.pretty())
+        if args.metrics:
+            write_metrics(args.metrics, records=analyzed.metrics(
+                labels={"command": "query", "mode": "explain_analyze"}
+            ))
+            print(f"-- metrics -> {args.metrics} (+ .prom)",
+                  file=sys.stderr)
+        return 0
+
+    obs = Observer() if args.metrics else None
+    before = db.counters.full_snapshot() if args.metrics else None
+    join_kwargs = {"observer": obs} if obs is not None else {}
+    rows = db.execute_query(query, **join_kwargs)
     printed = 0
     for row in rows:
         coords1 = ",".join(f"{c:g}" for c in row.geom1.coords) \
@@ -179,13 +204,25 @@ def cmd_query(args: argparse.Namespace) -> int:
         if args.limit is not None and printed >= args.limit:
             break
     print(f"-- {printed} row(s)", file=sys.stderr)
+    if args.metrics:
+        delta = db.counters.full_snapshot().delta_from(before)
+        write_metrics(args.metrics, counters=delta, obs=obs,
+                      labels={"command": "query"})
+        print(f"-- metrics -> {args.metrics} (+ .prom)",
+              file=sys.stderr)
     return 0
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
     """``repro explain``: print a query plan without executing."""
+    from repro.query.parser import parse
+
     db = _build_database(args.relation)
-    print(db.explain(args.sql).pretty())
+    query = parse(args.sql)
+    if query.analyze or getattr(args, "analyze", False):
+        print(db.explain_analyze(query).pretty())
+    else:
+        print(db.explain(query).pretty())
     return 0
 
 
@@ -282,6 +319,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute with the partitioned parallel join engine using "
              "N workers (same as a PARALLEL N hint in the SQL)",
     )
+    query.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write the execution's counters and timings to FILE as "
+             "JSON-lines, plus a Prometheus-style dump to FILE.prom",
+    )
     query.set_defaults(func=cmd_query)
 
     explain = commands.add_parser(
@@ -291,6 +333,11 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument(
         "--relation", action="append", default=[],
         metavar="NAME=SOURCE",
+    )
+    explain.add_argument(
+        "--analyze", action="store_true",
+        help="execute the query and annotate the plan with actual "
+             "counters and stage timings (EXPLAIN ANALYZE)",
     )
     explain.set_defaults(func=cmd_explain)
 

@@ -55,6 +55,7 @@ from repro.errors import JoinError
 from repro.geometry.metrics import EUCLIDEAN, Metric
 from repro.rtree.base import RTreeBase
 from repro.util.counters import CounterRegistry
+from repro.util.obs import NULL_OBSERVER, Observer
 from repro.util.validation import require
 
 _INF = float("inf")
@@ -119,6 +120,12 @@ class IncrementalDistanceJoin:
     counters:
         Shared performance-counter registry (defaults to a registry
         shared with ``tree1``).
+    observer:
+        Optional :class:`~repro.util.obs.Observer` receiving phase
+        timings (``join.init``, ``join.expand``), queue refill spans,
+        and events.  Defaults to the shared disabled observer, in
+        which case the instrumentation costs one boolean check per
+        node expansion.
     check_consistency:
         Verify the distance-function consistency contract at run time.
     """
@@ -144,6 +151,7 @@ class IncrementalDistanceJoin:
         pair_filter: Optional[Callable[[Pair], bool]] = None,
         process_leaves_together: bool = False,
         counters: Optional[CounterRegistry] = None,
+        observer: Optional[Observer] = None,
         check_consistency: bool = False,
     ) -> None:
         require(node_policy in NODE_POLICIES,
@@ -183,6 +191,7 @@ class IncrementalDistanceJoin:
         self.pair_filter = pair_filter
         self.process_leaves_together = process_leaves_together
         self.counters = counters if counters is not None else tree1.counters
+        self.obs = observer if observer is not None else NULL_OBSERVER
         self.distance = PairDistance(
             metric, self.counters, check_consistency=check_consistency
         )
@@ -195,7 +204,8 @@ class IncrementalDistanceJoin:
 
         self._produced = 0
         self._to_skip = 0
-        self._init_state()
+        with self.obs.span("join.init"):
+            self._init_state()
 
     # ------------------------------------------------------------------
     # state construction
@@ -207,11 +217,13 @@ class IncrementalDistanceJoin:
                 dt=float(self.queue_dt),
                 counters=self.counters,
                 heap_class=self.heap_class,
+                observer=self.obs if self.obs.enabled else None,
             )
         if self.queue_kind == "adaptive":
             return AdaptiveHybridPairQueue(
                 counters=self.counters,
                 heap_class=self.heap_class,
+                observer=self.obs if self.obs.enabled else None,
             )
         return MemoryPairQueue(heap_class=self.heap_class)
 
@@ -302,7 +314,11 @@ class IncrementalDistanceJoin:
                 continue
             if self._skip_popped(pair):
                 continue
-            self._process_pair(pair)
+            if self.obs.enabled:
+                with self.obs.span("join.expand"):
+                    self._process_pair(pair)
+            else:
+                self._process_pair(pair)
 
     # ------------------------------------------------------------------
     # result handling
@@ -609,9 +625,11 @@ class IncrementalDistanceJoin:
         delivered.
         """
         self.counters.add("restarts")
+        self.obs.event("join.restart", value=float(self._produced))
         self._to_skip += self._produced
         self.estimate = False
-        self._init_state()
+        with self.obs.span("join.init"):
+            self._init_state()
 
     def __repr__(self) -> str:
         return (

@@ -19,10 +19,15 @@ from typing import Any, Dict, List, Optional, Tuple, Type
 from repro.core.heap import BinaryHeap, PairingHeap
 from repro.storage.pager import PageStore
 from repro.util.counters import CounterRegistry
+from repro.util.obs import NULL_OBSERVER, Observer
 from repro.util.validation import require_positive
 
 #: Simulated size of one serialized pair record on a queue page.
 PAIR_RECORD_BYTES = 64
+
+#: Micro-unit scale used to record the calibrated ``D_T`` in the
+#: integer counter registry without truncating sub-unit values.
+DT_MICRO_SCALE = 1_000_000
 
 
 class PairQueue(ABC):
@@ -97,6 +102,10 @@ class HybridPairQueue(PairQueue):
         per record moved, and observing ``pq_heap_size``.
     heap_class:
         Heap used for tier 1.
+    observer:
+        Optional :class:`~repro.util.obs.Observer`; when enabled,
+        queue refills are timed under the ``pq.refill`` span and band
+        loads are logged as events.
     """
 
     def __init__(
@@ -105,10 +114,12 @@ class HybridPairQueue(PairQueue):
         store: Optional[PageStore] = None,
         counters: Optional[CounterRegistry] = None,
         heap_class: Type = PairingHeap,
+        observer: Optional[Observer] = None,
     ) -> None:
         require_positive(dt, "dt")
         self.dt = float(dt)
         self.counters = counters if counters is not None else CounterRegistry()
+        self.obs = observer if observer is not None else NULL_OBSERVER
         self.store = store if store is not None else PageStore()
         self._heap = heap_class()
         self._list: List[Tuple[Tuple, Any]] = []
@@ -186,6 +197,15 @@ class HybridPairQueue(PairQueue):
         return self._heap.peek()
 
     def _ensure_head(self) -> None:
+        if self._heap or not (self._list or self._disk_records):
+            return
+        if self.obs.enabled:
+            with self.obs.span("pq.refill"):
+                self._refill()
+        else:
+            self._refill()
+
+    def _refill(self) -> None:
         while not self._heap and (self._list or self._disk_records):
             # Promote the unorganized list into the heap...
             for key, value in self._list:
@@ -206,6 +226,11 @@ class HybridPairQueue(PairQueue):
         self._open_page.pop(band, None)
         if not page_ids:
             return
+        if self.obs.enabled:
+            self.obs.event(
+                "pq.load_band", label=f"band={band}",
+                value=float(len(page_ids)),
+            )
         for page_id in page_ids:
             page = self.store.read(page_id)
             records: List[Tuple[Tuple, Any]] = page.payload
@@ -263,6 +288,7 @@ class AdaptiveHybridPairQueue(PairQueue):
         store: Optional[PageStore] = None,
         counters: Optional[CounterRegistry] = None,
         heap_class: Type = PairingHeap,
+        observer: Optional[Observer] = None,
     ) -> None:
         require_positive(calibration_size, "calibration_size")
         if not 0.0 < target_heap_fraction < 1.0:
@@ -273,6 +299,7 @@ class AdaptiveHybridPairQueue(PairQueue):
         self.calibration_size = calibration_size
         self.target_heap_fraction = target_heap_fraction
         self.counters = counters if counters is not None else CounterRegistry()
+        self.obs = observer if observer is not None else NULL_OBSERVER
         self._store = store
         self._heap_class = heap_class
         self._warmup = heap_class()
@@ -302,8 +329,20 @@ class AdaptiveHybridPairQueue(PairQueue):
             store=self._store,
             counters=self.counters,
             heap_class=self._heap_class,
+            observer=self.obs if self.obs.enabled else None,
         )
-        self.counters.counter("pq_adaptive_dt").observe(int(chosen))
+        # Record the calibrated D_T losslessly.  The integer registry
+        # gets it in micro-units (a plain observe(int(dt)) truncates
+        # any sub-unit D_T -- the common case on unit-square data --
+        # to 0); the observer gets the exact float as a gauge.
+        self.counters.counter("pq_adaptive_dt_micro").observe(
+            max(1, int(round(chosen * DT_MICRO_SCALE)))
+        )
+        if self.obs.enabled:
+            self.obs.gauge("pq_adaptive_dt", chosen)
+            self.obs.event(
+                "pq.calibrated", label=f"dt={chosen:g}", value=chosen
+            )
         while self._warmup:
             key, value = self._warmup.pop()
             self._inner.push(key, value)

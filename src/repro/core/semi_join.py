@@ -182,6 +182,10 @@ class IncrementalDistanceSemiJoin(IncrementalDistanceJoin):
 
     def _on_report(self, pair: Pair) -> None:
         self._seen.add(pair.item1.oid)
+        if self.obs.enabled:
+            # Coverage timeline: how fast the semi-join saturates the
+            # outer relation (sampled via the observer's knob).
+            self.obs.gauge("semijoin.seen", float(len(self._seen)))
         if self._estimator is not None:
             self._estimator.on_report_first(pair.item1.identity())
 

@@ -25,10 +25,12 @@ Example
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, List, Tuple, Type
+import time
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple, Type
 
 from repro.core.pairs import NODE, Item, Pair
+from repro.util.obs import KEEP_FIRST, EventLog
 
 _KIND_LABEL = {0: "node", 1: "obr", 2: "obj"}
 
@@ -59,33 +61,60 @@ class TraceEvent:
         return f"[{self.sequence:>6}] {self.kind:<7} {self.label}"
 
 
-@dataclass
 class JoinTrace:
-    """The recorded execution: an event list plus running tallies."""
+    """The recorded execution: an event list plus running tallies.
 
-    events: List[TraceEvent] = field(default_factory=list)
-    pops: int = 0
-    pushes: int = 0
-    expansions: int = 0
-    reported: int = 0
-    max_events: int = 100_000
+    Backed by the bounded :class:`repro.util.obs.EventLog` with the
+    keep-*first* policy: a trace is an execution prefix, so the first
+    ``max_events`` steps are retained and later ones only counted.
+    :attr:`events` keeps the original public shape (a list of
+    :class:`TraceEvent`).
+    """
+
+    def __init__(self, max_events: int = 100_000) -> None:
+        self.max_events = max_events
+        self.pops = 0
+        self.pushes = 0
+        self.expansions = 0
+        self.reported = 0
+        self._log = EventLog(max_events=max_events, policy=KEEP_FIRST)
+        self._t0 = time.perf_counter()
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The retained events in recording order."""
+        return [
+            TraceEvent(event.seq, event.kind, event.label, event.value)
+            for event in self._log
+        ]
+
+    @property
+    def total_events(self) -> int:
+        """Every recorded step, including those past ``max_events``."""
+        return self._log.total
 
     def _record(self, kind: str, label: str, distance: float) -> None:
-        if len(self.events) < self.max_events:
-            self.events.append(
-                TraceEvent(len(self.events), kind, label, distance)
-            )
+        self._log.append(
+            time.perf_counter() - self._t0, kind, label, distance
+        )
 
     def render(self, limit: int = 50) -> str:
         """The first ``limit`` events as a readable transcript."""
-        lines = [str(event) for event in self.events[:limit]]
-        if len(self.events) > limit:
-            lines.append(f"... {len(self.events) - limit} more events")
+        retained = self.events
+        lines = [str(event) for event in retained[:limit]]
+        if len(retained) > limit:
+            lines.append(f"... {len(retained) - limit} more events")
         lines.append(
             f"totals: {self.pops} pops, {self.expansions} expansions, "
             f"{self.pushes} pushes, {self.reported} reported"
         )
         return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"JoinTrace(events={self._log.total}, pops={self.pops}, "
+            f"pushes={self.pushes}, reported={self.reported})"
+        )
 
 
 class _TracingQueue:
@@ -144,7 +173,7 @@ class _TracingMixin:
 def traced_join(
     join_class: Type,
     *args: Any,
-    trace: JoinTrace = None,
+    trace: Optional[JoinTrace] = None,
     **kwargs: Any,
 ) -> Tuple[Any, JoinTrace]:
     """Build ``join_class(*args, **kwargs)`` with tracing attached.
@@ -161,9 +190,13 @@ def traced_join(
         f"Traced{join_class.__name__}", (_TracingMixin, join_class), {}
     )
     # _push fires during __init__ (the root pair), so the trace must
-    # exist before construction completes: stash it on the class, then
-    # move it to the instance.
+    # exist before construction completes: stash it on the class for
+    # the duration of construction only.  The finally matters -- a
+    # raising __init__ must not leave the trace pinned to the class.
     traced_class._trace = trace
-    join = traced_class(*args, **kwargs)
+    try:
+        join = traced_class(*args, **kwargs)
+    finally:
+        del traced_class._trace
     join._trace = trace
     return join, trace

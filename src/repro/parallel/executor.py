@@ -49,6 +49,7 @@ from repro.core.distance_join import JoinResult
 from repro.errors import JoinError
 from repro.parallel.plan import TileJoinTask
 from repro.util.counters import CounterRegistry, CounterSnapshot
+from repro.util.obs import ObsSnapshot, Observer
 from repro.util.validation import require
 
 #: Executor backend names ("auto" resolves before a pool is built).
@@ -64,7 +65,12 @@ _RUN_SEQ = itertools.count()
 
 
 class TaskBatch(NamedTuple):
-    """One worker round-trip: a chunk of ordered results plus status."""
+    """One worker round-trip: a chunk of ordered results plus status.
+
+    ``counters`` and ``spans`` are *cumulative* for the task; the
+    parent merges per-batch deltas (``delta_from``) so nothing double
+    counts across round-trips.
+    """
 
     task_id: int
     results: Tuple[JoinResult, ...]
@@ -72,6 +78,7 @@ class TaskBatch(NamedTuple):
     done: bool
     counters: CounterSnapshot
     worker: str  # pid/thread label, for per-worker breakdowns
+    spans: Optional[ObsSnapshot] = None  # cumulative stage timings
 
 
 class TaskStateLost(RuntimeError):
@@ -92,14 +99,19 @@ class _WorkerTaskState:
     """A live join held inside a worker between batch requests."""
 
     __slots__ = ("task", "join", "table1", "table2", "counters",
-                 "produced")
+                 "produced", "obs")
 
     def __init__(self, task: TileJoinTask) -> None:
         self.task = task
         self.counters = CounterRegistry()
-        self.join, self.table1, self.table2 = task.build_join(
-            self.counters
-        )
+        # Stage timings ship with every batch next to the counter
+        # snapshot.  The cost is two perf_counter reads per batch, so
+        # the worker always records; the parent decides what to keep.
+        self.obs = Observer(max_events=0)
+        with self.obs.span("worker.build"):
+            self.join, self.table1, self.table2 = task.build_join(
+                self.counters
+            )
         self.produced = 0
 
 
@@ -118,15 +130,16 @@ def _pull_batch(
 ) -> TaskBatch:
     results: List[JoinResult] = []
     done = False
-    while len(results) < batch_size:
-        try:
-            result = next(state.join)
-        except StopIteration:
-            done = True
-            break
-        results.append(
-            state.task.translate(result, state.table1, state.table2)
-        )
+    with state.obs.span("worker.join"):
+        while len(results) < batch_size:
+            try:
+                result = next(state.join)
+            except StopIteration:
+                done = True
+                break
+            results.append(
+                state.task.translate(result, state.table1, state.table2)
+            )
     state.produced += len(results)
     return TaskBatch(
         task_id=state.task.task_id,
@@ -135,6 +148,7 @@ def _pull_batch(
         done=done,
         counters=state.counters.full_snapshot(),
         worker=_worker_label(),
+        spans=state.obs.snapshot(),
     )
 
 

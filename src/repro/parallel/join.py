@@ -61,6 +61,7 @@ from repro.parallel.partition import GRID, make_partitioner
 from repro.parallel.plan import JoinSpec, TileJoinTask
 from repro.rtree.base import RTreeBase
 from repro.util.counters import CounterRegistry, CounterSnapshot
+from repro.util.obs import ObsSnapshot, Observer
 from repro.util.validation import require
 
 _INF = float("inf")
@@ -101,6 +102,12 @@ class ParallelDistanceJoin:
     process_leaves_together, counters:
         As in the sequential join; applied inside every worker task
         (``counters`` aggregates all workers' registries).
+    observer:
+        Stage-timing sink (:class:`~repro.util.obs.Observer`).  Unlike
+        the sequential join, the default is a private *enabled*
+        observer: parallel instrumentation costs two clock reads per
+        worker batch, not per pair, so :meth:`stage_breakdown` works
+        out of the box.
     """
 
     _semi_join = False
@@ -128,6 +135,7 @@ class ParallelDistanceJoin:
         pair_filter: Optional[Callable[[Pair], bool]] = None,
         process_leaves_together: bool = False,
         counters: Optional[CounterRegistry] = None,
+        observer: Optional[Observer] = None,
         filter_strategy: str = INSIDE2,
         dmax_strategy: str = DMAX_LOCAL,
     ) -> None:
@@ -165,6 +173,9 @@ class ParallelDistanceJoin:
         self.partitions = partitions if partitions is not None else workers
         self.partition_method = partition_method
         self.counters = counters if counters is not None else tree1.counters
+        self.obs = observer if observer is not None else Observer(
+            max_events=0
+        )
         self.backend = self._resolve_backend(backend, pair_filter)
 
         spec = JoinSpec(
@@ -184,11 +195,13 @@ class ParallelDistanceJoin:
             max_entries=max(tree1.max_entries, tree2.max_entries),
             pair_filter=pair_filter,
         )
-        self.tasks: List[TileJoinTask] = self._plan_tasks(spec)
+        with self.obs.span("parallel.partition"):
+            self.tasks: List[TileJoinTask] = self._plan_tasks(spec)
         self.counters.add("parallel_tasks", len(self.tasks))
         self.counters.observe("parallel_partitions", self.partitions)
 
         self._task_snapshots: Dict[int, CounterSnapshot] = {}
+        self._task_obs: Dict[int, ObsSnapshot] = {}
         self._task_workers: Dict[int, str] = {}
         self._executor: Optional[StreamExecutor] = None
         self._merge: Optional[OrderedStreamMerge] = None
@@ -248,6 +261,17 @@ class ParallelDistanceJoin:
         self.counters.add("parallel_batches")
         self._task_snapshots[batch.task_id] = batch.counters
         self._task_workers[batch.task_id] = batch.worker
+        if batch.spans is not None:
+            # Worker stage timings are cumulative per task, like the
+            # counter snapshot above: merge only the increment.
+            prev_obs = self._task_obs.get(batch.task_id)
+            obs_delta = (
+                batch.spans.delta_from(prev_obs)
+                if prev_obs is not None else batch.spans
+            )
+            if self.obs.enabled:
+                self.obs.merge(obs_delta)
+            self._task_obs[batch.task_id] = batch.spans
 
     def _start(self) -> None:
         self._executor = StreamExecutor(
@@ -280,7 +304,11 @@ class ParallelDistanceJoin:
         if self._merge is None:
             self._start()
         try:
-            result = next(self._merge)
+            if self.obs.enabled:
+                with self.obs.span("parallel.merge"):
+                    result = next(self._merge)
+            else:
+                result = next(self._merge)
         except StopIteration:
             self.close()
             raise
@@ -321,6 +349,27 @@ class ParallelDistanceJoin:
     def task_counter_snapshots(self) -> Dict[int, CounterSnapshot]:
         """Latest per-task worker counter snapshots (task id keyed)."""
         return dict(self._task_snapshots)
+
+    def task_span_snapshots(self) -> Dict[int, ObsSnapshot]:
+        """Latest per-task worker stage timings (task id keyed)."""
+        return dict(self._task_obs)
+
+    def stage_breakdown(self) -> Dict[str, float]:
+        """Wall seconds per pipeline stage, aggregated so far.
+
+        - ``partition``: parent-side task planning;
+        - ``worker_build``: workers constructing per-tile joins;
+        - ``worker_join``: workers pulling result batches (summed over
+          workers, so with real parallelism it can exceed wall time);
+        - ``merge``: parent-side recombination, *including* time spent
+          waiting on worker batches.
+        """
+        return {
+            "partition": self.obs.span_seconds("parallel.partition"),
+            "worker_build": self.obs.span_seconds("worker.build"),
+            "worker_join": self.obs.span_seconds("worker.join"),
+            "merge": self.obs.span_seconds("parallel.merge"),
+        }
 
     def worker_breakdown(self) -> Dict[str, CounterSnapshot]:
         """Aggregate the per-task snapshots by executing worker."""

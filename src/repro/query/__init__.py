@@ -25,12 +25,14 @@ Example
 """
 
 from repro.query.ast_nodes import Comparison, Query
-from repro.query.executor import Database, Row
+from repro.query.executor import AnalyzedPlan, Database, PlanExplanation, Row
 from repro.query.lexer import Token, tokenize
 from repro.query.parser import parse
 
 __all__ = [
+    "AnalyzedPlan",
     "Database",
+    "PlanExplanation",
     "Row",
     "Query",
     "Comparison",

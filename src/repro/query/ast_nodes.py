@@ -69,6 +69,10 @@ class Query:
         The ``STOP AFTER n`` bound, or None.
     parallel:
         The ``PARALLEL n`` worker-count hint, or None (sequential).
+    explain, analyze:
+        An ``EXPLAIN`` prefix asks for the plan instead of rows;
+        ``EXPLAIN ANALYZE`` additionally executes the query and
+        annotates the plan with actual counters and stage timings.
     """
 
     relation1: str = ""
@@ -85,6 +89,8 @@ class Query:
     descending: bool = False
     stop_after: Optional[int] = None
     parallel: Optional[int] = None
+    explain: bool = False
+    analyze: bool = False
 
     @property
     def is_semi_join(self) -> bool:

@@ -25,6 +25,7 @@ choice and both estimates.
 from __future__ import annotations
 
 import math
+import time
 from typing import (
     Any,
     Callable,
@@ -55,7 +56,8 @@ from repro.query.parser import parse
 from repro.rtree.base import RTreeBase
 from repro.rtree.bulk import bulk_load_str
 from repro.rtree.rstar import RStarTree
-from repro.util.counters import CounterRegistry
+from repro.util.counters import CounterRegistry, CounterSnapshot
+from repro.util.obs import ObsSnapshot, Observer, metrics_records
 from repro.util.validation import require
 
 _INF = float("inf")
@@ -126,6 +128,76 @@ class PlanExplanation(NamedTuple):
             f"  est. dist. calcs:  {self.estimated_dist_calcs:,.0f}",
             f"  est. cost:         {self.estimated_cost:,.0f}",
         ]
+        return "\n".join(lines)
+
+
+#: Display order of the parallel pipeline stages in EXPLAIN ANALYZE.
+_STAGE_ORDER = ("partition", "worker_build", "worker_join", "merge")
+
+
+class AnalyzedPlan(NamedTuple):
+    """Output of :meth:`Database.explain_analyze`: the estimated plan
+    plus what actually happened when the query ran to completion."""
+
+    plan: PlanExplanation
+    rows: int
+    elapsed_s: float
+    counters: CounterSnapshot
+    obs: ObsSnapshot
+    stages: Optional[Dict[str, float]]  # parallel queries only
+
+    def metrics(self, labels: Optional[Dict[str, Any]] = None) -> list:
+        """The execution's metrics in the shared export schema
+        (:func:`repro.util.obs.metrics_records`)."""
+        return metrics_records(self.counters, self.obs, labels)
+
+    def pretty(self) -> str:
+        """The estimated plan annotated with actual measurements."""
+        lines = [self.plan.pretty()]
+        lines.append(
+            f"  actual: rows={self.rows:,}, "
+            f"time={self.elapsed_s:.4f}s"
+        )
+        if self.stages is not None:
+            lines.append("  actual stages (wall seconds):")
+            for name in _STAGE_ORDER:
+                seconds = self.stages.get(name, 0.0)
+                note = (
+                    "  (summed across workers)"
+                    if name.startswith("worker") else ""
+                )
+                lines.append(f"    {name:<13} {seconds:9.4f}s{note}")
+            extras = sorted(set(self.stages) - set(_STAGE_ORDER))
+            for name in extras:
+                lines.append(
+                    f"    {name:<13} {self.stages[name]:9.4f}s"
+                )
+        spans = {
+            name: entry for name, entry in sorted(self.obs.spans.items())
+            if self.stages is None or not (
+                name.startswith("parallel.") or name.startswith("worker.")
+            )
+        }
+        if spans:
+            lines.append("  actual spans:")
+            for name, (count, total, __, ___) in spans.items():
+                lines.append(
+                    f"    {name:<18} {total:9.4f}s / {count:,}x"
+                )
+        if self.counters.values:
+            lines.append("  actual counters:")
+            for name in sorted(self.counters.values):
+                lines.append(
+                    f"    {name:<22} {self.counters.values[name]:,}"
+                )
+        peaks = {
+            name: peak for name, peak in sorted(self.counters.peaks.items())
+            if peak and peak != self.counters.values.get(name)
+        }
+        if peaks:
+            lines.append("  actual peaks:")
+            for name, peak in peaks.items():
+                lines.append(f"    {name:<22} {peak:,}")
         return "\n".join(lines)
 
 
@@ -453,6 +525,12 @@ class Database:
         self, query: Query, strategy: str = "auto", **join_kwargs: Any
     ) -> Iterator[Row]:
         """Execute an already parsed :class:`Query`."""
+        if query.explain:
+            raise QueryError(
+                "EXPLAIN queries describe execution instead of "
+                "producing rows; use Database.explain() or "
+                "Database.explain_analyze()"
+            )
         join, mapping1, mapping2 = self._build_execution(
             query, strategy=strategy, **join_kwargs
         )
@@ -479,14 +557,15 @@ class Database:
     # EXPLAIN (cost model; the paper's Section 5 future work)
     # ------------------------------------------------------------------
 
-    def explain(self, sql: str) -> PlanExplanation:
+    def explain(self, sql: Union[str, Query]) -> PlanExplanation:
         """Describe how a query would execute and what it should cost.
 
         Nothing is executed; the estimates come from
         :class:`repro.query.costmodel.JoinCostModel` (uniformity
-        assumptions, see that module).
+        assumptions, see that module).  An ``EXPLAIN`` prefix in the
+        SQL is accepted and ignored (this method *is* EXPLAIN).
         """
-        query = parse(sql)
+        query = parse(sql) if isinstance(sql, str) else sql
         tree1 = self.relation(query.relation1)
         tree2 = self.relation(query.relation2)
         dmin, dmax = query.distance_bounds()
@@ -540,4 +619,57 @@ class Database:
             pipeline_cost=pipeline_cost,
             prefilter_cost=prefilter_cost,
             parallel=query.parallel,
+        )
+
+    def explain_analyze(
+        self,
+        sql: Union[str, Query],
+        strategy: str = "auto",
+        **join_kwargs: Any,
+    ) -> AnalyzedPlan:
+        """EXPLAIN ANALYZE: run the query to completion and report the
+        plan annotated with actual row counts, counters, span timings
+        and -- for ``PARALLEL`` queries -- the per-stage wall-time
+        breakdown (partition / worker build / worker join / merge).
+
+        Like its namesake elsewhere, this *executes* the query (rows
+        are consumed and discarded), so an unbounded join pays the
+        full join cost.  Extra keyword arguments are forwarded to the
+        join constructor; pass ``observer=`` to reuse a caller-owned
+        :class:`~repro.util.obs.Observer`.
+        """
+        query = parse(sql) if isinstance(sql, str) else sql
+        plan = self.explain(query)
+        observer = join_kwargs.pop("observer", None)
+        obs = observer if observer is not None else Observer()
+        before = self.counters.full_snapshot()
+        start = time.perf_counter()
+        join, mapping1, mapping2 = self._build_execution(
+            query, strategy=strategy, observer=obs, **join_kwargs
+        )
+        rows = sum(1 for __ in self._rows(join, mapping1, mapping2))
+        elapsed = time.perf_counter() - start
+        counters = self.counters.full_snapshot().delta_from(before)
+        # Peaks are levels, so the delta keeps them all -- but a shared
+        # registry then reports high-water marks from *earlier* queries
+        # too.  Keep only peaks this execution touched or raised.
+        counters = CounterSnapshot(
+            values=counters.values,
+            peaks={
+                name: peak for name, peak in counters.peaks.items()
+                if name in counters.values
+                or peak != before.peaks.get(name, 0)
+            },
+        )
+        stages = (
+            join.stage_breakdown()
+            if isinstance(join, ParallelDistanceJoin) else None
+        )
+        return AnalyzedPlan(
+            plan=plan,
+            rows=rows,
+            elapsed_s=elapsed,
+            counters=counters,
+            obs=obs.snapshot(),
+            stages=stages,
         )

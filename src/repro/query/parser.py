@@ -2,7 +2,7 @@
 
 Grammar (terminals in caps, ``[]`` optional, ``{}`` repetition)::
 
-    query      := SELECT select_list
+    query      := [EXPLAIN [ANALYZE]] SELECT select_list
                   FROM ident "," ident "," distance_term
                   [WHERE predicate {AND predicate}]
                   [GROUP BY qualified]
@@ -22,7 +22,9 @@ This is the paper's Figure 1 surface: the distance term in the FROM
 clause, distance predicates in WHERE, GROUP BY for the semi-join,
 ORDER BY d (DESC for the reverse variant), the STOP AFTER extension,
 and a PARALLEL worker-count hint routing the query to the partitioned
-parallel engine (:mod:`repro.parallel`).
+parallel engine (:mod:`repro.parallel`).  An ``EXPLAIN [ANALYZE]``
+prefix asks for the plan (estimated, or measured by actually running
+the query) instead of rows.
 """
 
 from __future__ import annotations
@@ -83,6 +85,10 @@ class _Parser:
     def parse_query(self) -> Query:
         """Parse one full query and verify nothing trails it."""
         query = Query()
+        if self._accept(KEYWORD, "EXPLAIN"):
+            query.explain = True
+            if self._accept(KEYWORD, "ANALYZE"):
+                query.analyze = True
         self._expect(KEYWORD, "SELECT")
         self._select_list(query)
         self._expect(KEYWORD, "FROM")

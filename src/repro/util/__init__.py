@@ -2,6 +2,18 @@
 
 from repro.util.bitset import Bitset
 from repro.util.counters import Counter, CounterRegistry, CounterSnapshot
+from repro.util.obs import (
+    NULL_OBSERVER,
+    Event,
+    EventLog,
+    GaugeTimeline,
+    Observer,
+    ObsSnapshot,
+    SpanStats,
+    metrics_records,
+    prometheus_text,
+    write_metrics,
+)
 from repro.util.validation import (
     require,
     require_non_negative,
@@ -14,6 +26,16 @@ __all__ = [
     "Counter",
     "CounterRegistry",
     "CounterSnapshot",
+    "Event",
+    "EventLog",
+    "GaugeTimeline",
+    "NULL_OBSERVER",
+    "ObsSnapshot",
+    "Observer",
+    "SpanStats",
+    "metrics_records",
+    "prometheus_text",
+    "write_metrics",
     "require",
     "require_non_negative",
     "require_positive",

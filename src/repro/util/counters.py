@@ -76,12 +76,19 @@ class CounterSnapshot:
         snapshot's high-water marks (a peak is a level, not a flow).
         Used to merge a worker's periodic snapshots into a parent
         registry without double counting.
+
+        A total *below* the earlier snapshot's means the contributor
+        was ``reset()`` in between; everything it now reports happened
+        since that reset, so the delta is the current total.  Deltas
+        are therefore never negative -- a negative increment merged
+        into a parent registry would silently subtract work.
         """
-        values = {
-            name: total - earlier.values.get(name, 0)
-            for name, total in self.values.items()
-            if total != earlier.values.get(name, 0)
-        }
+        values: Dict[str, int] = {}
+        for name, total in self.values.items():
+            previous = earlier.values.get(name, 0)
+            increment = total - previous if total >= previous else total
+            if increment:
+                values[name] = increment
         return CounterSnapshot(values=values, peaks=dict(self.peaks))
 
     def __repr__(self) -> str:
@@ -172,16 +179,31 @@ class CounterRegistry:
         reports the work of all contributors and the highest level any
         single contributor observed.  This is how the parallel join
         aggregates per-worker registries into the parent's.
+
+        Two guards keep the result well-formed:
+
+        - negative contributions (a malformed delta) are dropped --
+          merging must never subtract work;
+        - cumulative counters keep the ``peak >= value`` invariant
+          that :meth:`Counter.add` maintains.  Each contributor's peak
+          equals its own total, so a plain max-combine would leave the
+          merged total above the merged peak; ``Counter.add`` already
+          lifts the peak with the value, and the explicit observe
+          below only ever raises it further (gauge-style peaks).
         """
         snap = other.full_snapshot() if isinstance(
             other, CounterRegistry
         ) else other
         for name, value in snap.values.items():
-            if value:
+            if value > 0:
                 self.counter(name).add(value)
         for name, peak in snap.peaks.items():
-            if peak:
+            if peak > 0:
                 self.counter(name).observe(peak)
+        for name in snap.values:
+            counter = self._counters.get(name)
+            if counter is not None and counter.value > counter.peak:
+                counter.peak = counter.value
 
     def __iter__(self) -> Iterator[Tuple[str, Counter]]:
         return iter(sorted(self._counters.items()))

@@ -1,0 +1,57 @@
+"""Golden-value drift check for the sequential join's work counters.
+
+The TIGER-like workload is fully seeded and the join is deterministic,
+so the work counters for a fixed configuration are exact constants.
+Pinning them turns any accidental change in traversal order, pruning,
+or counter accounting into a loud CI failure instead of silent metric
+drift (the bench artifacts would quietly shift otherwise).
+
+If a change *intentionally* alters the work done (better pruning, a
+different expansion policy), update the golden values here and say so
+in the commit message.
+"""
+
+from repro.bench.workloads import build_tiger_workload
+from repro.core.distance_join import IncrementalDistanceJoin
+
+#: Fixed-seed workload configuration the goldens are pinned against.
+SCALE = 0.005
+PAIRS = 100
+
+#: Golden values for the workload above (seeds in
+#: repro/datasets/tiger_like.py; STR bulk load; best-first join).
+GOLDEN_DIST_CALCS = 6023
+GOLDEN_NODE_IO = 28
+
+
+def test_sequential_join_work_counters_match_golden():
+    load = build_tiger_workload(scale=SCALE)
+    join = IncrementalDistanceJoin(
+        load.tree1, load.tree2,
+        max_pairs=PAIRS, counters=load.counters,
+    )
+    produced = sum(1 for __ in join)
+    assert produced == PAIRS
+    assert load.counters.value("dist_calcs") == GOLDEN_DIST_CALCS
+    assert load.counters.value("node_io") == GOLDEN_NODE_IO
+    assert load.counters.value("pairs_reported") == PAIRS
+
+
+def test_goldens_are_repeatable_within_process():
+    # Two cold runs in one process agree exactly -- the goldens pin a
+    # deterministic quantity, not a flaky one.
+    results = []
+    for __ in range(2):
+        load = build_tiger_workload(scale=SCALE)
+        load.cold_caches()
+        load.reset_counters()
+        join = IncrementalDistanceJoin(
+            load.tree1, load.tree2,
+            max_pairs=PAIRS, counters=load.counters,
+        )
+        sum(1 for __ in join)
+        results.append((
+            load.counters.value("dist_calcs"),
+            load.counters.value("node_io"),
+        ))
+    assert results[0] == results[1] == (GOLDEN_DIST_CALCS, GOLDEN_NODE_IO)

@@ -148,3 +148,61 @@ class TestMergeAndSnapshots:
             parent.merge(delta)
             previous = snap
         assert parent.value("dist_calcs") == worker.value("dist_calcs")
+
+
+class TestMergeInvariants:
+    """Regression tests: merge must keep peak >= value for cumulative
+    counters, and mid-run resets must never produce negative deltas."""
+
+    def test_merge_enforces_peak_at_least_value(self):
+        # A hand-built (or malformed) snapshot whose peak lags its
+        # value must not leave the merged counter with peak < value.
+        parent = CounterRegistry()
+        parent.add("dist_calcs", 5)
+        snap = CounterSnapshot(
+            values={"dist_calcs": 10}, peaks={"dist_calcs": 2}
+        )
+        parent.merge(snap)
+        counter = parent.counter("dist_calcs")
+        assert counter.value == 15
+        assert counter.peak >= counter.value
+
+    def test_repeated_merges_keep_peak_invariant(self):
+        parent = CounterRegistry()
+        contributor = CounterSnapshot(
+            values={"pairs_reported": 7}, peaks={"pairs_reported": 7}
+        )
+        for __ in range(4):
+            parent.merge(contributor)
+        counter = parent.counter("pairs_reported")
+        assert counter.value == 28
+        assert counter.peak >= counter.value
+
+    def test_merge_drops_negative_contributions(self):
+        parent = CounterRegistry()
+        parent.add("x", 5)
+        parent.merge(CounterSnapshot(values={"x": -3}, peaks={"x": -1}))
+        assert parent.value("x") == 5
+        assert parent.peak("x") == 5
+
+    def test_delta_after_midrun_reset_is_not_negative(self):
+        worker = CounterRegistry()
+        worker.add("dist_calcs", 100)
+        earlier = worker.full_snapshot()
+        worker.reset()
+        worker.add("dist_calcs", 30)
+        delta = worker.full_snapshot().delta_from(earlier)
+        # Work since the reset, never the raw (negative) difference.
+        assert delta.value("dist_calcs") == 30
+        assert all(v > 0 for v in delta.values.values())
+
+    def test_merging_deltas_across_reset_never_subtracts(self):
+        worker = CounterRegistry()
+        parent = CounterRegistry()
+        worker.add("x", 50)
+        first = worker.full_snapshot()
+        parent.merge(first)
+        worker.reset()
+        worker.add("x", 20)
+        parent.merge(worker.full_snapshot().delta_from(first))
+        assert parent.value("x") == 70

@@ -1,0 +1,277 @@
+"""Unit tests for the observability layer (repro.util.obs)."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.util.counters import CounterRegistry
+from repro.util.obs import (
+    KEEP_FIRST,
+    KEEP_LAST,
+    NULL_OBSERVER,
+    EventLog,
+    ObsSnapshot,
+    Observer,
+    SpanStats,
+    metrics_records,
+    prometheus_text,
+    write_metrics,
+)
+
+
+class TestSpans:
+    def test_span_records_count_and_total(self):
+        obs = Observer()
+        for __ in range(3):
+            with obs.span("phase"):
+                pass
+        assert obs.span_count("phase") == 3
+        assert obs.span_seconds("phase") >= 0.0
+
+    def test_span_stats_extrema(self):
+        stats = SpanStats("x")
+        stats.record(0.5)
+        stats.record(0.1)
+        stats.record(0.9)
+        assert stats.count == 3
+        assert stats.total_s == pytest.approx(1.5)
+        assert stats.min_s == pytest.approx(0.1)
+        assert stats.max_s == pytest.approx(0.9)
+        assert stats.mean_s == pytest.approx(0.5)
+
+    def test_record_span_folds_external_measurement(self):
+        obs = Observer()
+        obs.record_span("io", 0.25)
+        obs.record_span("io", 0.75, count=4)
+        assert obs.span_count("io") == 5
+        assert obs.span_seconds("io") == pytest.approx(1.0)
+
+    def test_unknown_span_is_zero(self):
+        obs = Observer()
+        assert obs.span_seconds("never") == 0.0
+        assert obs.span_count("never") == 0
+
+    def test_disabled_span_is_noop(self):
+        obs = Observer(enabled=False)
+        with obs.span("phase"):
+            pass
+        assert obs.span_count("phase") == 0
+
+    def test_null_observer_records_nothing(self):
+        with NULL_OBSERVER.span("x"):
+            pass
+        NULL_OBSERVER.gauge("g", 1.0)
+        NULL_OBSERVER.event("e")
+        snap = NULL_OBSERVER.snapshot()
+        assert snap.spans == {}
+        assert snap.gauges == {}
+        assert NULL_OBSERVER.events.total == 0
+
+    def test_null_observer_span_is_shared_singleton(self):
+        # The disabled path must be allocation-free.
+        assert NULL_OBSERVER.span("a") is NULL_OBSERVER.span("b")
+
+
+class TestGauges:
+    def test_gauge_tracks_last_and_extrema(self):
+        obs = Observer()
+        for value in (3.0, 1.0, 7.0):
+            obs.gauge("g", value)
+        assert obs.gauge_value("g") == 7.0
+        timeline = obs.gauge_timeline("g")
+        assert [v for __, v in timeline] == [3.0, 1.0, 7.0]
+        snap = obs.snapshot()
+        count, last, mn, mx = snap.gauges["g"]
+        assert (count, last, mn, mx) == (3, 7.0, 1.0, 7.0)
+
+    def test_gauge_sampling_thins_timeline(self):
+        obs = Observer(sample_every=10)
+        for i in range(100):
+            obs.gauge("g", float(i))
+        timeline = obs.gauge_timeline("g")
+        assert len(timeline) == 10  # every 10th sample retained
+
+    def test_gauge_timeline_is_bounded(self):
+        obs = Observer(max_samples=16)
+        for i in range(100):
+            obs.gauge("g", float(i))
+        timeline = obs.gauge_timeline("g")
+        assert len(timeline) == 16
+        assert timeline[-1][1] == 99.0  # newest retained
+
+    def test_unknown_gauge_is_none(self):
+        assert Observer().gauge_value("never") is None
+
+    def test_sample_every_validation(self):
+        with pytest.raises(ValueError):
+            Observer(sample_every=0)
+
+
+class TestEventLog:
+    def test_keep_first_policy(self):
+        log = EventLog(max_events=3, policy=KEEP_FIRST)
+        for i in range(10):
+            log.append(0.0, "k", label=str(i))
+        assert log.total == 10
+        assert len(log) == 3
+        assert [e.label for e in log] == ["0", "1", "2"]
+
+    def test_ring_policy_keeps_last(self):
+        log = EventLog(max_events=3, policy=KEEP_LAST)
+        for i in range(10):
+            log.append(0.0, "k", label=str(i))
+        assert log.total == 10
+        assert [e.label for e in log] == ["7", "8", "9"]
+
+    def test_sequence_numbers_are_global(self):
+        log = EventLog(max_events=2, policy=KEEP_LAST)
+        for i in range(5):
+            log.append(0.0, "k")
+        assert [e.seq for e in log] == [3, 4]
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog(policy="sometimes")
+
+    def test_observer_event_api(self):
+        obs = Observer(max_events=4)
+        obs.event("pop", label="pair", value=1.5)
+        event = obs.events.as_list()[0]
+        assert event.kind == "pop"
+        assert event.label == "pair"
+        assert event.value == 1.5
+        assert event.t >= 0.0
+
+
+class TestSnapshots:
+    def test_snapshot_pickles(self):
+        obs = Observer()
+        with obs.span("a"):
+            pass
+        obs.gauge("g", 2.0)
+        snap = obs.snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        assert isinstance(clone, ObsSnapshot)
+        assert clone.span_count("a") == 1
+        assert clone.gauge_last("g") == 2.0
+
+    def test_delta_from_subtracts_counts_and_totals(self):
+        obs = Observer()
+        obs.record_span("a", 1.0)
+        earlier = obs.snapshot()
+        obs.record_span("a", 2.0)
+        obs.record_span("b", 0.5)
+        delta = obs.snapshot().delta_from(earlier)
+        assert delta.span_count("a") == 1
+        assert delta.span_seconds("a") == pytest.approx(2.0)
+        assert delta.span_count("b") == 1
+
+    def test_delta_from_guards_against_reset(self):
+        obs = Observer()
+        obs.record_span("a", 5.0)
+        earlier = obs.snapshot()
+        obs.reset()
+        obs.record_span("a", 1.0)
+        delta = obs.snapshot().delta_from(earlier)
+        # Work since the reset, never a negative flow.
+        assert delta.span_count("a") == 1
+        assert delta.span_seconds("a") == pytest.approx(1.0)
+
+    def test_merge_reconstructs_totals_from_deltas(self):
+        # The parallel engine's scheme: workers ship cumulative
+        # snapshots; the parent merges per-batch deltas.
+        worker = Observer()
+        parent = Observer()
+        previous = None
+        for __ in range(3):
+            worker.record_span("worker.join", 0.5)
+            snap = worker.snapshot()
+            delta = snap.delta_from(previous) if previous else snap
+            parent.merge(delta)
+            previous = snap
+        assert parent.span_count("worker.join") == 3
+        assert parent.span_seconds("worker.join") == pytest.approx(
+            worker.span_seconds("worker.join")
+        )
+
+    def test_merge_accepts_observer(self):
+        a = Observer()
+        b = Observer()
+        b.record_span("x", 0.25)
+        b.gauge("g", 4.0)
+        a.merge(b)
+        assert a.span_count("x") == 1
+        assert a.gauge_value("g") == 4.0
+
+    def test_reset_clears_everything(self):
+        obs = Observer()
+        obs.record_span("a", 1.0)
+        obs.gauge("g", 1.0)
+        obs.event("e")
+        obs.reset()
+        assert obs.snapshot().spans == {}
+        assert obs.snapshot().gauges == {}
+        assert obs.events.total == 0
+
+
+class TestMetricsExport:
+    def _sample(self):
+        counters = CounterRegistry()
+        counters.add("dist_calcs", 42)
+        counters.observe("queue_size", 17)
+        obs = Observer()
+        obs.record_span("join.expand", 0.5, count=10)
+        obs.gauge("pq_adaptive_dt", 0.37)
+        return counters, obs
+
+    def test_records_cover_all_types(self):
+        counters, obs = self._sample()
+        records = metrics_records(counters, obs, labels={"run": "t"})
+        by_type = {}
+        for record in records:
+            by_type.setdefault(record["type"], []).append(record)
+        assert {r["metric"] for r in by_type["counter"]} == {"dist_calcs"}
+        assert {r["metric"] for r in by_type["peak"]} >= {"queue_size"}
+        assert by_type["span"][0]["seconds"] == pytest.approx(0.5)
+        assert by_type["span"][0]["count"] == 10
+        assert by_type["gauge"][0]["value"] == pytest.approx(0.37)
+        assert all(r["labels"] == {"run": "t"} for r in records)
+
+    def test_prometheus_text_shape(self):
+        counters, obs = self._sample()
+        text = prometheus_text(metrics_records(counters, obs))
+        assert "# TYPE repro_dist_calcs counter" in text
+        assert "repro_dist_calcs 42" in text
+        assert "repro_queue_size_peak 17" in text
+        assert "repro_join_expand_seconds" in text
+        assert "repro_join_expand_count 10" in text
+
+    def test_write_metrics_emits_jsonl_and_prom(self, tmp_path):
+        counters, obs = self._sample()
+        path = str(tmp_path / "metrics.jsonl")
+        written = write_metrics(path, counters, obs,
+                                labels={"bench": "smoke"})
+        lines = [
+            json.loads(line)
+            for line in open(path).read().splitlines() if line
+        ]
+        assert lines == written
+        assert all(r["labels"] == {"bench": "smoke"} for r in lines)
+        prom = open(path + ".prom").read()
+        assert "repro_dist_calcs" in prom
+
+    def test_write_metrics_append(self, tmp_path):
+        counters, obs = self._sample()
+        path = str(tmp_path / "metrics.jsonl")
+        write_metrics(path, counters, labels={"run": "1"})
+        write_metrics(path, counters, labels={"run": "2"}, append=True)
+        lines = [
+            json.loads(line)
+            for line in open(path).read().splitlines() if line
+        ]
+        runs = {r["labels"]["run"] for r in lines}
+        assert runs == {"1", "2"}
+        # The .prom dump is rewritten whole and covers both runs.
+        prom = open(path + ".prom").read()
+        assert 'run="1"' in prom and 'run="2"' in prom

@@ -13,6 +13,7 @@ from repro.core.pqueue import (
 )
 from repro.storage.pager import PageStore
 from repro.util.counters import CounterRegistry
+from repro.util.obs import Observer
 
 
 def key(distance, seq=0):
@@ -182,6 +183,38 @@ class TestAdaptiveQueue:
         assert q.disk_size() > 0
         assert counters.value("pq_disk_writes") > 0
 
+    def test_dt_below_one_recorded_losslessly(self):
+        """Regression: a calibrated D_T below 1.0 used to be recorded
+        via ``observe(int(chosen))``, truncating it to 0 and making
+        sub-unit calibrations invisible in reports."""
+        counters = CounterRegistry()
+        obs = Observer()
+        q = AdaptiveHybridPairQueue(
+            calibration_size=50, counters=counters, observer=obs
+        )
+        for i in range(50):
+            q.push(key(i / 100.0, i), i)  # distances 0.00 .. 0.49
+        assert q.dt is not None
+        assert 0.0 < q.dt < 1.0
+        micro = counters.peak("pq_adaptive_dt_micro")
+        assert micro == max(1, int(round(q.dt * 1_000_000)))
+        assert micro >= 1  # int() truncation recorded 0 here
+        assert obs.gauge_value("pq_adaptive_dt") == pytest.approx(q.dt)
+        # The truncating counter is gone for good.
+        assert counters.peak("pq_adaptive_dt") == 0
+
+    def test_dt_micro_floor_is_one(self):
+        # Even a pathologically tiny D_T stays visible (floor of 1).
+        counters = CounterRegistry()
+        q = AdaptiveHybridPairQueue(
+            calibration_size=10, counters=counters,
+            target_heap_fraction=0.1,
+        )
+        for i in range(10):
+            q.push(key(i * 1e-9, i), i)
+        assert q.dt is not None
+        assert counters.peak("pq_adaptive_dt_micro") >= 1
+
 
 @settings(max_examples=20, deadline=None)
 @given(
@@ -244,3 +277,52 @@ def test_property_hybrid_interleaved(data):
             q.push(key(d, rng.randrange(1_000_000)), None)
             size += 1
     assert popped == sorted(popped)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_property_interleaved_queues_match_memory(data):
+    """Property: under interleaved pushes and pops, the hybrid and
+    adaptive queues pop *exactly* the memory queue's (key, value)
+    sequence -- including sub-unit D_T and distances landing exactly
+    on band boundaries (``d == k * dt``) -- and the size invariant
+    ``len == memory + disk`` holds at every step."""
+    dt = data.draw(st.floats(0.01, 2.0))
+    calibration = data.draw(st.integers(2, 40))
+    rng = random.Random(data.draw(st.integers(0, 10_000)))
+    mem = MemoryPairQueue()
+    queues = [
+        HybridPairQueue(dt=dt),
+        AdaptiveHybridPairQueue(calibration_size=calibration),
+    ]
+    floor = 0.0
+    size = 0
+    seq = 0
+    for __ in range(250):
+        if size and rng.random() < 0.4:
+            expected = mem.pop()
+            for q in queues:
+                assert q.pop() == expected
+            floor = max(floor, expected[0][0])
+            size -= 1
+        else:
+            if rng.random() < 0.3:
+                # Exactly on a band boundary of the hybrid queue.
+                band = int(floor / dt) + rng.randrange(0, 5)
+                d = max(band * dt, floor)
+            else:
+                d = floor + rng.uniform(0, 3.0 * dt)
+            item_key = key(d, seq)
+            mem.push(item_key, seq)
+            for q in queues:
+                q.push(item_key, seq)
+            seq += 1
+            size += 1
+        for q in queues:
+            assert len(q) == q.memory_size() + q.disk_size()
+            assert len(q) == size
+    while size:
+        expected = mem.pop()
+        for q in queues:
+            assert q.pop() == expected
+        size -= 1
