@@ -19,8 +19,7 @@ from pathlib import Path as _Path
 # benchmarks package (pytest imports it via the repo root).
 _sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
 
-from benchmarks.common import SCRIPT_SCALE, TEST_SCALE, workload
-from repro.bench.reporting import format_table
+from benchmarks.common import TEST_SCALE, bench_args, emit, workload
 from repro.bench.runner import consume
 from repro.core.distance_join import IncrementalDistanceJoin
 from repro.geometry.metrics import EUCLIDEAN
@@ -58,8 +57,9 @@ def bound_gap_statistics(load, samples=2000):
     return sum(ratios) / len(ratios) if ratios else 1.0
 
 
-def main():
-    load = workload(SCRIPT_SCALE)
+def main(argv=None):
+    args = bench_args(argv, "AB1: estimator bound ablation")
+    load = workload(args.scale)
     rows = []
     for max_pairs in (100, 1000, 10000):
         for estimate in (False, True):
@@ -77,23 +77,25 @@ def main():
                 "estimator_trims":
                     load.counters.value("estimator_trims"),
             })
-    print(format_table(
-        rows,
+    gap = bound_gap_statistics(load)
+    emit(
+        args, rows,
         columns=[
             "max_pairs", "estimation", "queue_inserts", "pruned_range",
             "estimator_trims",
         ],
         title=(
-            f"AB1: estimator pruning effect at scale {SCRIPT_SCALE:g}"
+            f"AB1: estimator pruning effect at scale {args.scale:g}"
         ),
-    ))
-    gap = bound_gap_statistics(load)
-    print(
-        f"\nMean MAXDIST / MINMAXDIST ratio over sampled object-rect "
-        f"pairs: {gap:.3f} (the tightening MINMAXDIST buys the "
-        f"estimator on obr/obr pairs; points make the two coincide, "
-        f"so the ratio is 1.0 for pure point data)"
+        extra={"mean_maxdist_minmaxdist_ratio": gap},
     )
+    if not args.json:
+        print(
+            f"\nMean MAXDIST / MINMAXDIST ratio over sampled "
+            f"object-rect pairs: {gap:.3f} (the tightening MINMAXDIST "
+            f"buys the estimator on obr/obr pairs; points make the "
+            f"two coincide, so the ratio is 1.0 for pure point data)"
+        )
 
 
 if __name__ == "__main__":

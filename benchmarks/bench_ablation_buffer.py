@@ -17,8 +17,7 @@ from pathlib import Path as _Path
 
 _sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
 
-from benchmarks.common import SCRIPT_SCALE, TEST_SCALE  # noqa: F401
-from repro.bench.reporting import format_table
+from benchmarks.common import TEST_SCALE, bench_args, emit
 from repro.bench.runner import consume
 from repro.bench.workloads import build_tiger_workload
 from repro.core.distance_join import IncrementalDistanceJoin
@@ -45,10 +44,11 @@ def test_ablation_buffer(benchmark, buffer_pages):
     benchmark(once)
 
 
-def main():
+def main(argv=None):
+    args = bench_args(argv, "AB3: buffer-pool size vs node I/O")
     rows = []
     for buffer_pages in SCRIPT_BUFFERS:
-        load = build(SCRIPT_SCALE, buffer_pages)
+        load = build(args.scale, buffer_pages)
         load.cold_caches()
         load.reset_counters()
         consume(IncrementalDistanceJoin(
@@ -62,14 +62,14 @@ def main():
             "node_io": misses,
             "hit_ratio": 1.0 - misses / reads if reads else 0.0,
         })
-    print(format_table(
-        rows,
+    emit(
+        args, rows,
         columns=["buffer_pages", "node_reads", "node_io", "hit_ratio"],
         title=(
             f"AB3: buffer-pool size vs node I/O, 10,000 join pairs at "
-            f"scale {SCRIPT_SCALE:g} (paper's setting: 256 pages)"
+            f"scale {args.scale:g} (paper's setting: 256 pages)"
         ),
-    ))
+    )
 
 
 if __name__ == "__main__":

@@ -19,7 +19,7 @@ from pathlib import Path as _Path
 
 _sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
 
-from repro.bench.reporting import format_table
+from benchmarks.common import bench_args, emit
 from repro.bench.runner import consume
 from repro.core.distance_join import IncrementalDistanceJoin
 from repro.datasets.tiger_like import roads_points, water_points
@@ -30,7 +30,11 @@ from repro.rtree.stats import tree_quality
 from repro.util.counters import CounterRegistry
 
 TEST_SIZES = (150, 600)
-SCRIPT_SIZES = (1874, 10024)  # scale 0.05 of the paper's sets
+PAPER_SIZES = (37495, 200482)  # Water, Roads
+
+
+def sizes_at(scale):
+    return tuple(max(50, round(n * scale)) for n in PAPER_SIZES)
 
 
 def build_pair(builder, sizes, counters):
@@ -86,12 +90,14 @@ def test_ablation_packing_join(benchmark, label, builder):
     benchmark(once)
 
 
-def main():
+def main(argv=None):
+    args = bench_args(argv, "AB4: packing method vs join cost")
+    sizes = sizes_at(args.scale)
     rows = []
     for label, builder in builders():
         counters = CounterRegistry()
         build_start = time.perf_counter()
-        tree_w, tree_r = build_pair(builder, SCRIPT_SIZES, counters)
+        tree_w, tree_r = build_pair(builder, sizes, counters)
         build_time = time.perf_counter() - build_start
         quality = tree_quality(tree_r)
         counters.reset()
@@ -109,17 +115,17 @@ def main():
             "dist_calcs": counters.value("dist_calcs"),
             "node_io": counters.value("node_io"),
         })
-    print(format_table(
-        rows,
+    emit(
+        args, rows,
         columns=[
             "packing", "build_s", "overlap", "join_s", "dist_calcs",
             "node_io",
         ],
         title=(
-            "AB4: packing method vs join cost "
-            "(10,000 pairs, Water x Roads at scale 0.05)"
+            f"AB4: packing method vs join cost "
+            f"(10,000 pairs, Water x Roads at scale {args.scale:g})"
         ),
-    ))
+    )
 
 
 if __name__ == "__main__":

@@ -22,9 +22,8 @@ from pathlib import Path as _Path
 # benchmarks package (pytest imports it via the repo root).
 _sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
 
-from benchmarks.common import workload
+from benchmarks.common import bench_args, emit, workload
 from repro.baselines.nested_loop import nested_loop_join
-from repro.bench.reporting import format_table
 from repro.bench.runner import consume
 from repro.core.distance_join import IncrementalDistanceJoin
 from repro.util.counters import CounterRegistry
@@ -59,8 +58,14 @@ def test_incremental_same_request(benchmark, pairs):
     benchmark(once)
 
 
-def main():
-    load = workload(NL_SCALE)
+def main(argv=None):
+    # The nested loop is quadratic, so this script defaults to its own
+    # small NL_SCALE rather than the shared SCRIPT_SCALE.
+    args = bench_args(
+        argv, "Section 4.1.4: nested loop vs incremental join",
+        default_scale=NL_SCALE,
+    )
+    load = workload(args.scale)
     cartesian = len(load.points1) * len(load.points2)
     rows = []
 
@@ -89,21 +94,6 @@ def main():
             "dist_calcs": load.counters.value("dist_calcs"),
         })
 
-    print(format_table(
-        rows,
-        columns=["method", "time_s", "dist_calcs"],
-        title=(
-            f"Section 4.1.4: nested loop vs incremental join, "
-            f"{len(load.points1):,} x {len(load.points2):,} points "
-            f"({cartesian:,} total pairs)"
-        ),
-    ))
-    print(
-        "\nNested loop always evaluates the full Cartesian product "
-        f"({cartesian:,} distance calculations) before anything can be "
-        "reported; the incremental join's cost scales with the request."
-    )
-
     # The paper's headline comparison: "in that amount of time, the
     # incremental distance join is able to compute at least 100
     # million pairs" -- here: pairs delivered within the nested loop's
@@ -119,11 +109,32 @@ def main():
         produced += 1
         if time.perf_counter() >= deadline:
             break
-    print(
-        f"in the nested loop's {nl_time:.2f} s, the incremental join "
-        f"delivered {produced:,} result pairs (the nested loop "
-        f"delivered 100)"
+
+    emit(
+        args, rows,
+        columns=["method", "time_s", "dist_calcs"],
+        title=(
+            f"Section 4.1.4: nested loop vs incremental join, "
+            f"{len(load.points1):,} x {len(load.points2):,} points "
+            f"({cartesian:,} total pairs)"
+        ),
+        extra={
+            "cartesian_pairs": cartesian,
+            "incremental_pairs_in_nl_time": produced,
+        },
     )
+    if not args.json:
+        print(
+            "\nNested loop always evaluates the full Cartesian product "
+            f"({cartesian:,} distance calculations) before anything "
+            "can be reported; the incremental join's cost scales with "
+            "the request."
+        )
+        print(
+            f"in the nested loop's {nl_time:.2f} s, the incremental "
+            f"join delivered {produced:,} result pairs (the nested "
+            f"loop delivered 100)"
+        )
 
 
 if __name__ == "__main__":

@@ -23,9 +23,8 @@ from pathlib import Path as _Path
 # benchmarks package (pytest imports it via the repo root).
 _sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
 
-from benchmarks.common import SCRIPT_SCALE, TEST_SCALE, workload
+from benchmarks.common import TEST_SCALE, bench_args, emit, workload
 from repro.baselines.nn_semijoin import nn_semi_join
-from repro.bench.reporting import format_table
 from repro.bench.runner import consume
 from repro.core.semi_join import IncrementalDistanceSemiJoin
 
@@ -118,18 +117,19 @@ def _measure(load, order_label):
     return rows
 
 
-def main():
-    load = workload(SCRIPT_SCALE)
+def main(argv=None):
+    args = bench_args(argv, "Section 4.2.3: semi-join vs NN baseline")
+    load = workload(args.scale)
     rows = _measure(load, "Water sj Roads")
     rows += _measure(load.swapped(), "Roads sj Water")
-    print(format_table(
-        rows,
+    emit(
+        args, rows,
         columns=["order", "method", "pairs", "time_s"],
         title=(
             f"Section 4.2.3: semi-join vs NN baseline at scale "
-            f"{SCRIPT_SCALE:g}"
+            f"{args.scale:g}"
         ),
-    ))
+    )
 
 
 if __name__ == "__main__":

@@ -21,7 +21,7 @@ from pathlib import Path as _Path
 
 _sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
 
-from repro.bench.reporting import format_table
+from benchmarks.common import bench_args, emit
 from repro.bench.runner import consume
 from repro.core.distance_join import IncrementalDistanceJoin
 from repro.geometry.point import Point
@@ -31,7 +31,11 @@ from repro.util.counters import CounterRegistry
 TEST_DIMS = (2, 4)
 SCRIPT_DIMS = (2, 3, 4, 6)
 TEST_COUNT = 300
-SCRIPT_COUNT = 1500
+SCRIPT_COUNT = 1500  # == 30,000 * the default 0.05 scale
+
+
+def count_at(scale):
+    return max(TEST_COUNT, round(30_000 * scale))
 
 
 def build(dim, count, seed):
@@ -59,11 +63,13 @@ def test_ext_dims_join(benchmark, dim):
     benchmark(once)
 
 
-def main():
+def main(argv=None):
+    args = bench_args(argv, "EXT2: join cost by dimension")
+    count = count_at(args.scale)
     rows = []
     for dim in SCRIPT_DIMS:
-        tree_a, counters = build(dim, SCRIPT_COUNT, seed=dim)
-        tree_b, __ = build(dim, SCRIPT_COUNT, seed=dim + 100)
+        tree_a, counters = build(dim, count, seed=dim)
+        tree_b, __ = build(dim, count, seed=dim + 100)
         start = time.perf_counter()
         consume(IncrementalDistanceJoin(
             tree_a, tree_b, counters=counters,
@@ -75,14 +81,14 @@ def main():
             "max_queue": counters.peak("queue_size"),
             "node_io": counters.value("node_io"),
         })
-    print(format_table(
-        rows,
+    emit(
+        args, rows,
         columns=["dim", "time_s", "dist_calcs", "max_queue", "node_io"],
         title=(
-            f"EXT2: 5,000 closest pairs of {SCRIPT_COUNT:,} x "
-            f"{SCRIPT_COUNT:,} uniform points by dimension"
+            f"EXT2: 5,000 closest pairs of {count:,} x "
+            f"{count:,} uniform points by dimension"
         ),
-    ))
+    )
 
 
 if __name__ == "__main__":

@@ -27,7 +27,7 @@ from pathlib import Path as _Path
 
 _sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
 
-from repro.bench.reporting import format_table
+from benchmarks.common import bench_args, emit
 from repro.bench.runner import consume
 from repro.core.distance_join import IncrementalDistanceJoin
 from repro.core.semi_join import IncrementalDistanceSemiJoin
@@ -37,7 +37,11 @@ from repro.rtree.bulk import bulk_load_str
 from repro.util.counters import CounterRegistry
 
 TEST_SIZES = (80, 300)
-SCRIPT_SIZES = (800, 4000)
+SCRIPT_SIZES = (800, 4000)  # == (16,000, 80,000) * the 0.05 scale
+
+
+def sizes_at(scale):
+    return tuple(max(50, round(n * scale)) for n in (16_000, 80_000))
 
 
 def build(sizes):
@@ -88,8 +92,9 @@ def bound_gap(water, roads, samples=2000, seed=3):
     return sum(ratios) / len(ratios)
 
 
-def main():
-    water, roads, tree_w, tree_r, counters = build(SCRIPT_SIZES)
+def main(argv=None):
+    args = bench_args(argv, "EXT1: line-segment joins")
+    water, roads, tree_w, tree_r, counters = build(sizes_at(args.scale))
     rows = []
     for label, leaf_mode, pairs in (
         ("join/direct", "direct", 2000),
@@ -115,8 +120,9 @@ def main():
             "dist_calcs": counters.value("dist_calcs"),
             "object_accesses": counters.value("object_accesses"),
         })
-    print(format_table(
-        rows,
+    gap = bound_gap(water, roads)
+    emit(
+        args, rows,
         columns=[
             "workload", "pairs", "time_s", "dist_calcs",
             "object_accesses",
@@ -125,12 +131,14 @@ def main():
             f"EXT1: line-segment joins, {len(water):,} water x "
             f"{len(roads):,} road segments"
         ),
-    ))
-    print(
-        f"\nMAXDIST / MINMAXDIST ratio on segment MBRs: "
-        f"{bound_gap(water, roads):.3f} (extent makes the tighter "
-        f"bound meaningful; 1.0 on point data)"
+        extra={"maxdist_minmaxdist_ratio": gap},
     )
+    if not args.json:
+        print(
+            f"\nMAXDIST / MINMAXDIST ratio on segment MBRs: "
+            f"{gap:.3f} (extent makes the tighter "
+            f"bound meaningful; 1.0 on point data)"
+        )
 
 
 if __name__ == "__main__":

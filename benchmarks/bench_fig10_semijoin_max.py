@@ -21,8 +21,13 @@ from pathlib import Path as _Path
 # benchmarks package (pytest imports it via the repo root).
 _sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
 
-from benchmarks.common import SCRIPT_SCALE, TEST_SCALE, workload
-from repro.bench.reporting import format_table
+from benchmarks.common import (
+    TEST_SCALE,
+    bench_args,
+    best_of,
+    emit,
+    workload,
+)
 from repro.bench.runner import consume, run_join
 from repro.core.semi_join import IncrementalDistanceSemiJoin
 
@@ -71,8 +76,9 @@ def test_fig10_maxdist_all(benchmark):
     benchmark(once)
 
 
-def main():
-    load = workload(SCRIPT_SCALE)
+def main(argv=None):
+    args = bench_args(argv, "Figure 10: semi-join with bounds")
+    load = workload(args.scale)
     total = len(load.tree1)
     d_1000 = oracle_distance(load, 1000)
     d_all = oracle_distance(load, None)
@@ -86,13 +92,16 @@ def main():
         (f"MaxPair All ({total})", dict(max_pairs=total), None),
     ]
     rows = []
+    runs = []
     for label, options, pairs in configs:
-        run = run_join(
+        run = best_of(args.repeat, lambda: run_join(
             lambda: semi(load, **options),
             pairs,
             load.counters,
+            label=label,
             before=load.cold_caches,
-        )
+        ))
+        runs.append(run)
         rows.append({
             "variant": label,
             "pairs": run.pairs_produced,
@@ -100,8 +109,8 @@ def main():
             "queue_inserts": run.counters.get("queue_inserts", 0),
             "estimator_trims": run.counters.get("estimator_trims", 0),
         })
-    print(format_table(
-        rows,
+    emit(
+        args, rows,
         columns=[
             "variant", "pairs", "time_s", "queue_inserts",
             "estimator_trims",
@@ -109,9 +118,10 @@ def main():
         title=(
             f"Figure 10: semi-join with maximum distance / maximum "
             f"pairs (Local variant), Water semi-join Roads at scale "
-            f"{SCRIPT_SCALE:g}"
+            f"{args.scale:g}"
         ),
-    ))
+        runs=runs,
+    )
 
 
 if __name__ == "__main__":

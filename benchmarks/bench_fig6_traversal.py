@@ -24,12 +24,13 @@ _sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
 
 from benchmarks.common import (
     SCRIPT_PAIRS,
-    SCRIPT_SCALE,
     TEST_PAIRS,
     TEST_SCALE,
+    bench_args,
+    best_of,
+    emit_series,
     workload,
 )
-from repro.bench.reporting import format_series
 from repro.bench.runner import run_join
 from repro.core.distance_join import IncrementalDistanceJoin
 
@@ -65,48 +66,66 @@ def test_fig6_variant(benchmark, label, options, pairs):
     benchmark(once)
 
 
-def main():
-    load = workload(SCRIPT_SCALE)
+def main(argv=None):
+    args = bench_args(argv, "Figure 6: traversal variants")
+    load = workload(args.scale)
     series = {}
+    runs = []
     for label, options in VARIANTS:
         times = []
         for pairs in SCRIPT_PAIRS:
-            run = run_join(
+            run = best_of(args.repeat, lambda: run_join(
                 lambda: make_join(load, options),
                 pairs,
                 load.counters,
+                label=f"{label}@{pairs}",
                 before=load.cold_caches,
-            )
+            ))
+            runs.append(run)
             times.append(run.seconds)
         series[label] = times
-    print(format_series(
-        series, SCRIPT_PAIRS, x_label="pairs",
-        title=(
-            f"Figure 6: execution time (s) by traversal variant, "
-            f"Water x Roads at scale {SCRIPT_SCALE:g}"
-        ),
-    ))
 
     # X1 (Section 4.1.1): Basic with the larger relation first blows
     # up the queue; Even barely changes.
     swapped = load.swapped()
-    print()
-    print("X1: Roads x Water (larger relation first), 1000 pairs")
+    x1_rows = []
     for label, options in (VARIANTS[0], VARIANTS[2]):
-        run = run_join(
+        run = best_of(args.repeat, lambda: run_join(
             lambda: IncrementalDistanceJoin(
                 swapped.tree1, swapped.tree2,
                 counters=swapped.counters, **options,
             ),
             1000,
             swapped.counters,
+            label=f"X1-{label}",
             before=swapped.cold_caches,
-        )
-        print(
-            f"  {label:<22} time={run.seconds:8.3f}s  "
-            f"max_queue={run.max_queue_size:>10,}  "
-            f"dist_calcs={run.dist_calcs:>10,}"
-        )
+        ))
+        runs.append(run)
+        x1_rows.append({
+            "variant": label,
+            "time_s": run.seconds,
+            "max_queue": run.max_queue_size,
+            "dist_calcs": run.dist_calcs,
+        })
+
+    emit_series(
+        args, series, x_values=SCRIPT_PAIRS, x_label="pairs",
+        title=(
+            f"Figure 6: execution time (s) by traversal variant, "
+            f"Water x Roads at scale {args.scale:g}"
+        ),
+        runs=runs,
+        extra={"x1_roads_water_1000_pairs": x1_rows},
+    )
+    if not args.json:
+        print()
+        print("X1: Roads x Water (larger relation first), 1000 pairs")
+        for row in x1_rows:
+            print(
+                f"  {row['variant']:<22} time={row['time_s']:8.3f}s  "
+                f"max_queue={row['max_queue']:>10,}  "
+                f"dist_calcs={row['dist_calcs']:>10,}"
+            )
 
 
 if __name__ == "__main__":

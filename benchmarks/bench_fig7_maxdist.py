@@ -22,12 +22,13 @@ _sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
 
 from benchmarks.common import (
     SCRIPT_PAIRS,
-    SCRIPT_SCALE,
     TEST_PAIRS,
     TEST_SCALE,
+    bench_args,
+    best_of,
+    emit_series,
     workload,
 )
-from repro.bench.reporting import format_series
 from repro.bench.runner import consume, run_join
 from repro.core.distance_join import IncrementalDistanceJoin
 
@@ -46,15 +47,18 @@ def oracle_distance(load, rank):
     return last.distance if last is not None else 0.0
 
 
-def sweep(load, pairs_list, make_join):
+def sweep(load, pairs_list, make_join, repeat=1, label="", runs=None):
     times = []
     for pairs in pairs_list:
-        run = run_join(
+        run = best_of(repeat, lambda: run_join(
             lambda: make_join(pairs),
             pairs,
             load.counters,
+            label=f"{label}@{pairs}" if label else str(pairs),
             before=load.cold_caches,
-        )
+        ))
+        if runs is not None:
+            runs.append(run)
         times.append(run.seconds if run.pairs_produced >= min(
             pairs, run.pairs_produced
         ) else float("nan"))
@@ -92,15 +96,18 @@ def test_fig7_maxdist(benchmark, pairs):
     benchmark(once)
 
 
-def main():
-    load = workload(SCRIPT_SCALE)
+def main(argv=None):
+    args = bench_args(argv, "Figure 7: MaxDist vs MaxPair bounds")
+    load = workload(args.scale)
     series = {}
+    runs = []
 
     series["Regular"] = sweep(
         load, SCRIPT_PAIRS,
         lambda pairs: IncrementalDistanceJoin(
             load.tree1, load.tree2, counters=load.counters
         ),
+        repeat=args.repeat, label="Regular", runs=runs,
     )
 
     for rank in (1000, 10000, 50000):
@@ -113,6 +120,7 @@ def main():
                 load.tree1, load.tree2, max_distance=limit,
                 counters=load.counters,
             ),
+            repeat=args.repeat, label=label, runs=runs,
         )
 
     for bound in (100, 10000):
@@ -124,16 +132,18 @@ def main():
                 load.tree1, load.tree2, max_pairs=bound,
                 counters=load.counters,
             ),
+            repeat=args.repeat, label=label, runs=runs,
         )
 
-    print(format_series(
-        series, SCRIPT_PAIRS, x_label="pairs",
+    emit_series(
+        args, series, x_values=SCRIPT_PAIRS, x_label="pairs",
         title=(
             f"Figure 7: execution time (s), maximum distance vs "
-            f"maximum pairs, Water x Roads at scale {SCRIPT_SCALE:g} "
+            f"maximum pairs, Water x Roads at scale {args.scale:g} "
             f"(blank = beyond the variant's bound)"
         ),
-    ))
+        runs=runs,
+    )
 
 
 if __name__ == "__main__":

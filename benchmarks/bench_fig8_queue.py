@@ -27,12 +27,13 @@ _sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
 
 from benchmarks.common import (
     SCRIPT_PAIRS,
-    SCRIPT_SCALE,
     TEST_PAIRS,
     TEST_SCALE,
+    bench_args,
+    best_of,
+    emit,
     workload,
 )
-from repro.bench.reporting import format_table
 from repro.bench.runner import consume, run_join
 from repro.bench.workloads import suggest_dt
 from repro.core.distance_join import IncrementalDistanceJoin
@@ -69,20 +70,24 @@ def test_fig8_queue_kind(benchmark, pairs, kind):
     benchmark(once)
 
 
-def main():
-    load = workload(SCRIPT_SCALE)
+def main(argv=None):
+    args = bench_args(argv, "Figure 8: memory vs hybrid queue")
+    load = workload(args.scale)
     rows = []
+    runs = []
     for label, options in variants(load):
         for pairs in SCRIPT_PAIRS:
-            run = run_join(
+            run = best_of(args.repeat, lambda: run_join(
                 lambda: IncrementalDistanceJoin(
                     load.tree1, load.tree2,
                     counters=load.counters, **options,
                 ),
                 pairs,
                 load.counters,
+                label=f"{label}@{pairs}",
                 before=load.cold_caches,
-            )
+            ))
+            runs.append(run)
             in_memory_peak = (
                 run.peaks.get("pq_heap_size", 0)
                 if options["queue"] in ("hybrid", "adaptive")
@@ -96,17 +101,18 @@ def main():
                 "disk_writes": run.counters.get("pq_disk_writes", 0),
                 "disk_reads": run.counters.get("pq_disk_reads", 0),
             })
-    print(format_table(
-        rows,
+    emit(
+        args, rows,
         columns=[
             "variant", "pairs", "time_s", "mem_peak_elems",
             "disk_writes", "disk_reads",
         ],
         title=(
             f"Figure 8: memory vs hybrid priority queue, "
-            f"Water x Roads at scale {SCRIPT_SCALE:g}"
+            f"Water x Roads at scale {args.scale:g}"
         ),
-    ))
+        runs=runs,
+    )
 
 
 if __name__ == "__main__":

@@ -21,8 +21,13 @@ from pathlib import Path as _Path
 # benchmarks package (pytest imports it via the repo root).
 _sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
 
-from benchmarks.common import SCRIPT_SCALE, TEST_SCALE, workload
-from repro.bench.reporting import format_series
+from benchmarks.common import (
+    TEST_SCALE,
+    bench_args,
+    best_of,
+    emit_series,
+    workload,
+)
 from repro.bench.runner import consume, run_join
 from repro.core.semi_join import IncrementalDistanceSemiJoin
 
@@ -58,32 +63,37 @@ def test_fig9_strategy_full_result(benchmark, label, options):
     benchmark(once)
 
 
-def main():
-    load = workload(SCRIPT_SCALE)
+def main(argv=None):
+    args = bench_args(argv, "Figure 9: semi-join strategies")
+    load = workload(args.scale)
     sweep = pair_sweep(load)
     series = {}
+    runs = []
     for label, options in VARIANTS:
         times = []
         for pairs in sweep:
-            run = run_join(
+            run = best_of(args.repeat, lambda: run_join(
                 lambda: IncrementalDistanceSemiJoin(
                     load.tree1, load.tree2,
                     counters=load.counters, **options,
                 ),
                 pairs,
                 load.counters,
+                label=f"{label}@{pairs}",
                 before=load.cold_caches,
-            )
+            ))
+            runs.append(run)
             times.append(run.seconds)
         series[label] = times
-    print(format_series(
-        series, sweep, x_label="pairs",
+    emit_series(
+        args, series, x_values=sweep, x_label="pairs",
         title=(
             f"Figure 9: semi-join execution time (s) by strategy, "
-            f"Water semi-join Roads at scale {SCRIPT_SCALE:g} "
+            f"Water semi-join Roads at scale {args.scale:g} "
             f"(last column = all {len(load.tree1):,} outer objects)"
         ),
-    ))
+        runs=runs,
+    )
 
 
 if __name__ == "__main__":

@@ -21,15 +21,19 @@ from pathlib import Path as _Path
 
 _sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
 
-from repro.bench.reporting import format_table
+from benchmarks.common import bench_args, emit
 from repro.datasets.synthetic import uniform_points
 from repro.query.executor import Database
 from repro.util.counters import CounterRegistry
 
 TEST_OUTER = 300
 TEST_INNER = 300
-SCRIPT_OUTER = 2000
+SCRIPT_OUTER = 2000  # == 40,000 * the default 0.05 scale
 SCRIPT_INNER = 2000
+
+
+def count_at(scale):
+    return max(TEST_OUTER, round(40_000 * scale))
 SELECTIVITIES = (0.001, 0.01, 0.05, 0.2, 0.5, 1.0)
 
 SQL = (
@@ -69,13 +73,23 @@ def test_opt_strategies(benchmark, strategy, selectivity):
     benchmark(once)
 
 
-def main():
-    db = build(SCRIPT_OUTER, SCRIPT_INNER)
+def main(argv=None):
+    args = bench_args(argv, "OPT1: pipeline vs prefilter crossover")
+    count = count_at(args.scale)
+    db = build(count, count)
     rows = []
     correct_choices = 0
     for selectivity in SELECTIVITIES:
-        pipe_time, pipe_rows = run_strategy(db, selectivity, "pipeline")
-        pre_time, pre_rows = run_strategy(db, selectivity, "prefilter")
+        pipe_time, pipe_rows = min(
+            (run_strategy(db, selectivity, "pipeline")
+             for __ in range(max(1, args.repeat))),
+            key=lambda t: t[0],
+        )
+        pre_time, pre_rows = min(
+            (run_strategy(db, selectivity, "prefilter")
+             for __ in range(max(1, args.repeat))),
+            key=lambda t: t[0],
+        )
         assert pipe_rows == pre_rows
         plan = db.explain(SQL.format(threshold=selectivity))
         empirical_winner = (
@@ -100,21 +114,26 @@ def main():
             "model_choice": plan.strategy,
             "ok": "yes" if model_correct else "NO",
         })
-    print(format_table(
-        rows,
+    emit(
+        args, rows,
         columns=[
             "selectivity", "pipeline_s", "prefilter_s", "winner",
             "model_choice", "ok",
         ],
         title=(
-            f"OPT1: plan crossover, {SCRIPT_OUTER:,} x "
-            f"{SCRIPT_INNER:,} points, 10 result pairs"
+            f"OPT1: plan crossover, {count:,} x "
+            f"{count:,} points, 10 result pairs"
         ),
-    ))
-    print(
-        f"\ncost model choices acceptable at {correct_choices}/"
-        f"{len(SELECTIVITIES)} selectivities"
+        extra={
+            "model_correct": correct_choices,
+            "selectivities": len(SELECTIVITIES),
+        },
     )
+    if not args.json:
+        print(
+            f"\ncost model choices acceptable at {correct_choices}/"
+            f"{len(SELECTIVITIES)} selectivities"
+        )
 
 
 if __name__ == "__main__":

@@ -27,7 +27,6 @@ Usage::
 
 from __future__ import annotations
 
-import argparse
 from typing import List, Optional
 
 import pytest
@@ -39,8 +38,15 @@ from pathlib import Path as _Path
 # benchmarks package (pytest imports it via the repo root).
 _sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
 
-from benchmarks.common import SCRIPT_SCALE, TEST_SCALE, workload
-from repro.bench.reporting import format_table, write_run_metrics
+from benchmarks.common import (
+    SCRIPT_SCALE,
+    TEST_SCALE,
+    bench_args,
+    best_of,
+    emit,
+    workload,
+)
+from repro.bench.reporting import write_run_metrics
 from repro.bench.runner import consume, run_join
 from repro.core.distance_join import IncrementalDistanceJoin
 from repro.parallel import ParallelDistanceJoin
@@ -71,16 +77,17 @@ def test_parallel_scaling_smoke(benchmark, workers):
 def _measure(
     load, pairs: int, backend: str,
     measured: Optional[List[tuple]] = None,
+    repeat: int = 1,
 ) -> List[dict]:
     rows = []
-    sequential = run_join(
+    sequential = best_of(repeat, lambda: run_join(
         lambda: IncrementalDistanceJoin(
             load.tree1, load.tree2,
             max_pairs=pairs, counters=load.counters,
         ),
         pairs, load.counters, before=load.cold_caches,
         label="sequential",
-    )
+    ))
     if measured is not None:
         measured.append((sequential, {"pairs_requested": pairs}))
     rows.append({
@@ -92,7 +99,7 @@ def _measure(
         "dist_calcs": sequential.dist_calcs,
     })
     for workers in WORKER_COUNTS:
-        run = run_join(
+        run = best_of(repeat, lambda: run_join(
             lambda: ParallelDistanceJoin(
                 load.tree1, load.tree2,
                 workers=workers, backend=backend,
@@ -100,7 +107,7 @@ def _measure(
             ),
             pairs, load.counters, before=load.cold_caches,
             label=f"parallel-x{workers}-{backend}",
-        )
+        ))
         if measured is not None:
             measured.append((run, {
                 "pairs_requested": pairs,
@@ -120,10 +127,7 @@ def _measure(
     return rows
 
 
-def main(argv: Optional[List[str]] = None) -> None:
-    parser = argparse.ArgumentParser(
-        description="parallel join scaling benchmark"
-    )
+def _configure(parser) -> None:
     parser.add_argument(
         "--tiny", action="store_true",
         help="one small configuration (CI smoke test)",
@@ -133,16 +137,15 @@ def main(argv: Optional[List[str]] = None) -> None:
         choices=["serial", "thread", "process"],
         help="parallel backend to sweep (default: process)",
     )
-    parser.add_argument(
-        "--scale", type=float, default=None,
-        help="workload scale override (default: REPRO_BENCH_SCALE)",
+    # --tiny picks its own small default scale, so distinguish "not
+    # given" from the shared parser's SCRIPT_SCALE default.
+    parser.set_defaults(scale=None)
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    args = bench_args(
+        argv, "parallel join scaling benchmark", configure=_configure
     )
-    parser.add_argument(
-        "--metrics", default=None, metavar="FILE",
-        help="write every run's counters and timings to FILE as "
-             "JSON-lines (plus a Prometheus-style FILE.prom dump)",
-    )
-    args = parser.parse_args(argv)
 
     if args.tiny:
         scale = args.scale if args.scale is not None else 0.005
@@ -157,9 +160,11 @@ def main(argv: Optional[List[str]] = None) -> None:
     rows = []
     measured: Optional[List[tuple]] = [] if args.metrics else None
     for pairs in pair_sweep:
-        rows.extend(_measure(load, pairs, backend, measured))
-    print(format_table(
-        rows,
+        rows.extend(_measure(
+            load, pairs, backend, measured, repeat=args.repeat
+        ))
+    emit(
+        args, rows,
         columns=[
             "variant", "pairs", "time_s", "speedup", "pairs_per_s",
             "dist_calcs",
@@ -168,8 +173,8 @@ def main(argv: Optional[List[str]] = None) -> None:
             f"Parallel scaling, Water x Roads at scale {scale:g}, "
             f"backend={backend}"
         ),
-    ))
-    if args.metrics:
+    )
+    if args.metrics and measured:
         write_run_metrics(
             args.metrics,
             [run for run, __ in measured],

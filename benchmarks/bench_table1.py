@@ -26,12 +26,13 @@ _sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
 
 from benchmarks.common import (
     SCRIPT_PAIRS,
-    SCRIPT_SCALE,
     TEST_PAIRS,
     TEST_SCALE,
+    bench_args,
+    best_of,
+    emit,
     workload,
 )
-from repro.bench.reporting import format_table
 from repro.bench.runner import run_join
 from repro.core.distance_join import IncrementalDistanceJoin
 from repro.core.tiebreak import DEPTH_FIRST
@@ -47,17 +48,18 @@ def make_join(load):
     )
 
 
-def measure(scale, pairs_list):
+def measure(scale, pairs_list, repeat=1):
     load = workload(scale)
-    rows = []
+    rows, runs = [], []
     for pairs in pairs_list:
-        run = run_join(
+        run = best_of(repeat, lambda: run_join(
             lambda: make_join(load),
             pairs,
             load.counters,
             label=str(pairs),
             before=load.cold_caches,
-        )
+        ))
+        runs.append(run)
         rows.append({
             "Pairs": pairs,
             "Time (s)": run.seconds,
@@ -65,7 +67,7 @@ def measure(scale, pairs_list):
             "Queue Size": run.max_queue_size,
             "Node I/O": run.node_io,
         })
-    return rows
+    return rows, runs
 
 
 @pytest.mark.parametrize("pairs", TEST_PAIRS)
@@ -83,18 +85,20 @@ def test_table1_even_depthfirst(benchmark, pairs):
     benchmark(once)
 
 
-def main():
-    rows = measure(SCRIPT_SCALE, SCRIPT_PAIRS)
-    print(format_table(
-        rows,
+def main(argv=None):
+    args = bench_args(argv, "Table 1: incremental join measures")
+    rows, runs = measure(args.scale, SCRIPT_PAIRS, args.repeat)
+    emit(
+        args, rows,
         columns=[
             "Pairs", "Time (s)", "Dist. Calc.", "Queue Size", "Node I/O"
         ],
         title=(
             f"Table 1: incremental distance join (Even/DepthFirst), "
-            f"Water x Roads at scale {SCRIPT_SCALE:g}"
+            f"Water x Roads at scale {args.scale:g}"
         ),
-    ))
+        runs=runs,
+    )
 
 
 if __name__ == "__main__":

@@ -14,8 +14,11 @@ variable for script runs.
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
 from functools import lru_cache
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.bench.workloads import JoinWorkload, build_tiger_workload
 
@@ -46,3 +49,109 @@ def fresh(scale: float, make_run):
     load.cold_caches()
     load.reset_counters()
     return make_run(load)
+
+
+# ----------------------------------------------------------------------
+# shared script argparse + output (every bench_*.py main() uses these,
+# which is what makes the scripts registrable/driveable by the suite
+# and by ``python -m repro bench <name>`` instead of print-only)
+# ----------------------------------------------------------------------
+
+
+def bench_parser(
+    description: str, default_scale: Optional[float] = None
+) -> argparse.ArgumentParser:
+    """The shared argparse of every benchmark script:
+    ``--scale --repeat --json --metrics``."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--scale", type=float,
+        default=default_scale if default_scale is not None
+        else SCRIPT_SCALE,
+        help="workload scale as a fraction of the paper's data sizes "
+             "(default: REPRO_BENCH_SCALE or 0.05)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="min-of-N repetitions per measurement (default: 1)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit rows as a JSON document instead of a table",
+    )
+    parser.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write each measured run's counters and timings to FILE "
+             "as JSON-lines (plus a Prometheus-style FILE.prom dump)",
+    )
+    return parser
+
+
+def bench_args(
+    argv: Optional[Sequence[str]],
+    description: str,
+    default_scale: Optional[float] = None,
+    configure=None,
+) -> argparse.Namespace:
+    """Parse the shared flags (plus script-specific ones added by the
+    optional ``configure(parser)`` hook)."""
+    parser = bench_parser(description, default_scale)
+    if configure is not None:
+        configure(parser)
+    return parser.parse_args(argv)
+
+
+def best_of(repeat: int, make_run):
+    """Min-of-N: run ``make_run()`` ``repeat`` times, keep the run
+    with the smallest wall time (the one least disturbed by the
+    machine; counters are deterministic so any run's are right)."""
+    runs = [make_run() for __ in range(max(1, repeat))]
+    return min(runs, key=lambda run: run.seconds)
+
+
+def emit(
+    args: argparse.Namespace,
+    rows: List[Mapping[str, Any]],
+    columns: Sequence[str],
+    title: str = "",
+    runs: Optional[Sequence[Any]] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Print rows as a table, or as JSON under ``--json``; write the
+    measured runs' metric records when ``--metrics FILE`` was given."""
+    from repro.bench.reporting import format_table, write_run_metrics
+
+    if args.json:
+        payload: Dict[str, Any] = {"title": title, "rows": list(rows)}
+        if extra:
+            payload.update(extra)
+        print(json.dumps(payload, indent=1, sort_keys=True,
+                         default=str))
+    else:
+        print(format_table(rows, columns=columns, title=title))
+    if args.metrics and runs:
+        write_run_metrics(args.metrics, list(runs))
+        print(f"metrics -> {args.metrics} (+ .prom)")
+
+
+def emit_series(
+    args: argparse.Namespace,
+    series: Mapping[str, Sequence[float]],
+    x_values: Sequence[Any],
+    x_label: str = "pairs",
+    title: str = "",
+    runs: Optional[Sequence[Any]] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Figure-style output: one row per x value, one column per
+    series (table by default, JSON under ``--json``)."""
+    rows: List[Dict[str, Any]] = []
+    for i, x in enumerate(x_values):
+        row: Dict[str, Any] = {x_label: x}
+        for label, values in series.items():
+            row[label] = values[i] if i < len(values) else ""
+        rows.append(row)
+    emit(
+        args, rows, columns=[x_label] + list(series), title=title,
+        runs=runs, extra=extra,
+    )

@@ -12,10 +12,14 @@ from repro.bench.workloads import (
 )
 from repro.bench.runner import MeasuredRun, consume, run_join
 from repro.bench.reporting import format_series, format_table
+from repro.bench.registry import BenchCase, cases_for, register
 
 __all__ = [
+    "BenchCase",
     "JoinWorkload",
     "build_tiger_workload",
+    "cases_for",
+    "register",
     "suggest_dt",
     "MeasuredRun",
     "run_join",

@@ -1,0 +1,249 @@
+"""The benchmark-case registry behind ``repro.bench.suite``.
+
+Every performance-sensitive configuration the paper measures -- Table
+1's Even/DepthFirst join, Figure 6's traversal variants, Figure 7's
+distance/pair bounds, Figure 8's hybrid queue, Figures 9-10's
+semi-join strategies -- plus the parallel engine is registered here as
+a :class:`BenchCase`: a named, seeded join factory with a result-size
+budget per tier.  The suite runner (:mod:`repro.bench.suite`) executes
+the registered cases min-of-N and appends the measurements to the
+repo's ``BENCH_<tier>.json`` trajectory; the regression gate
+(:mod:`repro.bench.compare`) diffs the newest entry against that
+committed history.
+
+Tiers
+-----
+``smoke``
+    Small scale (CI gate; the whole tier runs in seconds).
+``full``
+    The EXPERIMENTS.md scale; minutes, run locally before perf PRs.
+
+Cases are plain data: registering one costs a :class:`BenchCase`
+constructor call, and anything constructible from a
+:class:`~repro.bench.workloads.JoinWorkload` plus an
+:class:`~repro.util.obs.Observer` qualifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.bench.workloads import JoinWorkload, suggest_dt
+from repro.core.distance_join import IncrementalDistanceJoin
+from repro.core.semi_join import IncrementalDistanceSemiJoin
+from repro.util.obs import Observer
+
+__all__ = [
+    "BenchCase",
+    "REGISTRY",
+    "SMOKE",
+    "FULL",
+    "TIERS",
+    "TierConfig",
+    "cases_for",
+    "register",
+]
+
+SMOKE = "smoke"
+FULL = "full"
+
+
+@dataclass(frozen=True)
+class TierConfig:
+    """Workload scale and default repetition count of one tier."""
+
+    name: str
+    scale: float
+    repeat: int
+
+
+TIERS: Dict[str, TierConfig] = {
+    SMOKE: TierConfig(name=SMOKE, scale=0.004, repeat=3),
+    FULL: TierConfig(name=FULL, scale=0.05, repeat=2),
+}
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One registered benchmark configuration.
+
+    ``make(workload, observer, pairs)`` returns a fresh join
+    iterator (``pairs`` is the tier's result budget, so bounded
+    variants like MaxPair can pass it through); the runner consumes
+    ``pairs`` results from it (None = exhaust)
+    against cold caches and reset counters, exactly like the
+    ``benchmarks/`` scripts.  ``deterministic`` marks whether the
+    case's counters are exactly reproducible run-to-run -- those
+    counters are *hard* regression gates; counters of scheduling-
+    dependent cases (the parallel engine) only get the noise-banded
+    soft gate.
+    """
+
+    name: str
+    description: str
+    make: Callable[[JoinWorkload, Observer, Optional[int]], Iterator]
+    pairs: Mapping[str, Optional[int]]
+    tiers: Tuple[str, ...] = (SMOKE, FULL)
+    deterministic: bool = True
+
+    def pairs_for(self, tier: str) -> Optional[int]:
+        return self.pairs.get(tier)
+
+
+REGISTRY: List[BenchCase] = []
+
+
+def register(case: BenchCase) -> BenchCase:
+    """Add a case; rejects duplicate names (the trajectory file keys
+    measurements by case name, so collisions would corrupt history)."""
+    if any(existing.name == case.name for existing in REGISTRY):
+        raise ValueError(f"duplicate benchmark case {case.name!r}")
+    REGISTRY.append(case)
+    return case
+
+
+def cases_for(tier: str) -> List[BenchCase]:
+    """Every registered case participating in ``tier``."""
+    if tier not in TIERS:
+        raise ValueError(
+            f"unknown tier {tier!r}; expected one of {sorted(TIERS)}"
+        )
+    return [case for case in REGISTRY if tier in case.tiers]
+
+
+# ----------------------------------------------------------------------
+# the standard cases (Table 1, Figures 6-10, parallel scaling)
+# ----------------------------------------------------------------------
+
+
+def _join(load: JoinWorkload, obs: Observer, **options) -> Iterator:
+    return IncrementalDistanceJoin(
+        load.tree1, load.tree2, counters=load.counters, observer=obs,
+        **options,
+    )
+
+
+def _semi(load: JoinWorkload, obs: Observer, **options) -> Iterator:
+    return IncrementalDistanceSemiJoin(
+        load.tree1, load.tree2, counters=load.counters, observer=obs,
+        **options,
+    )
+
+
+def _parallel(load: JoinWorkload, obs: Observer, **options) -> Iterator:
+    from repro.parallel import ParallelDistanceJoin
+
+    return ParallelDistanceJoin(
+        load.tree1, load.tree2, counters=load.counters, observer=obs,
+        **options,
+    )
+
+
+register(BenchCase(
+    name="table1.even_depthfirst",
+    description="Table 1: Even/DepthFirst incremental distance join",
+    make=lambda load, obs, pairs: _join(
+        load, obs, node_policy="even", tie_break="depth_first",
+    ),
+    pairs={SMOKE: 100, FULL: 10_000},
+))
+
+register(BenchCase(
+    name="fig6.even_breadthfirst",
+    description="Figure 6: Even/BreadthFirst traversal variant",
+    make=lambda load, obs, pairs: _join(
+        load, obs, node_policy="even", tie_break="breadth_first",
+    ),
+    pairs={SMOKE: 100, FULL: 10_000},
+))
+
+register(BenchCase(
+    name="fig6.basic_depthfirst",
+    description="Figure 6: Basic/DepthFirst traversal variant",
+    make=lambda load, obs, pairs: _join(
+        load, obs, node_policy="basic", tie_break="depth_first",
+    ),
+    pairs={SMOKE: 100, FULL: 1_000},
+))
+
+register(BenchCase(
+    name="fig6.simultaneous_depthfirst",
+    description="Figure 6: Simultaneous/DepthFirst traversal variant",
+    make=lambda load, obs, pairs: _join(
+        load, obs, node_policy="simultaneous", tie_break="depth_first",
+    ),
+    pairs={SMOKE: 50, FULL: 1_000},
+))
+
+register(BenchCase(
+    name="fig7.maxdist",
+    description="Figure 7: join bounded by an oracle-ish MaxDist",
+    make=lambda load, obs, pairs: _join(
+        load, obs, max_distance=suggest_dt(load),
+    ),
+    pairs={SMOKE: 100, FULL: 10_000},
+))
+
+register(BenchCase(
+    name="fig7.maxpairs",
+    description="Figure 7: join with MaxPair estimation pruning",
+    make=lambda load, obs, pairs: _join(
+        load, obs, max_pairs=pairs, estimate=True,
+    ),
+    pairs={SMOKE: 100, FULL: 10_000},
+))
+
+register(BenchCase(
+    name="fig8.hybrid_queue",
+    description="Figure 8: hybrid memory/disk priority queue",
+    make=lambda load, obs, pairs: _join(
+        load, obs, queue="hybrid", queue_dt=suggest_dt(load),
+    ),
+    pairs={SMOKE: 100, FULL: 10_000},
+))
+
+register(BenchCase(
+    name="fig8.adaptive_queue",
+    description="Figure 8: adaptive-D_T hybrid queue",
+    make=lambda load, obs, pairs: _join(load, obs, queue="adaptive"),
+    pairs={SMOKE: 100, FULL: 10_000},
+))
+
+register(BenchCase(
+    name="fig9.semijoin_local",
+    description="Figure 9: semi-join, Inside2 filtering, local d_max",
+    make=lambda load, obs, pairs: _semi(
+        load, obs, filter_strategy="inside2", dmax_strategy="local",
+    ),
+    pairs={SMOKE: None, FULL: 1_000},
+))
+
+register(BenchCase(
+    name="fig9.semijoin_globalall",
+    description="Figure 9: semi-join, GlobalAll d_max strategy",
+    make=lambda load, obs, pairs: _semi(
+        load, obs, filter_strategy="inside2",
+        dmax_strategy="global_all",
+    ),
+    pairs={SMOKE: None, FULL: 1_000},
+))
+
+register(BenchCase(
+    name="fig10.semijoin_maxdist",
+    description="Figure 10: semi-join bounded by MaxDist",
+    make=lambda load, obs, pairs: _semi(
+        load, obs, max_distance=suggest_dt(load),
+    ),
+    pairs={SMOKE: None, FULL: 1_000},
+))
+
+register(BenchCase(
+    name="parallel.thread_x2",
+    description="Parallel scaling: 2 thread workers, ordered merge",
+    make=lambda load, obs, pairs: _parallel(
+        load, obs, workers=2, backend="thread", max_pairs=pairs,
+    ),
+    pairs={SMOKE: 100, FULL: 10_000},
+    deterministic=False,
+))

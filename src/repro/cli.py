@@ -164,6 +164,27 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _start_profiler(path: Optional[str]):
+    """An enabled :class:`cProfile.Profile` when ``path`` is set."""
+    if not path:
+        return None
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    return profiler
+
+
+def _stop_profiler(profiler, path: Optional[str]) -> None:
+    """Dump collected pstats to ``path`` (read with ``pstats`` or
+    ``snakeviz``); no-op when profiling was not requested."""
+    if profiler is None or not path:
+        return
+    profiler.disable()
+    profiler.dump_stats(path)
+    print(f"-- profile -> {path} (pstats)", file=sys.stderr)
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     """``repro query``: run a SQL query, streaming rows to stdout."""
     from repro.query.parser import parse
@@ -179,7 +200,11 @@ def cmd_query(args: argparse.Namespace) -> int:
         if not query.analyze:
             print(db.explain(query).pretty())
             return 0
-        analyzed = db.explain_analyze(query)
+        profiler = _start_profiler(args.profile)
+        try:
+            analyzed = db.explain_analyze(query)
+        finally:
+            _stop_profiler(profiler, args.profile)
         print(analyzed.pretty())
         if args.metrics:
             write_metrics(args.metrics, records=analyzed.metrics(
@@ -189,26 +214,44 @@ def cmd_query(args: argparse.Namespace) -> int:
                   file=sys.stderr)
         return 0
 
-    obs = Observer() if args.metrics else None
+    observe = bool(args.metrics or args.trace)
+    obs = Observer(trace_spans=bool(args.trace)) if observe else None
     before = db.counters.full_snapshot() if args.metrics else None
     join_kwargs = {"observer": obs} if obs is not None else {}
-    rows = db.execute_query(query, **join_kwargs)
-    printed = 0
-    for row in rows:
-        coords1 = ",".join(f"{c:g}" for c in row.geom1.coords) \
-            if isinstance(row.geom1, Point) else ""
-        coords2 = ",".join(f"{c:g}" for c in row.geom2.coords) \
-            if isinstance(row.geom2, Point) else ""
-        print(f"{row.d:.6f}\t{row.oid1}\t{coords1}\t{row.oid2}\t{coords2}")
-        printed += 1
-        if args.limit is not None and printed >= args.limit:
-            break
+    profiler = _start_profiler(args.profile)
+    try:
+        rows = db.execute_query(query, **join_kwargs)
+        printed = 0
+        for row in rows:
+            coords1 = ",".join(f"{c:g}" for c in row.geom1.coords) \
+                if isinstance(row.geom1, Point) else ""
+            coords2 = ",".join(f"{c:g}" for c in row.geom2.coords) \
+                if isinstance(row.geom2, Point) else ""
+            print(
+                f"{row.d:.6f}\t{row.oid1}\t{coords1}\t"
+                f"{row.oid2}\t{coords2}"
+            )
+            printed += 1
+            if args.limit is not None and printed >= args.limit:
+                break
+    finally:
+        _stop_profiler(profiler, args.profile)
     print(f"-- {printed} row(s)", file=sys.stderr)
     if args.metrics:
         delta = db.counters.full_snapshot().delta_from(before)
         write_metrics(args.metrics, counters=delta, obs=obs,
                       labels={"command": "query"})
         print(f"-- metrics -> {args.metrics} (+ .prom)",
+              file=sys.stderr)
+    if args.trace and obs is not None:
+        from repro.util.tracing import observer_trace, write_chrome_trace
+
+        write_chrome_trace(
+            args.trace,
+            observer_trace(obs, process_name="repro query"),
+            metadata={"sql": args.sql},
+        )
+        print(f"-- trace -> {args.trace} (Perfetto/chrome://tracing)",
               file=sys.stderr)
     return 0
 
@@ -243,7 +286,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
-    module.main()
+    script_argv = ["--scale", str(args.scale)]
+    if args.repeat is not None:
+        script_argv += ["--repeat", str(args.repeat)]
+    if args.metrics:
+        script_argv += ["--metrics", args.metrics]
+    if args.json:
+        script_argv += ["--json"]
+    profiler = _start_profiler(args.profile)
+    try:
+        module.main(script_argv)
+    finally:
+        _stop_profiler(profiler, args.profile)
     return 0
 
 
@@ -324,6 +378,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the execution's counters and timings to FILE as "
              "JSON-lines, plus a Prometheus-style dump to FILE.prom",
     )
+    query.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="export the execution's spans/gauges/events as Chrome "
+             "trace-event JSON (open in Perfetto or chrome://tracing)",
+    )
+    query.add_argument(
+        "--profile", default=None, metavar="FILE",
+        help="run under cProfile and dump pstats to FILE",
+    )
     query.set_defaults(func=cmd_query)
 
     explain = commands.add_parser(
@@ -352,6 +415,23 @@ def build_parser() -> argparse.ArgumentParser:
              "fig9_semijoin, ablation_buffer",
     )
     bench.add_argument("--scale", type=float, default=0.05)
+    bench.add_argument(
+        "--repeat", type=_positive_int, default=None, metavar="N",
+        help="min-of-N repetitions per measurement",
+    )
+    bench.add_argument(
+        "--json", action="store_true",
+        help="emit the script's rows as JSON instead of a table",
+    )
+    bench.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write each measured run's metrics to FILE (JSON-lines "
+             "plus FILE.prom)",
+    )
+    bench.add_argument(
+        "--profile", default=None, metavar="FILE",
+        help="run under cProfile and dump pstats to FILE",
+    )
     bench.set_defaults(func=cmd_bench)
 
     return parser

@@ -25,6 +25,11 @@ from repro.util.validation import require_positive
 #: Simulated size of one serialized pair record on a queue page.
 PAIR_RECORD_BYTES = 64
 
+#: Cap on band indices: ``distance / dt`` can overflow to infinity
+#: when DT is subnormal, and any quotient this large is already far
+#: past every band the cursor will visit individually.
+_MAX_BAND = 2 ** 62
+
 #: Micro-unit scale used to record the calibrated ``D_T`` in the
 #: integer counter registry without truncating sub-unit values.
 DT_MICRO_SCALE = 1_000_000
@@ -159,7 +164,16 @@ class HybridPairQueue(PairQueue):
             self._push_disk(band, (key, value))
 
     def _band_of(self, distance: float) -> int:
-        return int(math.floor(distance / self.dt))
+        quotient = distance / self.dt
+        if quotient >= _MAX_BAND:
+            # A tiny DT (the adaptive queue can calibrate a subnormal
+            # one from near-duplicate inputs) overflows the division to
+            # infinity even though both operands are finite.  Every
+            # such pair lies beyond any band the cursor can reach, so
+            # collapse the tail into one final disk band; the heap
+            # restores order within a band at promotion time.
+            return _MAX_BAND
+        return int(math.floor(quotient))
 
     def _push_disk(self, band: int, record: Tuple[Tuple, Any]) -> None:
         page_id = self._open_page.get(band)

@@ -141,6 +141,9 @@ def _pull_batch(
                 state.task.translate(result, state.table1, state.table2)
             )
     state.produced += len(results)
+    # Batch fill level rides in the snapshot's gauges, so per-worker
+    # trace tracks can show how full round-trips ran.
+    state.obs.gauge("worker.batch_pairs", float(len(results)))
     return TaskBatch(
         task_id=state.task.task_id,
         results=tuple(results),

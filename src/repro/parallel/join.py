@@ -371,6 +371,38 @@ class ParallelDistanceJoin:
             "merge": self.obs.span_seconds("parallel.merge"),
         }
 
+    def trace_events(self) -> List[Dict[str, Any]]:
+        """The execution so far as Chrome trace events.
+
+        One driver track (the parent's partition/merge spans, plus
+        per-occurrence events when the observer records them) and one
+        track per worker built from the :class:`ObsSnapshot`\\ s the
+        workers shipped with their batches; load with Perfetto or
+        ``chrome://tracing``.
+        """
+        from repro.util import tracing
+
+        events = tracing.observer_trace(
+            self.obs, process_name="repro parallel join",
+        )
+        events.extend(tracing.worker_track_events(
+            self._task_obs, self._task_workers,
+        ))
+        return tracing.sort_events(events)
+
+    def write_trace(self, path: str) -> str:
+        """Write :meth:`trace_events` to ``path`` as trace JSON."""
+        from repro.util import tracing
+
+        return tracing.write_chrome_trace(
+            path, self.trace_events(),
+            metadata={
+                "workers": self.workers,
+                "backend": self.backend,
+                "tasks": len(self.tasks),
+            },
+        )
+
     def worker_breakdown(self) -> Dict[str, CounterSnapshot]:
         """Aggregate the per-task snapshots by executing worker."""
         merged: Dict[str, CounterRegistry] = {}

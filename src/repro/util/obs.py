@@ -56,6 +56,7 @@ __all__ = [
     "NULL_OBSERVER",
     "ObsSnapshot",
     "Observer",
+    "SPAN_EVENT",
     "SpanStats",
     "metrics_records",
     "prometheus_text",
@@ -73,6 +74,11 @@ DEFAULT_MAX_SAMPLES = 256
 #: (a flight-recorder ring buffer, what a crash reader wants).
 KEEP_FIRST = "first"
 KEEP_LAST = "ring"
+
+#: Event kind used for per-occurrence span records (``trace_spans``):
+#: the event's ``t`` is the span *end* offset and its ``value`` the
+#: duration in seconds, so ``t - value`` recovers the start.
+SPAN_EVENT = "span"
 
 
 class SpanStats:
@@ -121,6 +127,39 @@ class _Span:
 
     def __exit__(self, *exc_info: Any) -> None:
         self._stats.record(time.perf_counter() - self._start)
+
+
+class _TracedSpan:
+    """A span that additionally logs each occurrence as an event.
+
+    The event is appended at span *end* with the duration as its value
+    (kind :data:`SPAN_EVENT`), so a trace exporter can reconstruct the
+    start as ``t - value``.  Only used when the owning observer was
+    created with ``trace_spans=True`` -- the aggregate-only path stays
+    one allocation per span, as before.
+    """
+
+    __slots__ = ("_stats", "_events", "_t0", "_start")
+
+    def __init__(
+        self, stats: SpanStats, events: "EventLog", t0: float
+    ) -> None:
+        self._stats = stats
+        self._events = events
+        self._t0 = t0
+        self._start = 0.0
+
+    def __enter__(self) -> "_TracedSpan":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        end = time.perf_counter()
+        duration = end - self._start
+        self._stats.record(duration)
+        self._events.append(
+            end - self._t0, SPAN_EVENT, self._stats.name, duration
+        )
 
 
 class _NullSpan:
@@ -325,6 +364,12 @@ class Observer:
         Bound and retention policy of the event log.
     max_samples:
         Bound on each gauge's retained timeline.
+    trace_spans:
+        Also log every span occurrence as a :data:`SPAN_EVENT` event
+        (end offset + duration), the raw material of
+        :mod:`repro.util.tracing`'s Chrome trace export.  Off by
+        default -- aggregate-only spans stay cheaper and the event
+        log bound is then free for the caller's own events.
     """
 
     def __init__(
@@ -334,6 +379,7 @@ class Observer:
         max_events: int = DEFAULT_MAX_EVENTS,
         event_policy: str = KEEP_FIRST,
         max_samples: int = DEFAULT_MAX_SAMPLES,
+        trace_spans: bool = False,
     ) -> None:
         if sample_every < 1:
             raise ValueError(
@@ -341,6 +387,7 @@ class Observer:
             )
         self.enabled = enabled
         self.sample_every = sample_every
+        self.trace_spans = trace_spans
         self._max_samples = max_samples
         self._spans: Dict[str, SpanStats] = {}
         self._gauges: Dict[str, GaugeTimeline] = {}
@@ -354,6 +401,10 @@ class Observer:
         """A context manager timing one occurrence of phase ``name``."""
         if not self.enabled:
             return _NULL_SPAN
+        if self.trace_spans:
+            return _TracedSpan(
+                self._span_stats(name), self.events, self._t0
+            )
         return _Span(self._span_stats(name))
 
     def _span_stats(self, name: str) -> SpanStats:
@@ -368,6 +419,12 @@ class Observer:
         if not self.enabled:
             return
         stats = self._span_stats(name)
+        if self.trace_spans:
+            # Treat "now" as the external measurement's end.
+            self.events.append(
+                time.perf_counter() - self._t0, SPAN_EVENT, name,
+                seconds,
+            )
         if count == 1:
             stats.record(seconds)
             return
@@ -409,6 +466,10 @@ class Observer:
     def gauge_timeline(self, name: str) -> List[Tuple[float, float]]:
         timeline = self._gauges.get(name)
         return list(timeline.samples) if timeline is not None else []
+
+    def gauge_names(self) -> List[str]:
+        """Sorted names of every gauge recorded so far."""
+        return sorted(self._gauges)
 
     # -- events --------------------------------------------------------
 
@@ -592,11 +653,24 @@ def _prom_name(metric: str, type_: str) -> str:
     return base
 
 
+def _prom_label_value(value: Any) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double-quote, and line feed must be written as ``\\\\``,
+    ``\\"`` and ``\\n`` inside the quoted value."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels: Mapping[str, Any]) -> str:
     if not labels:
         return ""
     body = ",".join(
-        f'{key}="{str(value)}"' for key, value in sorted(labels.items())
+        f'{key}="{_prom_label_value(value)}"'
+        for key, value in sorted(labels.items())
     )
     return "{" + body + "}"
 

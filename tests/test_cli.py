@@ -168,3 +168,90 @@ class TestBenchCommand:
         code, __, stderr = run(capsys, "bench", "not_a_real_bench")
         assert code == 1
         assert "no benchmark named" in stderr
+
+    def test_bench_json_passthrough(self, capsys):
+        import json
+
+        code, stdout, __ = run(
+            capsys, "bench", "table1", "--scale", "0.002", "--json",
+        )
+        assert code == 0
+        payload = json.loads(stdout)
+        assert payload["rows"]
+        assert payload["rows"][0]["Pairs"] == 1
+
+    def test_bench_profile_writes_pstats(self, tmp_path, capsys):
+        import pstats
+
+        profile = str(tmp_path / "bench.prof")
+        code, __, stderr = run(
+            capsys, "bench", "table1", "--scale", "0.002",
+            "--profile", profile,
+        )
+        assert code == 0
+        assert "profile ->" in stderr
+        stats = pstats.Stats(profile)
+        assert stats.total_calls > 0
+
+
+class TestQueryTraceAndProfile:
+    SQL = TestQueryAndExplain.SQL
+
+    @pytest.fixture
+    def sources(self, tmp_path, capsys):
+        a = str(tmp_path / "a.csv")
+        b = str(tmp_path / "b.csv")
+        run(capsys, "generate", "uniform", "--count", "50",
+            "--seed", "1", "--out", a)
+        run(capsys, "generate", "uniform", "--count", "60",
+            "--seed", "2", "--out", b)
+        return a, b
+
+    def test_query_trace_export(self, tmp_path, capsys, sources):
+        import json
+
+        a, b = sources
+        trace = str(tmp_path / "query_trace.json")
+        code, stdout, stderr = run(
+            capsys, "query", self.SQL,
+            "--relation", f"a={a}", "--relation", f"b={b}",
+            "--trace", trace,
+        )
+        assert code == 0
+        assert len(stdout.strip().splitlines()) == 5
+        assert "trace ->" in stderr
+        payload = json.loads(open(trace).read())
+        events = payload["traceEvents"]
+        assert payload["metadata"]["sql"] == self.SQL
+        # Real per-occurrence spans: join.init / join.expand phases.
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert any(name.startswith("join.") for name in names)
+
+    def test_query_profile_writes_pstats(self, tmp_path, capsys,
+                                         sources):
+        import pstats
+
+        a, b = sources
+        profile = str(tmp_path / "query.prof")
+        code, __, stderr = run(
+            capsys, "query", self.SQL,
+            "--relation", f"a={a}", "--relation", f"b={b}",
+            "--profile", profile,
+        )
+        assert code == 0
+        assert "profile ->" in stderr
+        stats = pstats.Stats(profile)
+        assert stats.total_calls > 0
+
+    def test_explain_analyze_profile(self, tmp_path, capsys, sources):
+        import pstats
+
+        a, b = sources
+        profile = str(tmp_path / "explain.prof")
+        code, stdout, __ = run(
+            capsys, "query", "EXPLAIN ANALYZE " + self.SQL,
+            "--relation", f"a={a}", "--relation", f"b={b}",
+            "--profile", profile,
+        )
+        assert code == 0
+        assert pstats.Stats(profile).total_calls > 0

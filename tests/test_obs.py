@@ -261,6 +261,35 @@ class TestMetricsExport:
         prom = open(path + ".prom").read()
         assert "repro_dist_calcs" in prom
 
+    def test_label_values_escaped_per_exposition_format(self):
+        # Regression: label values holding backslashes, quotes, or
+        # newlines must be escaped, else the text format is corrupt
+        # (a label like sql='SELECT "x"' used to split the line).
+        counters, obs = self._sample()
+        text = prometheus_text(metrics_records(
+            counters, obs,
+            labels={"sql": 'SELECT "d"\nSTOP', "path": "C:\\tmp"},
+        ))
+        assert '\\"d\\"' in text
+        assert "\\n" in text
+        assert "C:\\\\tmp" in text
+        # No raw newline may survive inside a label block.
+        for line in text.splitlines():
+            if "{" in line:
+                assert line.count("{") == 1 and "}" in line
+
+    def test_escaped_labels_stay_parseable(self):
+        counters, obs = self._sample()
+        text = prometheus_text(metrics_records(
+            counters, obs, labels={"q": 'a"b\\c\nd'},
+        ))
+        line = next(
+            l for l in text.splitlines()
+            if l.startswith("repro_dist_calcs{")
+        )
+        # value part after the label block is still a bare number
+        assert line.rsplit(" ", 1)[1] == "42"
+
     def test_write_metrics_append(self, tmp_path):
         counters, obs = self._sample()
         path = str(tmp_path / "metrics.jsonl")

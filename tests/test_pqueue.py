@@ -216,6 +216,32 @@ class TestAdaptiveQueue:
         assert counters.peak("pq_adaptive_dt_micro") >= 1
 
 
+def test_subnormal_dt_does_not_overflow_banding():
+    # Hypothesis-found regression: calibrating on a subnormal distance
+    # (here 2.2e-313) makes distance/dt overflow to infinity inside
+    # _band_of, which used to raise OverflowError on int(floor(inf)).
+    # Such pairs now land in one far disk band and still pop in order.
+    distances = [1.0, 2.2250738585e-313]
+    mem = MemoryPairQueue()
+    adaptive = AdaptiveHybridPairQueue(calibration_size=2)
+    for i, d in enumerate(distances):
+        mem.push(key(d, i), i)
+        adaptive.push(key(d, i), i)
+    assert [adaptive.pop() for __ in distances] == [
+        mem.pop() for __ in distances
+    ]
+
+
+def test_huge_band_quotient_is_clamped():
+    # Finite dt, huge distance: the same division overflow without any
+    # subnormal involved.
+    q = HybridPairQueue(dt=1e-300)
+    q.push(key(1e9, 0), 0)
+    q.push(key(1.0, 1), 1)
+    assert q.pop()[1] == 1
+    assert q.pop()[1] == 0
+
+
 @settings(max_examples=20, deadline=None)
 @given(
     st.lists(st.floats(0, 500), min_size=1, max_size=300),

@@ -1,0 +1,225 @@
+"""Tests for Chrome trace-event export (repro.util.tracing)."""
+
+import json
+
+import pytest
+
+from repro.parallel import ParallelDistanceJoin
+from repro.util.obs import NULL_OBSERVER, SPAN_EVENT, Observer
+from repro.util.tracing import (
+    chrome_trace,
+    gauge_counter_events,
+    instant_events,
+    observer_trace,
+    snapshot_summary_events,
+    sort_events,
+    span_complete_events,
+    worker_track_events,
+    write_chrome_trace,
+)
+
+from tests.conftest import make_points, make_tree
+
+VALID_PHASES = {"X", "B", "E", "C", "i", "M"}
+
+
+def traced_observer():
+    obs = Observer(trace_spans=True)
+    with obs.span("outer"):
+        with obs.span("inner"):
+            pass
+    obs.record_span("io", 0.25)
+    obs.gauge("queue", 3.0)
+    obs.gauge("queue", 7.0)
+    obs.event("milestone", label="first-pair", value=1.0)
+    return obs
+
+
+class TestSpanEvents:
+    def test_trace_spans_logs_per_occurrence(self):
+        obs = traced_observer()
+        kinds = [e.kind for e in obs.events]
+        assert kinds.count(SPAN_EVENT) == 3  # outer, inner, io
+
+    def test_complete_events_have_duration_phase(self):
+        obs = traced_observer()
+        events = span_complete_events(obs)
+        assert len(events) == 3
+        assert all(e["ph"] == "X" for e in events)
+        assert all(e["dur"] >= 0.0 for e in events)
+        assert all(e["ts"] >= 0.0 for e in events)
+        assert {e["name"] for e in events} == {"outer", "inner", "io"}
+
+    def test_trace_spans_off_yields_no_span_events(self):
+        obs = Observer()  # trace_spans defaults to off
+        with obs.span("a"):
+            pass
+        assert span_complete_events(obs) == []
+
+    def test_disabled_observer_allocation_free(self):
+        # trace_spans must not defeat the NULL_OBSERVER discipline:
+        # a disabled observer still hands out the shared no-op span.
+        obs = Observer(enabled=False, trace_spans=True)
+        assert obs.span("a") is obs.span("b")
+        assert obs.span("a") is NULL_OBSERVER.span("x")
+        with obs.span("a"):
+            pass
+        assert obs.events.total == 0
+        assert span_complete_events(obs) == []
+
+
+class TestObserverTrace:
+    def test_round_trips_through_json(self):
+        obs = traced_observer()
+        events = observer_trace(obs)
+        trace = chrome_trace(events, metadata={"suite": "t"})
+        clone = json.loads(json.dumps(trace))
+        assert clone["metadata"] == {"suite": "t"}
+        assert len(clone["traceEvents"]) == len(events)
+
+    def test_phases_are_valid_and_metadata_first(self):
+        events = observer_trace(traced_observer())
+        assert all(e["ph"] in VALID_PHASES for e in events)
+        phases = [e["ph"] for e in events]
+        first_non_meta = next(
+            i for i, ph in enumerate(phases) if ph != "M"
+        )
+        assert all(ph != "M" for ph in phases[first_non_meta:])
+
+    def test_timestamps_monotonic_within_track(self):
+        events = observer_trace(traced_observer())
+        by_track = {}
+        for event in events:
+            if event["ph"] == "M":
+                continue
+            by_track.setdefault(
+                (event["pid"], event["tid"]), []
+            ).append(event["ts"])
+        for track_ts in by_track.values():
+            assert track_ts == sorted(track_ts)
+
+    def test_gauges_become_counter_events(self):
+        events = gauge_counter_events(traced_observer())
+        assert [e["args"]["queue"] for e in events] == [3.0, 7.0]
+        assert all(e["ph"] == "C" for e in events)
+
+    def test_instants_skip_span_entries(self):
+        events = instant_events(traced_observer())
+        assert [e["name"] for e in events] == ["first-pair"]
+        assert events[0]["args"]["kind"] == "milestone"
+
+    def test_aggregate_fallback_without_trace_spans(self):
+        obs = Observer()
+        obs.record_span("b", 0.5, count=2)
+        obs.record_span("a", 0.25)
+        events = [
+            e for e in observer_trace(obs) if e["ph"] == "X"
+        ]
+        # Summary timeline: name order, laid end to end.
+        assert [e["name"] for e in events] == ["a", "b"]
+        assert events[1]["ts"] == pytest.approx(
+            events[0]["ts"] + events[0]["dur"]
+        )
+        assert events[0]["args"]["count"] == 1
+
+    def test_write_chrome_trace_is_loadable(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        out = write_chrome_trace(
+            path, observer_trace(traced_observer()),
+            metadata={"k": "v"},
+        )
+        assert out == path
+        trace = json.loads(open(path).read())
+        assert trace["displayTimeUnit"] == "ms"
+        assert trace["metadata"] == {"k": "v"}
+        assert trace["traceEvents"]
+
+
+class TestWorkerTracks:
+    def _snapshot(self, spans):
+        obs = Observer()
+        for name, seconds in spans:
+            obs.record_span(name, seconds)
+        return obs.snapshot()
+
+    def test_one_track_per_worker(self):
+        task_obs = {
+            0: self._snapshot([("worker.join", 0.1)]),
+            1: self._snapshot([("worker.join", 0.2)]),
+            2: self._snapshot([("worker.init", 0.05)]),
+        }
+        task_workers = {0: "w-a", 1: "w-b", 2: "w-a"}
+        events = worker_track_events(task_obs, task_workers)
+        names = {
+            e["args"]["name"]: (e["pid"], e["tid"])
+            for e in events if e["name"] == "thread_name"
+        }
+        assert set(names) == {"w-a", "w-b"}
+        # Distinct deterministic tids on a single worker pid.
+        assert len({t for t in names.values()}) == 2
+        assert len({pid for pid, __ in names.values()}) == 1
+
+    def test_overlapping_span_names_merge_per_worker(self):
+        # Two tasks on the same worker with the same span name fold
+        # into one summary event carrying the combined stats.
+        task_obs = {
+            0: self._snapshot([("worker.join", 0.1)]),
+            1: self._snapshot([("worker.join", 0.3)]),
+        }
+        events = worker_track_events(task_obs, {0: "w", 1: "w"})
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(spans) == 1
+        assert spans[0]["args"]["count"] == 2
+        assert spans[0]["dur"] == pytest.approx(0.4e6)
+
+    def test_summary_timeline_is_monotonic(self):
+        snap = self._snapshot(
+            [("c", 0.1), ("a", 0.2), ("b", 0.3), ("a", 0.05)]
+        )
+        events = snapshot_summary_events(snap, pid=5, tid=7)
+        assert [e["name"] for e in events] == ["a", "b", "c"]
+        cursor = 0.0
+        for event in events:
+            assert event["ts"] == pytest.approx(cursor)
+            cursor += event["dur"]
+
+    def test_parallel_join_trace_end_to_end(self, tmp_path):
+        tree_a = make_tree(make_points(60, seed=61))
+        tree_b = make_tree(make_points(60, seed=62))
+        join = ParallelDistanceJoin(
+            tree_a, tree_b, workers=2, backend="thread", max_pairs=50,
+        )
+        list(join)
+        path = str(tmp_path / "parallel.json")
+        join.write_trace(path)
+        trace = json.loads(open(path).read())
+        events = trace["traceEvents"]
+        assert all(e["ph"] in VALID_PHASES for e in events)
+        worker_tids = {
+            (e["pid"], e["tid"])
+            for e in events
+            if e["name"] == "thread_name"
+            and e["args"]["name"].startswith("pid-")
+        }
+        assert worker_tids  # at least one worker track materialized
+        # Each worker track's events stay on its own (pid, tid).
+        for pid, tid in worker_tids:
+            ts_list = [
+                e["ts"] for e in events
+                if e.get("pid") == pid and e.get("tid") == tid
+                and e["ph"] == "X"
+            ]
+            assert ts_list == sorted(ts_list)
+
+
+class TestSortEvents:
+    def test_metadata_sorts_first_then_time(self):
+        events = [
+            {"name": "b", "ph": "X", "pid": 1, "tid": 1, "ts": 9.0},
+            {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+             "args": {"name": "p"}},
+            {"name": "a", "ph": "X", "pid": 1, "tid": 1, "ts": 1.0},
+        ]
+        ordered = sort_events(events)
+        assert ordered[0]["ph"] == "M"
+        assert [e["name"] for e in ordered[1:]] == ["a", "b"]
