@@ -14,7 +14,6 @@ import tempfile
 from repro import (
     KNearestNeighborJoin,
     Point,
-    RStarTree,
     all_nearest_neighbors,
     closest_pair,
     intersection_join,

@@ -14,7 +14,7 @@ Run:  python examples/closest_warehouse.py
 from collections import defaultdict
 
 from repro import IncrementalDistanceSemiJoin, Point, RStarTree
-from repro.datasets import gaussian_clusters, uniform_points
+from repro.datasets import gaussian_clusters
 
 
 def main():

@@ -4,12 +4,16 @@ Every performance-sensitive configuration the paper measures -- Table
 1's Even/DepthFirst join, Figure 6's traversal variants, Figure 7's
 distance/pair bounds, Figure 8's hybrid queue, Figures 9-10's
 semi-join strategies -- plus the parallel engine is registered here as
-a :class:`BenchCase`: a named, seeded join factory with a result-size
-budget per tier.  The suite runner (:mod:`repro.bench.suite`) executes
-the registered cases min-of-N and appends the measurements to the
-repo's ``BENCH_<tier>.json`` trajectory; the regression gate
-(:mod:`repro.bench.compare`) diffs the newest entry against that
-committed history.
+a :class:`BenchCase`: a named, seeded configuration with a result-size
+budget per tier.  A case is *data*, not code: its join knobs are a
+:class:`repro.core.spec.JoinSpec` (or a factory producing one from
+the workload, for knobs like ``D_T`` that depend on the data scale),
+its operator family a string, and only engine-level options (worker
+counts, backends) ride outside the spec.  The suite runner
+(:mod:`repro.bench.suite`) executes the registered cases min-of-N and
+appends the measurements to the repo's ``BENCH_<tier>.json``
+trajectory; the regression gate (:mod:`repro.bench.compare`) diffs
+the newest entry against that committed history.
 
 Tiers
 -----
@@ -17,21 +21,26 @@ Tiers
     Small scale (CI gate; the whole tier runs in seconds).
 ``full``
     The EXPERIMENTS.md scale; minutes, run locally before perf PRs.
-
-Cases are plain data: registering one costs a :class:`BenchCase`
-constructor call, and anything constructible from a
-:class:`~repro.bench.workloads.JoinWorkload` plus an
-:class:`~repro.util.obs.Observer` qualifies.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.bench.workloads import JoinWorkload, suggest_dt
 from repro.core.distance_join import IncrementalDistanceJoin
 from repro.core.semi_join import IncrementalDistanceSemiJoin
+from repro.core.spec import JoinSpec
 from repro.util.obs import Observer
 
 __all__ = [
@@ -47,6 +56,15 @@ __all__ = [
 
 SMOKE = "smoke"
 FULL = "full"
+
+#: Operator families a case can exercise.
+OPERATORS = ("join", "semi", "parallel")
+
+#: A case's join configuration: a spec, or a factory deriving one
+#: from the workload and the tier's result budget.
+SpecSource = Union[
+    JoinSpec, Callable[[JoinWorkload, Optional[int]], JoinSpec]
+]
 
 
 @dataclass(frozen=True)
@@ -68,27 +86,67 @@ TIERS: Dict[str, TierConfig] = {
 class BenchCase:
     """One registered benchmark configuration.
 
-    ``make(workload, observer, pairs)`` returns a fresh join
-    iterator (``pairs`` is the tier's result budget, so bounded
-    variants like MaxPair can pass it through); the runner consumes
-    ``pairs`` results from it (None = exhaust)
-    against cold caches and reset counters, exactly like the
-    ``benchmarks/`` scripts.  ``deterministic`` marks whether the
-    case's counters are exactly reproducible run-to-run -- those
-    counters are *hard* regression gates; counters of scheduling-
-    dependent cases (the parallel engine) only get the noise-banded
-    soft gate.
+    ``spec`` holds the join knobs (static, or derived per workload);
+    ``operator`` selects the family (``join`` / ``semi`` /
+    ``parallel``); ``engine`` carries parallel-engine options that are
+    deliberately *not* part of the spec (workers, backend).  The
+    runner calls :meth:`build` per repetition against cold caches and
+    reset counters, exactly like the ``benchmarks/`` scripts, and
+    consumes the tier's ``pairs`` budget (None = exhaust).
+    ``deterministic`` marks whether the case's counters are exactly
+    reproducible run-to-run -- those counters are *hard* regression
+    gates; counters of scheduling-dependent cases (the parallel
+    engine) only get the noise-banded soft gate.
     """
 
     name: str
     description: str
-    make: Callable[[JoinWorkload, Observer, Optional[int]], Iterator]
-    pairs: Mapping[str, Optional[int]]
+    spec: SpecSource = field(default_factory=JoinSpec)
+    pairs: Mapping[str, Optional[int]] = field(default_factory=dict)
+    operator: str = "join"
+    engine: Mapping[str, object] = field(default_factory=dict)
     tiers: Tuple[str, ...] = (SMOKE, FULL)
     deterministic: bool = True
 
     def pairs_for(self, tier: str) -> Optional[int]:
         return self.pairs.get(tier)
+
+    def spec_for(
+        self, load: JoinWorkload, pairs: Optional[int]
+    ) -> JoinSpec:
+        """Resolve the case's spec against a concrete workload."""
+        if isinstance(self.spec, JoinSpec):
+            return self.spec
+        return self.spec(load, pairs)
+
+    def build(
+        self,
+        load: JoinWorkload,
+        obs: Observer,
+        pairs: Optional[int],
+    ) -> Iterator:
+        """A fresh join iterator for one repetition."""
+        spec = self.spec_for(load, pairs)
+        common = dict(counters=load.counters, observer=obs)
+        if self.operator == "semi":
+            return IncrementalDistanceSemiJoin(
+                load.tree1, load.tree2, spec, **common
+            )
+        if self.operator == "parallel":
+            from repro.parallel import ParallelDistanceJoin
+
+            return ParallelDistanceJoin(
+                load.tree1, load.tree2, spec,
+                **common, **dict(self.engine),
+            )
+        if self.operator != "join":
+            raise ValueError(
+                f"unknown operator {self.operator!r}; "
+                f"expected one of {OPERATORS}"
+            )
+        return IncrementalDistanceJoin(
+            load.tree1, load.tree2, spec, **common
+        )
 
 
 REGISTRY: List[BenchCase] = []
@@ -117,88 +175,53 @@ def cases_for(tier: str) -> List[BenchCase]:
 # ----------------------------------------------------------------------
 
 
-def _join(load: JoinWorkload, obs: Observer, **options) -> Iterator:
-    return IncrementalDistanceJoin(
-        load.tree1, load.tree2, counters=load.counters, observer=obs,
-        **options,
-    )
-
-
-def _semi(load: JoinWorkload, obs: Observer, **options) -> Iterator:
-    return IncrementalDistanceSemiJoin(
-        load.tree1, load.tree2, counters=load.counters, observer=obs,
-        **options,
-    )
-
-
-def _parallel(load: JoinWorkload, obs: Observer, **options) -> Iterator:
-    from repro.parallel import ParallelDistanceJoin
-
-    return ParallelDistanceJoin(
-        load.tree1, load.tree2, counters=load.counters, observer=obs,
-        **options,
-    )
-
-
 register(BenchCase(
     name="table1.even_depthfirst",
     description="Table 1: Even/DepthFirst incremental distance join",
-    make=lambda load, obs, pairs: _join(
-        load, obs, node_policy="even", tie_break="depth_first",
-    ),
+    spec=JoinSpec(node_policy="even", tie_break="depth_first"),
     pairs={SMOKE: 100, FULL: 10_000},
 ))
 
 register(BenchCase(
     name="fig6.even_breadthfirst",
     description="Figure 6: Even/BreadthFirst traversal variant",
-    make=lambda load, obs, pairs: _join(
-        load, obs, node_policy="even", tie_break="breadth_first",
-    ),
+    spec=JoinSpec(node_policy="even", tie_break="breadth_first"),
     pairs={SMOKE: 100, FULL: 10_000},
 ))
 
 register(BenchCase(
     name="fig6.basic_depthfirst",
     description="Figure 6: Basic/DepthFirst traversal variant",
-    make=lambda load, obs, pairs: _join(
-        load, obs, node_policy="basic", tie_break="depth_first",
-    ),
+    spec=JoinSpec(node_policy="basic", tie_break="depth_first"),
     pairs={SMOKE: 100, FULL: 1_000},
 ))
 
 register(BenchCase(
     name="fig6.simultaneous_depthfirst",
     description="Figure 6: Simultaneous/DepthFirst traversal variant",
-    make=lambda load, obs, pairs: _join(
-        load, obs, node_policy="simultaneous", tie_break="depth_first",
-    ),
+    spec=JoinSpec(node_policy="simultaneous", tie_break="depth_first"),
     pairs={SMOKE: 50, FULL: 1_000},
 ))
 
 register(BenchCase(
     name="fig7.maxdist",
     description="Figure 7: join bounded by an oracle-ish MaxDist",
-    make=lambda load, obs, pairs: _join(
-        load, obs, max_distance=suggest_dt(load),
-    ),
+    spec=lambda load, pairs: JoinSpec(max_distance=suggest_dt(load)),
     pairs={SMOKE: 100, FULL: 10_000},
 ))
 
 register(BenchCase(
     name="fig7.maxpairs",
     description="Figure 7: join with MaxPair estimation pruning",
-    make=lambda load, obs, pairs: _join(
-        load, obs, max_pairs=pairs, estimate=True,
-    ),
+    spec=lambda load, pairs: JoinSpec(max_pairs=pairs, estimate=True),
     pairs={SMOKE: 100, FULL: 10_000},
 ))
 
 register(BenchCase(
     name="fig8.hybrid_queue",
     description="Figure 8: hybrid memory/disk priority queue",
-    make=lambda load, obs, pairs: _join(
-        load, obs, queue="hybrid", queue_dt=suggest_dt(load),
+    spec=lambda load, pairs: JoinSpec(
+        queue="hybrid", queue_dt=suggest_dt(load),
     ),
     pairs={SMOKE: 100, FULL: 10_000},
 ))
@@ -206,44 +229,40 @@ register(BenchCase(
 register(BenchCase(
     name="fig8.adaptive_queue",
     description="Figure 8: adaptive-D_T hybrid queue",
-    make=lambda load, obs, pairs: _join(load, obs, queue="adaptive"),
+    spec=JoinSpec(queue="adaptive"),
     pairs={SMOKE: 100, FULL: 10_000},
 ))
 
 register(BenchCase(
     name="fig9.semijoin_local",
     description="Figure 9: semi-join, Inside2 filtering, local d_max",
-    make=lambda load, obs, pairs: _semi(
-        load, obs, filter_strategy="inside2", dmax_strategy="local",
-    ),
+    spec=JoinSpec(filter_strategy="inside2", dmax_strategy="local"),
     pairs={SMOKE: None, FULL: 1_000},
+    operator="semi",
 ))
 
 register(BenchCase(
     name="fig9.semijoin_globalall",
     description="Figure 9: semi-join, GlobalAll d_max strategy",
-    make=lambda load, obs, pairs: _semi(
-        load, obs, filter_strategy="inside2",
-        dmax_strategy="global_all",
-    ),
+    spec=JoinSpec(filter_strategy="inside2", dmax_strategy="global_all"),
     pairs={SMOKE: None, FULL: 1_000},
+    operator="semi",
 ))
 
 register(BenchCase(
     name="fig10.semijoin_maxdist",
     description="Figure 10: semi-join bounded by MaxDist",
-    make=lambda load, obs, pairs: _semi(
-        load, obs, max_distance=suggest_dt(load),
-    ),
+    spec=lambda load, pairs: JoinSpec(max_distance=suggest_dt(load)),
     pairs={SMOKE: None, FULL: 1_000},
+    operator="semi",
 ))
 
 register(BenchCase(
     name="parallel.thread_x2",
     description="Parallel scaling: 2 thread workers, ordered merge",
-    make=lambda load, obs, pairs: _parallel(
-        load, obs, workers=2, backend="thread", max_pairs=pairs,
-    ),
+    spec=lambda load, pairs: JoinSpec(max_pairs=pairs),
     pairs={SMOKE: 100, FULL: 10_000},
+    operator="parallel",
+    engine={"workers": 2, "backend": "thread"},
     deterministic=False,
 ))

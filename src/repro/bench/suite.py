@@ -116,7 +116,7 @@ def run_case(
         )
         with span:
             run = run_join(
-                lambda: case.make(load, obs, pairs),
+                lambda: case.build(load, obs, pairs),
                 pairs,
                 load.counters,
                 label=case.name,

@@ -198,11 +198,11 @@ def cmd_query(args: argparse.Namespace) -> int:
 
     if query.explain:
         if not query.analyze:
-            print(db.explain(query).pretty())
+            print(db.explain(query, strategy=args.strategy).pretty())
             return 0
         profiler = _start_profiler(args.profile)
         try:
-            analyzed = db.explain_analyze(query)
+            analyzed = db.explain_analyze(query, strategy=args.strategy)
         finally:
             _stop_profiler(profiler, args.profile)
         print(analyzed.pretty())
@@ -220,7 +220,9 @@ def cmd_query(args: argparse.Namespace) -> int:
     join_kwargs = {"observer": obs} if obs is not None else {}
     profiler = _start_profiler(args.profile)
     try:
-        rows = db.execute_query(query, **join_kwargs)
+        rows = db.execute_query(
+            query, strategy=args.strategy, **join_kwargs
+        )
         printed = 0
         for row in rows:
             coords1 = ",".join(f"{c:g}" for c in row.geom1.coords) \
@@ -263,9 +265,9 @@ def cmd_explain(args: argparse.Namespace) -> int:
     db = _build_database(args.relation)
     query = parse(args.sql)
     if query.analyze or getattr(args, "analyze", False):
-        print(db.explain_analyze(query).pretty())
+        print(db.explain_analyze(query, strategy=args.strategy).pretty())
     else:
-        print(db.explain(query).pretty())
+        print(db.explain(query, strategy=args.strategy).pretty())
     return 0
 
 
@@ -384,6 +386,13 @@ def build_parser() -> argparse.ArgumentParser:
              "trace-event JSON (open in Perfetto or chrome://tracing)",
     )
     query.add_argument(
+        "--strategy", choices=("auto", "pipeline", "prefilter"),
+        default="auto",
+        help="predicate plan for WHERE attribute filters: push them "
+             "into the join pipeline, prefilter into temporary "
+             "indexes, or let the cost model decide (default)",
+    )
+    query.add_argument(
         "--profile", default=None, metavar="FILE",
         help="run under cProfile and dump pstats to FILE",
     )
@@ -401,6 +410,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--analyze", action="store_true",
         help="execute the query and annotate the plan with actual "
              "counters and stage timings (EXPLAIN ANALYZE)",
+    )
+    explain.add_argument(
+        "--strategy", choices=("auto", "pipeline", "prefilter"),
+        default="auto",
+        help="predicate plan to explain: pipeline pushdown, prefilter "
+             "materialization, or the cost model's choice (default)",
     )
     explain.set_defaults(func=cmd_explain)
 

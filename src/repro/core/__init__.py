@@ -22,6 +22,13 @@ from repro.core.semi_join import (
 )
 from repro.core.knn_join import KNearestNeighborJoin
 from repro.core.reverse import ReverseDistanceJoin, ReverseDistanceSemiJoin
+from repro.core.spec import (
+    ADAPTIVE_QUEUE,
+    HYBRID_QUEUE,
+    MEMORY_QUEUE,
+    QUEUE_KINDS,
+    JoinSpec,
+)
 from repro.core.variations import (
     IntersectionJoin,
     IntersectionResult,
@@ -42,6 +49,11 @@ from repro.core.pqueue import (
 from repro.core.pairs import Item, Pair, PairDistance
 
 __all__ = [
+    "JoinSpec",
+    "MEMORY_QUEUE",
+    "HYBRID_QUEUE",
+    "ADAPTIVE_QUEUE",
+    "QUEUE_KINDS",
     "IncrementalDistanceJoin",
     "IncrementalDistanceSemiJoin",
     "ReverseDistanceJoin",

@@ -31,10 +31,9 @@ All of the paper's algorithmic knobs are exposed:
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, NamedTuple, Optional, Tuple
+from typing import Any, List, NamedTuple, Optional, Tuple
 
 from repro.core.estimate import JoinEstimator, make_join_estimator
-from repro.core.heap import PairingHeap
 from repro.core.pairs import (
     NODE,
     OBJ,
@@ -50,26 +49,26 @@ from repro.core.pqueue import (
     MemoryPairQueue,
     PairQueue,
 )
-from repro.core.tiebreak import DEPTH_FIRST, KeyMaker
+from repro.core.spec import (  # noqa: F401  (re-exported for back-compat)
+    ADAPTIVE_QUEUE,
+    BASIC,
+    DIRECT,
+    EVEN,
+    HYBRID_QUEUE,
+    LEAF_MODES,
+    MEMORY_QUEUE,
+    NODE_POLICIES,
+    OBR_MODE,
+    SIMULTANEOUS,
+    JoinSpec,
+)
+from repro.core.tiebreak import KeyMaker
 from repro.errors import JoinError
-from repro.geometry.metrics import EUCLIDEAN, Metric
 from repro.rtree.base import RTreeBase
 from repro.util.counters import CounterRegistry
 from repro.util.obs import NULL_OBSERVER, Observer
-from repro.util.validation import require
 
 _INF = float("inf")
-
-#: Node-processing policies for node/node pairs.
-BASIC = "basic"
-EVEN = "even"
-SIMULTANEOUS = "simultaneous"
-NODE_POLICIES = (BASIC, EVEN, SIMULTANEOUS)
-
-#: Leaf content modes.
-DIRECT = "direct"
-OBR_MODE = "obr"
-LEAF_MODES = (DIRECT, OBR_MODE)
 
 
 class JoinResult(NamedTuple):
@@ -89,34 +88,13 @@ class IncrementalDistanceJoin:
     ----------
     tree1, tree2:
         The spatial indexes of the two joined relations.
-    metric:
-        Point metric inducing all distances (default Euclidean).
-    min_distance, max_distance:
-        Restrict result pairs to this closed distance range.
-    max_pairs:
-        Stop after this many result pairs; also feeds the
-        maximum-distance estimator when ``estimate`` is True.
-    tie_break, node_policy, queue, leaf_mode, descending:
-        Algorithm variants; see the module docstring.
-    queue_dt:
-        The hybrid queue's ``D_T`` (required when ``queue="hybrid"``).
-    heap_class:
-        Heap used inside the queue(s); pairing heap by default.
-    estimate:
-        Enable maximum-distance estimation when ``max_pairs`` is set.
-    aggressive:
-        Use average-occupancy subtree estimates.  May over-prune and
-        transparently restart the query (the paper's caveat).
-    pair_filter:
-        Optional predicate over candidate :class:`Pair` objects; pairs
-        for which it returns False are discarded (the spatial-criterion
-        extension of Section 2.2.5).  Applied before the semi-join's
-        d_max bookkeeping, so filtered pairs contribute no bounds.
-    process_leaves_together:
-        Expand leaf/leaf node pairs simultaneously even under the
-        one-node-at-a-time policies -- the paper's recommendation for
-        structures without leaf-level bounding rectangles
-        (Section 2.2.2), reducing repeated object fetches.
+    spec:
+        A :class:`~repro.core.spec.JoinSpec` holding every algorithm
+        knob.  Individual knobs may still be passed as keyword
+        arguments (the historical constructor surface); keywords
+        override the corresponding spec fields.  The resolved spec is
+        validated once by :meth:`JoinSpec.validate` and kept on
+        ``self.spec``.
     counters:
         Shared performance-counter registry (defaults to a registry
         shared with ``tree1``).
@@ -128,72 +106,61 @@ class IncrementalDistanceJoin:
         node expansion.
     check_consistency:
         Verify the distance-function consistency contract at run time.
+    **knobs:
+        Any :class:`JoinSpec` field -- ``metric``, ``min_distance``,
+        ``max_distance``, ``max_pairs``, ``tie_break``,
+        ``node_policy``, ``queue``, ``queue_dt``, ``heap_class``,
+        ``leaf_mode``, ``descending``, ``estimate``, ``aggressive``,
+        ``pair_filter``, ``process_leaves_together`` -- with the
+        semantics documented there and in the module docstring.
     """
+
+    #: Validation context: the forward semi-join (and k-NN join)
+    #: cannot run descending; see :meth:`JoinSpec.validate`.
+    _spec_semi_join = False
 
     def __init__(
         self,
         tree1: RTreeBase,
         tree2: RTreeBase,
+        spec: Optional[JoinSpec] = None,
         *,
-        metric: Metric = EUCLIDEAN,
-        min_distance: float = 0.0,
-        max_distance: float = _INF,
-        max_pairs: Optional[int] = None,
-        tie_break: str = DEPTH_FIRST,
-        node_policy: str = EVEN,
-        queue: str = "memory",
-        queue_dt: Optional[float] = None,
-        heap_class: type = PairingHeap,
-        leaf_mode: str = DIRECT,
-        descending: bool = False,
-        estimate: bool = True,
-        aggressive: bool = False,
-        pair_filter: Optional[Callable[[Pair], bool]] = None,
-        process_leaves_together: bool = False,
         counters: Optional[CounterRegistry] = None,
         observer: Optional[Observer] = None,
         check_consistency: bool = False,
+        **knobs: Any,
     ) -> None:
-        require(node_policy in NODE_POLICIES,
-                f"node_policy must be one of {NODE_POLICIES}")
-        require(leaf_mode in LEAF_MODES,
-                f"leaf_mode must be one of {LEAF_MODES}")
-        require(min_distance >= 0.0, "min_distance must be non-negative")
-        require(max_distance >= min_distance,
-                "max_distance must be >= min_distance")
-        if max_pairs is not None:
-            require(max_pairs >= 1, "max_pairs must be at least 1")
-        require(queue in ("memory", "hybrid", "adaptive"),
-                'queue must be "memory", "hybrid", or "adaptive"')
-        if queue == "hybrid":
-            require(queue_dt is not None and queue_dt > 0,
-                    'queue="hybrid" requires a positive queue_dt')
+        spec = JoinSpec.coalesce(spec, knobs)
+        spec.validate(semi_join=self._spec_semi_join)
         if tree1.dim != tree2.dim:
             raise JoinError(
                 f"cannot join trees of dimension {tree1.dim} and {tree2.dim}"
             )
 
+        self.spec = spec
         self.tree1 = tree1
         self.tree2 = tree2
-        self.metric = metric
-        self.min_distance = float(min_distance)
-        self.max_distance = float(max_distance)
-        self.max_pairs = max_pairs
-        self.tie_break = tie_break
-        self.node_policy = node_policy
-        self.queue_kind = queue
-        self.queue_dt = queue_dt
-        self.heap_class = heap_class
-        self.leaf_mode = leaf_mode
-        self.descending = descending
-        self.estimate = estimate and not descending
-        self.aggressive = aggressive
-        self.pair_filter = pair_filter
-        self.process_leaves_together = process_leaves_together
+        self.metric = spec.metric
+        self.min_distance = float(spec.min_distance)
+        self.max_distance = float(spec.max_distance)
+        self.max_pairs = spec.max_pairs
+        self.tie_break = spec.tie_break
+        self.node_policy = spec.node_policy
+        self.queue_kind = spec.queue
+        self.queue_dt = spec.queue_dt
+        self.heap_class = spec.heap_class
+        self.leaf_mode = spec.leaf_mode
+        self.descending = spec.descending
+        self.estimate = spec.estimate and not spec.descending
+        self.aggressive = spec.aggressive
+        self.pair_filter = spec.pair_filter
+        self.process_leaves_together = spec.process_leaves_together
+        self.filter_strategy = spec.filter_strategy
+        self.dmax_strategy = spec.dmax_strategy
         self.counters = counters if counters is not None else tree1.counters
         self.obs = observer if observer is not None else NULL_OBSERVER
         self.distance = PairDistance(
-            metric, self.counters, check_consistency=check_consistency
+            spec.metric, self.counters, check_consistency=check_consistency
         )
         # Hot-path counters, cached once (registry lookups add up over
         # hundreds of thousands of candidate pairs).

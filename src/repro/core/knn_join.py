@@ -26,9 +26,10 @@ The paper's pruning machinery generalizes soundly:
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.pairs import NODE, Item, Pair
+from repro.core.spec import JoinSpec
 from repro.core.semi_join import (
     DMAX_GLOBAL_ALL,
     DMAX_GLOBAL_NODES,
@@ -53,6 +54,7 @@ class KNearestNeighborJoin(IncrementalDistanceSemiJoin):
         self,
         tree1: RTreeBase,
         tree2: RTreeBase,
+        spec: Optional[JoinSpec] = None,
         *,
         k: int = 1,
         **kwargs,
@@ -64,7 +66,7 @@ class KNearestNeighborJoin(IncrementalDistanceSemiJoin):
         # Per-first-item k smallest d_max values (max-heap via negation)
         # for the global strategies.
         self._bound_lists: Dict[Tuple, List[float]] = {}
-        super().__init__(tree1, tree2, **kwargs)
+        super().__init__(tree1, tree2, spec, **kwargs)
 
     # ------------------------------------------------------------------
     # state

@@ -16,7 +16,7 @@ import math
 from abc import ABC, abstractmethod
 from typing import Any, Dict, List, Optional, Tuple, Type
 
-from repro.core.heap import BinaryHeap, PairingHeap
+from repro.core.heap import PairingHeap
 from repro.storage.pager import PageStore
 from repro.util.counters import CounterRegistry
 from repro.util.obs import NULL_OBSERVER, Observer

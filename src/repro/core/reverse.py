@@ -17,8 +17,11 @@ the last such pair and is dismissed as extremely inefficient.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.distance_join import IncrementalDistanceJoin
 from repro.core.pairs import NODE, Item, Pair
+from repro.core.spec import JoinSpec
 from repro.rtree.base import RTreeBase
 from repro.util.bitset import Bitset
 
@@ -33,10 +36,17 @@ class ReverseDistanceJoin(IncrementalDistanceJoin):
     the paper).
     """
 
-    def __init__(self, tree1: RTreeBase, tree2: RTreeBase, **kwargs) -> None:
+    def __init__(
+        self,
+        tree1: RTreeBase,
+        tree2: RTreeBase,
+        spec: Optional[JoinSpec] = None,
+        **kwargs,
+    ) -> None:
         kwargs["descending"] = True
-        kwargs.setdefault("estimate", False)
-        super().__init__(tree1, tree2, **kwargs)
+        if spec is None:
+            kwargs.setdefault("estimate", False)
+        super().__init__(tree1, tree2, spec, **kwargs)
 
 
 class ReverseDistanceSemiJoin(ReverseDistanceJoin):
@@ -49,9 +59,15 @@ class ReverseDistanceSemiJoin(ReverseDistanceJoin):
     when popped and when generated.
     """
 
-    def __init__(self, tree1: RTreeBase, tree2: RTreeBase, **kwargs) -> None:
+    def __init__(
+        self,
+        tree1: RTreeBase,
+        tree2: RTreeBase,
+        spec: Optional[JoinSpec] = None,
+        **kwargs,
+    ) -> None:
         self._seen: Bitset = Bitset(0)
-        super().__init__(tree1, tree2, **kwargs)
+        super().__init__(tree1, tree2, spec, **kwargs)
 
     def _init_state(self) -> None:
         self._seen = Bitset(max(1, len(self.tree1)))

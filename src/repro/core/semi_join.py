@@ -38,27 +38,25 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from typing import Optional
+
 from repro.core.distance_join import IncrementalDistanceJoin
 from repro.core.estimate import make_semijoin_estimator
 from repro.core.pairs import NODE, Item, Pair
+from repro.core.spec import (  # noqa: F401  (re-exported for back-compat)
+    DMAX_GLOBAL_ALL,
+    DMAX_GLOBAL_NODES,
+    DMAX_LOCAL,
+    DMAX_NONE,
+    DMAX_STRATEGIES,
+    FILTER_STRATEGIES,
+    INSIDE1,
+    INSIDE2,
+    OUTSIDE,
+    JoinSpec,
+)
 from repro.rtree.base import RTreeBase
 from repro.util.bitset import Bitset
-from repro.util.validation import require
-
-#: Filter-placement strategies.
-OUTSIDE = "outside"
-INSIDE1 = "inside1"
-INSIDE2 = "inside2"
-FILTER_STRATEGIES = (OUTSIDE, INSIDE1, INSIDE2)
-
-#: d_max-exploitation strategies.
-DMAX_NONE = "none"
-DMAX_LOCAL = "local"
-DMAX_GLOBAL_NODES = "global_nodes"
-DMAX_GLOBAL_ALL = "global_all"
-DMAX_STRATEGIES = (
-    DMAX_NONE, DMAX_LOCAL, DMAX_GLOBAL_NODES, DMAX_GLOBAL_ALL
-)
 
 
 class IncrementalDistanceSemiJoin(IncrementalDistanceJoin):
@@ -75,43 +73,26 @@ class IncrementalDistanceSemiJoin(IncrementalDistanceJoin):
         ``"global_all"``.  The paper's d_max strategies all build on
         Inside2 filtering, so any value other than ``"none"`` requires
         ``filter_strategy="inside2"``.
+
+    Both are :class:`~repro.core.spec.JoinSpec` fields, so they may
+    arrive via a spec or as keywords; the combination rules live in
+    :meth:`JoinSpec.validate`, which also rejects ``descending`` here
+    (use :class:`~repro.core.reverse.ReverseDistanceSemiJoin`).
     """
+
+    _spec_semi_join = True
 
     def __init__(
         self,
         tree1: RTreeBase,
         tree2: RTreeBase,
-        *,
-        filter_strategy: str = INSIDE2,
-        dmax_strategy: str = DMAX_LOCAL,
+        spec: Optional[JoinSpec] = None,
         **kwargs,
     ) -> None:
-        require(
-            filter_strategy in FILTER_STRATEGIES,
-            f"filter_strategy must be one of {FILTER_STRATEGIES}",
-        )
-        require(
-            dmax_strategy in DMAX_STRATEGIES,
-            f"dmax_strategy must be one of {DMAX_STRATEGIES}",
-        )
-        if dmax_strategy != DMAX_NONE:
-            require(
-                filter_strategy == INSIDE2,
-                "d_max strategies build on inside2 filtering "
-                "(paper Section 4.2.1)",
-            )
-        self.filter_strategy = filter_strategy
-        self.dmax_strategy = dmax_strategy
         # Set before super().__init__, which calls _init_state().
         self._seen: Bitset = Bitset(0)
         self._bounds: Dict[Tuple, float] = {}
-        if kwargs.get("descending"):
-            raise ValueError(
-                "the reverse distance semi-join reports the *farthest* "
-                "inner object per outer object (paper Section 2.3); use "
-                "ReverseDistanceSemiJoin explicitly"
-            )
-        super().__init__(tree1, tree2, **kwargs)
+        super().__init__(tree1, tree2, spec, **kwargs)
         self._c_pruned_seen = self.counters.counter("pruned_seen")
         self._c_pruned_dmax = self.counters.counter("pruned_dmax")
 

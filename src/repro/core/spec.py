@@ -1,0 +1,186 @@
+"""The declarative join configuration: one spec, one validation.
+
+The paper's algorithm family is a single engine with many knobs --
+traversal tie-break (Section 2.2.2), node-expansion policy, distance
+range (Section 2.2.3), maximum-pair estimation (Section 2.2.4), queue
+tier (Section 3.2), leaf handling, direction.  :class:`JoinSpec`
+captures every knob as a frozen, picklable dataclass so the same value
+can configure a sequential operator, travel inside a parallel
+worker task, define a benchmark case, or annotate a query plan node.
+
+:meth:`JoinSpec.validate` is the *single* validation point for the
+knob combinations; the operator constructors no longer duplicate
+``require(...)`` blocks.  Contexts that restrict the space further
+(the forward semi-join cannot run descending; parallel workers only
+support the in-memory queue) pass flags instead of re-implementing
+checks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional
+
+from repro.core.heap import PairingHeap
+from repro.core.tiebreak import DEPTH_FIRST, POLICIES as TIE_BREAKS
+from repro.geometry.metrics import EUCLIDEAN, Metric
+from repro.util.validation import require
+
+_INF = float("inf")
+
+#: Node-processing policies for node/node pairs (Section 2.2.2).
+BASIC = "basic"
+EVEN = "even"
+SIMULTANEOUS = "simultaneous"
+NODE_POLICIES = (BASIC, EVEN, SIMULTANEOUS)
+
+#: Leaf content modes.
+DIRECT = "direct"
+OBR_MODE = "obr"
+LEAF_MODES = (DIRECT, OBR_MODE)
+
+#: Priority-queue tiers (Section 3.2).
+MEMORY_QUEUE = "memory"
+HYBRID_QUEUE = "hybrid"
+ADAPTIVE_QUEUE = "adaptive"
+QUEUE_KINDS = (MEMORY_QUEUE, HYBRID_QUEUE, ADAPTIVE_QUEUE)
+
+#: Semi-join filter-placement strategies (Section 4.2).
+OUTSIDE = "outside"
+INSIDE1 = "inside1"
+INSIDE2 = "inside2"
+FILTER_STRATEGIES = (OUTSIDE, INSIDE1, INSIDE2)
+
+#: Semi-join d_max-exploitation strategies (Section 4.2).
+DMAX_NONE = "none"
+DMAX_LOCAL = "local"
+DMAX_GLOBAL_NODES = "global_nodes"
+DMAX_GLOBAL_ALL = "global_all"
+DMAX_STRATEGIES = (
+    DMAX_NONE, DMAX_LOCAL, DMAX_GLOBAL_NODES, DMAX_GLOBAL_ALL
+)
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """Every variant knob of the incremental distance join family.
+
+    Field names match the keyword arguments the operators have always
+    accepted, so ``JoinSpec(**kwargs)`` and the keyword constructors
+    describe the same configuration.  Instances are immutable (derive
+    variants with :meth:`evolve`) and picklable whenever their
+    ``pair_filter`` and ``heap_class`` are, which is what lets the
+    parallel engine ship one spec to every worker.
+
+    ``filter_strategy`` and ``dmax_strategy`` only take effect in the
+    semi-join/k-NN operators; they are carried here so a single spec
+    describes any operator in the family.
+    """
+
+    metric: Metric = EUCLIDEAN
+    min_distance: float = 0.0
+    max_distance: float = _INF
+    max_pairs: Optional[int] = None
+    tie_break: str = DEPTH_FIRST
+    node_policy: str = EVEN
+    queue: str = MEMORY_QUEUE
+    queue_dt: Optional[float] = None
+    heap_class: type = PairingHeap
+    leaf_mode: str = DIRECT
+    descending: bool = False
+    estimate: bool = True
+    aggressive: bool = False
+    pair_filter: Optional[Callable[..., bool]] = None
+    process_leaves_together: bool = False
+    filter_strategy: str = INSIDE2
+    dmax_strategy: str = DMAX_LOCAL
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def coalesce(
+        cls,
+        spec: Optional["JoinSpec"],
+        knobs: Mapping[str, Any],
+    ) -> "JoinSpec":
+        """Resolve the ``(spec, **kwargs)`` constructor convention.
+
+        No spec: the knobs alone define one (the keyword back-compat
+        path).  Spec plus knobs: the knobs override individual fields.
+        Unknown knob names raise ``TypeError``, exactly like an
+        unexpected keyword argument.
+        """
+        if spec is None:
+            return cls(**knobs)
+        if knobs:
+            return dataclasses.replace(spec, **knobs)
+        return spec
+
+    def evolve(self, **changes: Any) -> "JoinSpec":
+        """A copy with ``changes`` applied (frozen-dataclass update)."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # the single validation point
+    # ------------------------------------------------------------------
+
+    def validate(
+        self,
+        *,
+        semi_join: bool = False,
+        parallel: bool = False,
+    ) -> "JoinSpec":
+        """Check knob values and combinations; returns ``self``.
+
+        ``semi_join``
+            The spec configures a *forward* distance semi-join (or
+            k-NN join), which cannot run descending.
+        ``parallel``
+            The spec configures the partitioned parallel engine, whose
+            watermark merge is a min-merge (no ``descending``) and
+            whose per-tile worker queues are always in-memory (no
+            ``queue`` tier choice).
+        """
+        require(self.node_policy in NODE_POLICIES,
+                f"node_policy must be one of {NODE_POLICIES}")
+        require(self.tie_break in TIE_BREAKS,
+                f"tie_break must be one of {TIE_BREAKS}")
+        require(self.leaf_mode in LEAF_MODES,
+                f"leaf_mode must be one of {LEAF_MODES}")
+        require(self.min_distance >= 0.0,
+                "min_distance must be non-negative")
+        require(self.max_distance >= self.min_distance,
+                "max_distance must be >= min_distance")
+        if self.max_pairs is not None:
+            require(self.max_pairs >= 1, "max_pairs must be at least 1")
+        require(self.queue in QUEUE_KINDS,
+                'queue must be "memory", "hybrid", or "adaptive"')
+        if self.queue == HYBRID_QUEUE:
+            require(self.queue_dt is not None and self.queue_dt > 0,
+                    'queue="hybrid" requires a positive queue_dt')
+        require(self.filter_strategy in FILTER_STRATEGIES,
+                f"filter_strategy must be one of {FILTER_STRATEGIES}")
+        require(self.dmax_strategy in DMAX_STRATEGIES,
+                f"dmax_strategy must be one of {DMAX_STRATEGIES}")
+        if self.dmax_strategy != DMAX_NONE:
+            require(self.filter_strategy == INSIDE2,
+                    "d_max strategies build on inside2 filtering "
+                    "(paper Section 4.2.1)")
+        if semi_join and self.descending:
+            raise ValueError(
+                "the reverse distance semi-join reports the *farthest* "
+                "inner object per outer object (paper Section 2.3); use "
+                "ReverseDistanceSemiJoin explicitly"
+            )
+        if parallel:
+            require(not self.descending,
+                    "the parallel join's watermark merge is a min-merge; "
+                    "descending (farthest-first) is not supported")
+            require(self.queue == MEMORY_QUEUE,
+                    "parallel workers always use the in-memory queue; "
+                    'a queue tier cannot be requested (got '
+                    f'queue={self.queue!r})')
+        return self

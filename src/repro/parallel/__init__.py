@@ -51,6 +51,7 @@ __all__ = [
     "PROCESS",
     "SERIAL",
     "STR",
+    "THREAD",
     "GridPartitioner",
     "JoinSpec",
     "OrderedStreamMerge",

@@ -31,22 +31,9 @@ import os
 import pickle
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.core.distance_join import (
-    EVEN,
-    LEAF_MODES,
-    NODE_POLICIES,
-    JoinResult,
-)
-from repro.core.pairs import Pair
-from repro.core.semi_join import (
-    DMAX_LOCAL,
-    DMAX_STRATEGIES,
-    FILTER_STRATEGIES,
-    INSIDE2,
-)
-from repro.core.tiebreak import DEPTH_FIRST
+from repro.core.distance_join import JoinResult
+from repro.core.spec import JoinSpec
 from repro.errors import JoinError
-from repro.geometry.metrics import EUCLIDEAN, Metric
 from repro.parallel.executor import (
     BACKENDS,
     DEFAULT_BATCH_SIZE,
@@ -58,14 +45,11 @@ from repro.parallel.executor import (
 )
 from repro.parallel.merge import OrderedStreamMerge
 from repro.parallel.partition import GRID, make_partitioner
-from repro.parallel.plan import JoinSpec, TileJoinTask
-from repro.rtree.base import RTreeBase
+from repro.parallel.plan import TileJoinTask
+from repro.rtree.base import DEFAULT_MAX_ENTRIES, RTreeBase
 from repro.util.counters import CounterRegistry, CounterSnapshot
 from repro.util.obs import ObsSnapshot, Observer
 from repro.util.validation import require
-
-_INF = float("inf")
-
 
 def default_workers() -> int:
     """Worker count used when the caller does not choose one."""
@@ -97,11 +81,20 @@ class ParallelDistanceJoin:
     timeout:
         Seconds to wait for any single worker batch before raising
         :class:`~repro.errors.JoinError` (None = wait forever).
-    metric, min_distance, max_distance, max_pairs, tie_break,
-    node_policy, leaf_mode, estimate, aggressive, pair_filter,
-    process_leaves_together, counters:
-        As in the sequential join; applied inside every worker task
-        (``counters`` aggregates all workers' registries).
+    spec / **knobs:
+        A :class:`~repro.core.spec.JoinSpec` (or its fields as
+        keywords -- ``metric``, ``min_distance``, ``max_distance``,
+        ``max_pairs``, ``tie_break``, ``node_policy``, ``leaf_mode``,
+        ``estimate``, ``aggressive``, ``pair_filter``,
+        ``process_leaves_together``, ``filter_strategy``,
+        ``dmax_strategy``), applied inside every worker task.
+        Validated with ``JoinSpec.validate(parallel=True)``, which
+        *explicitly* rejects the combinations the engine cannot honour
+        (``descending``, a non-memory ``queue`` tier) instead of
+        silently ignoring them.
+    counters:
+        As in the sequential join (aggregates all workers'
+        registries).
     observer:
         Stage-timing sink (:class:`~repro.util.obs.Observer`).  Unlike
         the sequential join, the default is a private *enabled*
@@ -116,6 +109,7 @@ class ParallelDistanceJoin:
         self,
         tree1: RTreeBase,
         tree2: RTreeBase,
+        spec: Optional[JoinSpec] = None,
         *,
         workers: Optional[int] = None,
         backend: str = "auto",
@@ -123,51 +117,29 @@ class ParallelDistanceJoin:
         partition_method: str = GRID,
         batch_size: int = DEFAULT_BATCH_SIZE,
         timeout: Optional[float] = None,
-        metric: Metric = EUCLIDEAN,
-        min_distance: float = 0.0,
-        max_distance: float = _INF,
-        max_pairs: Optional[int] = None,
-        tie_break: str = DEPTH_FIRST,
-        node_policy: str = EVEN,
-        leaf_mode: str = "direct",
-        estimate: bool = True,
-        aggressive: bool = False,
-        pair_filter: Optional[Callable[[Pair], bool]] = None,
-        process_leaves_together: bool = False,
         counters: Optional[CounterRegistry] = None,
         observer: Optional[Observer] = None,
-        filter_strategy: str = INSIDE2,
-        dmax_strategy: str = DMAX_LOCAL,
+        **knobs: Any,
     ) -> None:
         if tree1.dim != tree2.dim:
             raise JoinError(
                 f"cannot join trees of dimension {tree1.dim} and "
                 f"{tree2.dim}"
             )
+        spec = JoinSpec.coalesce(spec, knobs)
+        spec.validate(parallel=True)
         if workers is None:
             workers = default_workers()
         require(workers >= 1, "workers must be at least 1")
         require(batch_size >= 1, "batch_size must be at least 1")
-        require(node_policy in NODE_POLICIES,
-                f"node_policy must be one of {NODE_POLICIES}")
-        require(leaf_mode in LEAF_MODES,
-                f"leaf_mode must be one of {LEAF_MODES}")
-        require(min_distance >= 0.0, "min_distance must be non-negative")
-        require(max_distance >= min_distance,
-                "max_distance must be >= min_distance")
-        if max_pairs is not None:
-            require(max_pairs >= 1, "max_pairs must be at least 1")
         require(backend in BACKENDS + ("auto",),
                 f'backend must be one of {BACKENDS + ("auto",)}')
-        require(filter_strategy in FILTER_STRATEGIES,
-                f"filter_strategy must be one of {FILTER_STRATEGIES}")
-        require(dmax_strategy in DMAX_STRATEGIES,
-                f"dmax_strategy must be one of {DMAX_STRATEGIES}")
 
+        self.spec = spec
         self.tree1 = tree1
         self.tree2 = tree2
         self.workers = workers
-        self.max_pairs = max_pairs
+        self.max_pairs = spec.max_pairs
         self.batch_size = batch_size
         self.timeout = timeout
         self.partitions = partitions if partitions is not None else workers
@@ -176,27 +148,15 @@ class ParallelDistanceJoin:
         self.obs = observer if observer is not None else Observer(
             max_events=0
         )
-        self.backend = self._resolve_backend(backend, pair_filter)
+        self.backend = self._resolve_backend(backend, spec.pair_filter)
 
-        spec = JoinSpec(
-            metric=metric,
-            min_distance=float(min_distance),
-            max_distance=float(max_distance),
-            max_pairs=None if self._semi_join else max_pairs,
-            tie_break=tie_break,
-            node_policy=node_policy,
-            leaf_mode=leaf_mode,
-            estimate=estimate,
-            aggressive=aggressive,
-            process_leaves_together=process_leaves_together,
-            semi_join=self._semi_join,
-            filter_strategy=filter_strategy,
-            dmax_strategy=dmax_strategy,
-            max_entries=max(tree1.max_entries, tree2.max_entries),
-            pair_filter=pair_filter,
+        # Semi-join worker streams must stay uncapped: duplicate outer
+        # objects are discarded only after the merge.
+        worker_spec = (
+            spec.evolve(max_pairs=None) if self._semi_join else spec
         )
         with self.obs.span("parallel.partition"):
-            self.tasks: List[TileJoinTask] = self._plan_tasks(spec)
+            self.tasks: List[TileJoinTask] = self._plan_tasks(worker_spec)
         self.counters.add("parallel_tasks", len(self.tasks))
         self.counters.observe("parallel_partitions", self.partitions)
 
@@ -234,6 +194,10 @@ class ParallelDistanceJoin:
         )
         groups1 = partitioner.assign(self.tree1.items())
         groups2 = partitioner.assign(self.tree2.items())
+        max_entries = max(
+            getattr(self.tree1, "max_entries", DEFAULT_MAX_ENTRIES),
+            getattr(self.tree2, "max_entries", DEFAULT_MAX_ENTRIES),
+        )
         tasks: List[TileJoinTask] = []
         for index1 in sorted(groups1):
             for index2 in sorted(groups2):
@@ -244,6 +208,8 @@ class ParallelDistanceJoin:
                     objects1=groups1[index1],
                     objects2=groups2[index2],
                     spec=spec,
+                    semi_join=self._semi_join,
+                    max_entries=max_entries,
                 ))
         return tasks
 

@@ -1,10 +1,15 @@
 """Per-tile join tasks: the unit of work shipped to a worker.
 
 A :class:`TileJoinTask` is a picklable description of one tile-pair
-join: the two tiles' object lists plus a :class:`JoinSpec` of strategy
-knobs.  Workers rebuild two small R*-trees from the object lists (STR
-bulk load, the same build path as the benchmark harness) and run the
-ordinary sequential :class:`IncrementalDistanceJoin` or
+join: the two tiles' object lists plus the *unified*
+:class:`repro.core.spec.JoinSpec` of strategy knobs -- the same spec
+type that configures the sequential operators, so the parallel engine
+ships exactly the configuration it was given (validated once, by
+``JoinSpec.validate(parallel=True)``, rather than silently dropping
+unsupported knobs).  Workers rebuild two small R*-trees from the
+object lists (STR bulk load, the same build path as the benchmark
+harness) and run the ordinary sequential
+:class:`IncrementalDistanceJoin` or
 :class:`IncrementalDistanceSemiJoin` over them -- the parallel engine
 reuses the paper's algorithm unchanged inside each partition pair.
 
@@ -17,69 +22,41 @@ the same way: it always observes original object ids.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.core.distance_join import (
-    EVEN,
     IncrementalDistanceJoin,
     JoinResult,
 )
 from repro.core.pairs import NODE, Item, Pair
-from repro.core.semi_join import (
-    DMAX_LOCAL,
-    INSIDE2,
-    IncrementalDistanceSemiJoin,
-)
-from repro.core.tiebreak import DEPTH_FIRST
-from repro.geometry.metrics import EUCLIDEAN, Metric
+from repro.core.semi_join import IncrementalDistanceSemiJoin
+from repro.core.spec import JoinSpec
 from repro.parallel.partition import TaskObject, Tile
 from repro.rtree.base import DEFAULT_MAX_ENTRIES
 from repro.rtree.bulk import bulk_load_str
 from repro.util.counters import CounterRegistry
 
-_INF = float("inf")
+__all__ = ["JoinSpec", "TileJoinTask"]
 
 
 @dataclass
-class JoinSpec:
-    """Strategy knobs applied inside every worker join.
+class TileJoinTask:
+    """One partition-pair join, fully described and picklable.
 
-    Mirrors the sequential join's parameters (see
-    :class:`repro.core.distance_join.IncrementalDistanceJoin`); the
-    worker queue is always the in-memory pairing-heap queue -- per-tile
-    queues are small, so the hybrid disk queue would only add overhead.
+    ``spec`` carries the join knobs; ``semi_join`` selects the worker
+    operator and ``max_entries`` the fanout of the per-tile trees
+    (engine concerns, so they live on the task, not the spec).
 
-    ``max_pairs`` bounds each worker stream.  For the plain join the
-    parent's ``stop after K`` bound is safe per stream: the global
+    ``spec.max_pairs`` bounds each worker stream.  For the plain join
+    the parent's ``stop after K`` bound is safe per stream: the global
     K-smallest results can never include more than K elements of any
     one ordered stream, so capping (and with it the paper's
     maximum-distance estimation) applies per tile pair -- except that
     the stream must finish the equal-distance group containing its
     K-th result (see :func:`_soft_capped`).  For the semi-join the
-    parent discards duplicate outer objects *after* merging, so worker
-    streams must stay uncapped (``None``).
+    parent discards duplicate outer objects *after* merging, so the
+    parent hands workers a spec with ``max_pairs=None``.
     """
-
-    metric: Metric = EUCLIDEAN
-    min_distance: float = 0.0
-    max_distance: float = _INF
-    max_pairs: Optional[int] = None
-    tie_break: str = DEPTH_FIRST
-    node_policy: str = EVEN
-    leaf_mode: str = "direct"
-    estimate: bool = True
-    aggressive: bool = False
-    process_leaves_together: bool = False
-    semi_join: bool = False
-    filter_strategy: str = INSIDE2
-    dmax_strategy: str = DMAX_LOCAL
-    max_entries: int = DEFAULT_MAX_ENTRIES
-    pair_filter: Optional[Callable[[Pair], bool]] = None
-
-
-@dataclass
-class TileJoinTask:
-    """One partition-pair join, fully described and picklable."""
 
     task_id: int
     tile1: Tile
@@ -87,6 +64,8 @@ class TileJoinTask:
     objects1: List[TaskObject]
     objects2: List[TaskObject]
     spec: JoinSpec = field(default_factory=JoinSpec)
+    semi_join: bool = False
+    max_entries: int = DEFAULT_MAX_ENTRIES
 
     def build_join(
         self, counters: Optional[CounterRegistry] = None
@@ -99,36 +78,22 @@ class TileJoinTask:
         """
         spec = self.spec
         counters = counters if counters is not None else CounterRegistry()
-        tree1 = _build_tile_tree(self.objects1, spec.max_entries, counters)
-        tree2 = _build_tile_tree(self.objects2, spec.max_entries, counters)
-        kwargs: dict = dict(
-            metric=spec.metric,
-            min_distance=spec.min_distance,
-            max_distance=spec.max_distance,
-            max_pairs=spec.max_pairs,
-            tie_break=spec.tie_break,
-            node_policy=spec.node_policy,
-            leaf_mode=spec.leaf_mode,
-            estimate=spec.estimate,
-            aggressive=spec.aggressive,
-            process_leaves_together=spec.process_leaves_together,
-            counters=counters,
-        )
+        tree1 = _build_tile_tree(self.objects1, self.max_entries, counters)
+        tree2 = _build_tile_tree(self.objects2, self.max_entries, counters)
         if spec.pair_filter is not None:
-            kwargs["pair_filter"] = _translated_filter(
+            spec = spec.evolve(pair_filter=_translated_filter(
                 spec.pair_filter, self.objects1, self.objects2
-            )
-        if spec.semi_join:
+            ))
+        if self.semi_join:
             join: IncrementalDistanceJoin = IncrementalDistanceSemiJoin(
-                tree1, tree2,
-                filter_strategy=spec.filter_strategy,
-                dmax_strategy=spec.dmax_strategy,
-                **kwargs,
+                tree1, tree2, spec, counters=counters,
             )
         else:
-            join = IncrementalDistanceJoin(tree1, tree2, **kwargs)
+            join = IncrementalDistanceJoin(
+                tree1, tree2, spec, counters=counters,
+            )
         stream: Iterator[JoinResult] = join
-        if spec.max_pairs is not None and not spec.semi_join:
+        if spec.max_pairs is not None and not self.semi_join:
             stream = _soft_capped(join, spec.max_pairs)
         return stream, self.objects1, self.objects2
 

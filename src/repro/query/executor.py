@@ -1,30 +1,23 @@
-"""Executor: plans parsed queries onto the incremental join iterators.
+"""The database facade: catalog plus query entry points.
 
 The executor is intentionally a *pipeline*: :meth:`Database.execute`
-returns a generator backed directly by an incremental join, so a
+returns a row iterator backed directly by an incremental join, so a
 consumer that stops early (or a ``STOP AFTER n`` clause) costs only the
 incremental work -- the property the paper's algorithms exist to
 provide.
 
-Attribute predicates (``WHERE cities.pop > 5000000``) implement the
-paper's Sections 1 and 5 discussion, including its two query plans:
-
-1. **pipeline** -- run the incremental join on the full indexes and
-   filter candidate pairs as they flow (via the join's ``pair_filter``
-   hook, so non-qualifying objects never even enter the queue);
-2. **prefilter** -- materialize the qualifying subset of a relation,
-   build a temporary index over it, and join that (the paper: best
-   when the predicate is highly selective, at the price of an index
-   build before the first result).
-
-``strategy="auto"`` (the default) prices both plans with the
-Section 5 cost model and picks the cheaper one; ``EXPLAIN`` shows the
-choice and both estimates.
+Planning lives in two sibling modules: :mod:`repro.query.logical`
+normalizes the parsed query into a logical operator tree, and
+:mod:`repro.query.physical` lowers it into an executable physical
+plan (including the Section 5 pipeline-vs-prefilter cost rule for
+attribute predicates).  ``execute``, ``EXPLAIN`` and ``EXPLAIN
+ANALYZE`` all walk that same physical plan tree: EXPLAIN renders it
+without opening it, execution opens it and streams rows, and EXPLAIN
+ANALYZE does both and annotates the plan with measurements.
 """
 
 from __future__ import annotations
 
-import math
 import time
 from typing import (
     Any,
@@ -40,19 +33,22 @@ from typing import (
 )
 
 from repro.core.distance_join import IncrementalDistanceJoin
-from repro.core.pairs import NODE, Pair
-from repro.core.reverse import ReverseDistanceJoin, ReverseDistanceSemiJoin
-from repro.core.semi_join import IncrementalDistanceSemiJoin
 from repro.errors import QueryError
 from repro.geometry.metrics import EUCLIDEAN, Metric
 from repro.geometry.point import Point
-from repro.parallel.join import (
-    ParallelDistanceJoin,
-    ParallelDistanceSemiJoin,
-)
+from repro.geometry.rectangle import Rect
+from repro.parallel.join import ParallelDistanceJoin
+from repro.quadtree.prquadtree import PRQuadtree
 from repro.query.ast_nodes import Query
-from repro.query.costmodel import JoinCostModel, estimate_build_cost
 from repro.query.parser import parse
+from repro.query.physical import (  # noqa: F401  (re-exported)
+    STRATEGIES,
+    PhysicalPlan,
+    PlanExplanation,
+    Row,
+    build_physical_plan,
+    materialize_filtered,
+)
 from repro.rtree.base import RTreeBase
 from repro.rtree.bulk import bulk_load_str
 from repro.rtree.rstar import RStarTree
@@ -62,74 +58,7 @@ from repro.util.validation import require
 
 _INF = float("inf")
 
-STRATEGIES = ("auto", "pipeline", "prefilter")
-
-
-class Row(NamedTuple):
-    """One output tuple of a distance (semi-)join query."""
-
-    d: float
-    oid1: int
-    geom1: Any
-    oid2: int
-    geom2: Any
-
-
-class PlanExplanation(NamedTuple):
-    """Output of :meth:`Database.explain`."""
-
-    operator: str
-    strategy: str
-    relation1: str
-    relation2: str
-    outer_size: int
-    inner_size: int
-    min_distance: float
-    max_distance: float
-    stop_after: Optional[int]
-    selectivity1: float
-    selectivity2: float
-    estimated_result_pairs: float
-    estimated_node_io: float
-    estimated_dist_calcs: float
-    estimated_cost: float
-    pipeline_cost: float
-    prefilter_cost: float
-    parallel: Optional[int] = None
-
-    def pretty(self) -> str:
-        """A human-readable plan description."""
-        bound = (
-            f"STOP AFTER {self.stop_after}"
-            if self.stop_after is not None else "unbounded"
-        )
-        lines = [
-            f"{self.operator}({self.relation1}[{self.outer_size:,}], "
-            f"{self.relation2}[{self.inner_size:,}])",
-            f"  strategy: {self.strategy}",
-            f"  distance range: [{self.min_distance:g}, "
-            f"{self.max_distance:g}], {bound}",
-        ]
-        if self.parallel is not None:
-            lines.append(f"  parallel workers: {self.parallel}")
-        if self.selectivity1 < 1.0 or self.selectivity2 < 1.0:
-            lines.append(
-                f"  predicate selectivity: "
-                f"{self.relation1}={self.selectivity1:.3f}, "
-                f"{self.relation2}={self.selectivity2:.3f}"
-            )
-            lines.append(
-                f"  plan costs: pipeline={self.pipeline_cost:,.0f}, "
-                f"prefilter={self.prefilter_cost:,.0f}"
-            )
-        lines += [
-            f"  est. result pairs: {self.estimated_result_pairs:,.0f}",
-            f"  est. node I/O:     {self.estimated_node_io:,.0f}",
-            f"  est. dist. calcs:  {self.estimated_dist_calcs:,.0f}",
-            f"  est. cost:         {self.estimated_cost:,.0f}",
-        ]
-        return "\n".join(lines)
-
+INDEX_KINDS = ("rtree", "quadtree")
 
 #: Display order of the parallel pipeline stages in EXPLAIN ANALYZE.
 _STAGE_ORDER = ("partition", "worker_build", "worker_join", "merge")
@@ -202,7 +131,7 @@ class AnalyzedPlan(NamedTuple):
 
 
 class Database:
-    """A tiny spatial database: named relations over R*-trees.
+    """A tiny spatial database: named relations over spatial indexes.
 
     Parameters
     ----------
@@ -220,7 +149,7 @@ class Database:
     ) -> None:
         self.metric = metric
         self.counters = counters if counters is not None else CounterRegistry()
-        self._relations: Dict[str, RTreeBase] = {}
+        self._relations: Dict[str, Any] = {}
         self._attributes: Dict[str, Dict[str, List[float]]] = {}
 
     # ------------------------------------------------------------------
@@ -230,23 +159,33 @@ class Database:
     def create_relation(
         self,
         name: str,
-        data: Union[RTreeBase, Sequence[Any]],
+        data: Union[RTreeBase, PRQuadtree, Sequence[Any]],
         bulk: bool = True,
         attributes: Optional[Dict[str, Sequence[float]]] = None,
+        index: str = "rtree",
         **tree_kwargs: Any,
-    ) -> RTreeBase:
+    ) -> Any:
         """Register a relation.
 
-        ``data`` is either an existing R-tree or a sequence of spatial
-        objects (Points, Rects, shapes), which is indexed here --
-        bulk-loaded by default, by repeated insertion with
-        ``bulk=False``.  ``attributes`` maps attribute names to value
-        sequences aligned with the objects' ids (insertion order).
+        ``data`` is either an existing spatial index (anything
+        speaking the join substrate protocol, e.g. an R-tree or a
+        :class:`~repro.quadtree.prquadtree.PRQuadtree`) or a sequence
+        of spatial objects, which is indexed here.  ``index`` selects
+        the index built over a plain sequence: ``"rtree"`` (the
+        default; bulk-loaded unless ``bulk=False``) or ``"quadtree"``
+        (a PR quadtree -- point data only; pass ``bounds=`` to fix the
+        universe, otherwise the data's padded bounding box is used).
+        ``attributes`` maps attribute names to value sequences aligned
+        with the objects' ids (insertion order).
         """
+        require(index in INDEX_KINDS,
+                f"index must be one of {INDEX_KINDS}")
         if name in self._relations:
             raise QueryError(f"relation {name!r} already exists")
-        if isinstance(data, RTreeBase):
+        if isinstance(data, RTreeBase) or hasattr(data, "read_node"):
             tree = data
+        elif index == "quadtree":
+            tree = self._build_quadtree(list(data), **tree_kwargs)
         elif bulk:
             tree_kwargs.setdefault("counters", self.counters)
             tree = bulk_load_str(list(data), **tree_kwargs)
@@ -274,6 +213,40 @@ class Database:
         self._relations[name] = tree
         return tree
 
+    def _build_quadtree(
+        self, objects: List[Any], **tree_kwargs: Any
+    ) -> PRQuadtree:
+        """Index a point sequence with a PR quadtree."""
+        points = []
+        for obj in objects:
+            if not isinstance(obj, Point):
+                raise QueryError(
+                    "index='quadtree' requires Point data "
+                    f"(got {type(obj).__name__})"
+                )
+            points.append(obj)
+        bounds = tree_kwargs.pop("bounds", None)
+        if bounds is None:
+            if points:
+                tight = Rect.from_points(points)
+                # Pad the universe so boundary points (and the
+                # half-open quadrant splits) stay strictly inside.
+                pad = [
+                    max(1e-9, 0.01 * (hi - lo)) if hi > lo else 1.0
+                    for lo, hi in zip(tight.lo, tight.hi)
+                ]
+                bounds = Rect(
+                    [lo - p for lo, p in zip(tight.lo, pad)],
+                    [hi + p for hi, p in zip(tight.hi, pad)],
+                )
+            else:
+                bounds = Rect((0.0, 0.0), (1.0, 1.0))
+        tree_kwargs.setdefault("counters", self.counters)
+        tree = PRQuadtree(bounds, **tree_kwargs)
+        for point in points:
+            tree.insert(point)
+        return tree
+
     def drop_relation(self, name: str) -> None:
         """Remove a relation from the catalog."""
         if name not in self._relations:
@@ -281,7 +254,7 @@ class Database:
         del self._relations[name]
         self._attributes.pop(name, None)
 
-    def relation(self, name: str) -> RTreeBase:
+    def relation(self, name: str) -> Any:
         """Look up a relation's index."""
         tree = self._relations.get(name)
         if tree is None:
@@ -301,194 +274,29 @@ class Database:
             )
         return values
 
-    # ------------------------------------------------------------------
-    # predicate machinery
-    # ------------------------------------------------------------------
-
-    def _matcher(
-        self, query: Query, relation: str
-    ) -> Tuple[Optional[Callable[[int], bool]], float]:
-        """An oid predicate and its selectivity for one relation."""
-        predicates = [
-            p for p in query.attribute_predicates
-            if p.relation == relation
-        ]
-        if not predicates:
-            return None, 1.0
-        columns = [
-            (self.attribute(relation, p.attribute), p)
-            for p in predicates
-        ]
-
-        def matches(oid: int) -> bool:
-            return all(p.matches(col[oid]) for col, p in columns)
-
-        size = len(self.relation(relation))
-        selectivity = (
-            sum(1 for oid in range(size) if matches(oid)) / size
-            if size else 1.0
-        )
-        return matches, selectivity
-
-    def _pair_filter(
-        self,
-        match1: Optional[Callable[[int], bool]],
-        match2: Optional[Callable[[int], bool]],
-    ) -> Optional[Callable[[Pair], bool]]:
-        if match1 is None and match2 is None:
-            return None
-
-        def keep(pair: Pair) -> bool:
-            if (
-                match1 is not None
-                and pair.item1.kind != NODE
-                and not match1(pair.item1.oid)
-            ):
-                return False
-            if (
-                match2 is not None
-                and pair.item2.kind != NODE
-                and not match2(pair.item2.oid)
-            ):
-                return False
-            return True
-
-        return keep
-
     @staticmethod
     def _filtered_tree(
-        tree: RTreeBase, matches: Callable[[int], bool]
-    ) -> Tuple[RTreeBase, List[int]]:
-        """Materialize the qualifying subset into a temporary index;
-        returns the tree and the new-oid -> original-oid mapping."""
-        kept = sorted(
-            (entry.oid, entry.obj if entry.obj is not None else entry.rect)
-            for entry in tree.items()
-            if matches(entry.oid)
-        )
-        mapping = [oid for oid, __ in kept]
-        objects = [obj for __, obj in kept]
-        sub_tree = bulk_load_str(
-            objects, max_entries=tree.max_entries, dim=tree.dim,
-            counters=tree.counters,
-        )
-        return sub_tree, mapping
+        tree: Any, matches: Callable[[int], bool]
+    ) -> Tuple[Any, List[int]]:
+        """Back-compat alias of
+        :func:`repro.query.physical.materialize_filtered`."""
+        return materialize_filtered(tree, matches)
 
     # ------------------------------------------------------------------
     # planning
     # ------------------------------------------------------------------
 
-    def _choose_strategy(
+    def physical_plan(
         self,
-        query: Query,
-        tree1: RTreeBase,
-        tree2: RTreeBase,
-        selectivity1: float,
-        selectivity2: float,
-    ) -> Tuple[str, float, float]:
-        """Price the two Section 5 plans; returns (choice, cost_pipe,
-        cost_prefilter)."""
-        __, dmax = query.distance_bounds()
-        model = JoinCostModel(tree1, tree2)
-        pair_selectivity = selectivity1 * selectivity2
-        # Pipeline: the join must surface enough raw pairs that the
-        # qualifying subset reaches the requested count.
-        raw_pairs = None
-        if query.stop_after is not None and pair_selectivity > 0:
-            raw_pairs = int(
-                math.ceil(query.stop_after / pair_selectivity)
-            )
-        pipeline = model.estimate(
-            max_distance=dmax,
-            max_pairs=raw_pairs,
-            semi_join=query.is_semi_join,
-        ).total_cost()
-        # Prefilter: pay the index builds, then join the small inputs.
-        scaled = model.scaled(selectivity1, selectivity2)
-        build = 0.0
-        if selectivity1 < 1.0:
-            build += estimate_build_cost(
-                int(len(tree1) * selectivity1), tree1.max_entries
-            )
-        if selectivity2 < 1.0:
-            build += estimate_build_cost(
-                int(len(tree2) * selectivity2), tree2.max_entries
-            )
-        prefilter = build + scaled.estimate(
-            max_distance=dmax,
-            max_pairs=query.stop_after,
-            semi_join=query.is_semi_join,
-        ).total_cost()
-        choice = "prefilter" if prefilter < pipeline else "pipeline"
-        return choice, pipeline, prefilter
-
-    def _operator(self, query: Query) -> type:
-        if query.parallel is not None:
-            if query.descending:
-                raise QueryError(
-                    "PARALLEL does not support ORDER BY ... DESC "
-                    "(the parallel merge is nearest-first)"
-                )
-            return (
-                ParallelDistanceSemiJoin if query.is_semi_join
-                else ParallelDistanceJoin
-            )
-        if query.is_semi_join:
-            return (
-                ReverseDistanceSemiJoin if query.descending
-                else IncrementalDistanceSemiJoin
-            )
-        return (
-            ReverseDistanceJoin if query.descending
-            else IncrementalDistanceJoin
+        query: Union[str, Query],
+        strategy: str = "auto",
+        **join_kwargs: Any,
+    ) -> PhysicalPlan:
+        """Lower a query into its physical plan without opening it."""
+        parsed = parse(query) if isinstance(query, str) else query
+        return build_physical_plan(
+            self, parsed, strategy=strategy, join_kwargs=join_kwargs
         )
-
-    def _build_execution(
-        self, query: Query, strategy: str = "auto", **join_kwargs: Any
-    ) -> Tuple[IncrementalDistanceJoin, Optional[List[int]],
-               Optional[List[int]]]:
-        """The join iterator plus oid remappings (None = identity)."""
-        require(strategy in STRATEGIES,
-                f"strategy must be one of {STRATEGIES}")
-        tree1 = self.relation(query.relation1)
-        tree2 = self.relation(query.relation2)
-        match1, selectivity1 = self._matcher(query, query.relation1)
-        match2, selectivity2 = self._matcher(query, query.relation2)
-
-        if strategy == "auto":
-            if match1 is None and match2 is None:
-                strategy = "pipeline"
-            else:
-                strategy, __, ___ = self._choose_strategy(
-                    query, tree1, tree2, selectivity1, selectivity2
-                )
-
-        dmin, dmax = query.distance_bounds()
-        kwargs: Dict[str, Any] = dict(
-            metric=self.metric,
-            min_distance=dmin,
-            max_distance=dmax,
-            max_pairs=query.stop_after,
-            counters=self.counters,
-        )
-        kwargs.update(join_kwargs)
-        operator = self._operator(query)
-        if query.parallel is not None:
-            kwargs.setdefault("workers", query.parallel)
-
-        mapping1: Optional[List[int]] = None
-        mapping2: Optional[List[int]] = None
-        if strategy == "prefilter":
-            if match1 is not None:
-                tree1, mapping1 = self._filtered_tree(tree1, match1)
-            if match2 is not None:
-                tree2, mapping2 = self._filtered_tree(tree2, match2)
-        else:
-            pair_filter = self._pair_filter(match1, match2)
-            if pair_filter is not None:
-                kwargs.setdefault("pair_filter", pair_filter)
-        join = operator(tree1, tree2, **kwargs)
-        return join, mapping1, mapping2
 
     def plan(
         self, query: Query, strategy: str = "auto", **join_kwargs: Any
@@ -499,10 +307,9 @@ class Database:
         temporary filtered indexes; use :meth:`execute_query` to get
         rows with original object ids.
         """
-        join, __, ___ = self._build_execution(
+        return self.physical_plan(
             query, strategy=strategy, **join_kwargs
-        )
-        return join
+        ).open_join()
 
     # ------------------------------------------------------------------
     # execution
@@ -531,95 +338,28 @@ class Database:
                 "producing rows; use Database.explain() or "
                 "Database.explain_analyze()"
             )
-        join, mapping1, mapping2 = self._build_execution(
-            query, strategy=strategy, **join_kwargs
+        plan = build_physical_plan(
+            self, query, strategy=strategy, join_kwargs=join_kwargs
         )
-        return self._rows(join, mapping1, mapping2)
-
-    @staticmethod
-    def _rows(
-        join: IncrementalDistanceJoin,
-        mapping1: Optional[List[int]],
-        mapping2: Optional[List[int]],
-    ) -> Iterator[Row]:
-        for result in join:
-            oid1 = mapping1[result.oid1] if mapping1 is not None \
-                else result.oid1
-            oid2 = mapping2[result.oid2] if mapping2 is not None \
-                else result.oid2
-            yield Row(
-                result.distance,
-                oid1, result.obj1,
-                oid2, result.obj2,
-            )
+        return plan.rows()
 
     # ------------------------------------------------------------------
     # EXPLAIN (cost model; the paper's Section 5 future work)
     # ------------------------------------------------------------------
 
-    def explain(self, sql: Union[str, Query]) -> PlanExplanation:
+    def explain(
+        self, sql: Union[str, Query], strategy: str = "auto"
+    ) -> PlanExplanation:
         """Describe how a query would execute and what it should cost.
 
-        Nothing is executed; the estimates come from
+        Nothing is executed (in particular, no temporary prefilter
+        index is built); the estimates come from
         :class:`repro.query.costmodel.JoinCostModel` (uniformity
-        assumptions, see that module).  An ``EXPLAIN`` prefix in the
-        SQL is accepted and ignored (this method *is* EXPLAIN).
+        assumptions, see that module) and annotate the same physical
+        plan tree that :meth:`execute` runs.  An ``EXPLAIN`` prefix in
+        the SQL is accepted and ignored (this method *is* EXPLAIN).
         """
-        query = parse(sql) if isinstance(sql, str) else sql
-        tree1 = self.relation(query.relation1)
-        tree2 = self.relation(query.relation2)
-        dmin, dmax = query.distance_bounds()
-        __, selectivity1 = self._matcher(query, query.relation1)
-        ___, selectivity2 = self._matcher(query, query.relation2)
-        has_predicates = selectivity1 < 1.0 or selectivity2 < 1.0 or (
-            query.attribute_predicates
-        )
-        if has_predicates:
-            strategy, pipeline_cost, prefilter_cost = (
-                self._choose_strategy(
-                    query, tree1, tree2, selectivity1, selectivity2
-                )
-            )
-        else:
-            strategy = "pipeline"
-            model = JoinCostModel(tree1, tree2)
-            pipeline_cost = model.estimate(
-                max_distance=dmax,
-                max_pairs=query.stop_after,
-                semi_join=query.is_semi_join,
-            ).total_cost()
-            prefilter_cost = pipeline_cost
-
-        chosen_model = JoinCostModel(tree1, tree2)
-        if strategy == "prefilter":
-            chosen_model = chosen_model.scaled(
-                selectivity1, selectivity2
-            )
-        estimate = chosen_model.estimate(
-            max_distance=dmax,
-            max_pairs=query.stop_after,
-            semi_join=query.is_semi_join,
-        )
-        return PlanExplanation(
-            operator=self._operator(query).__name__,
-            strategy=strategy,
-            relation1=query.relation1,
-            relation2=query.relation2,
-            outer_size=len(tree1),
-            inner_size=len(tree2),
-            min_distance=dmin,
-            max_distance=dmax,
-            stop_after=query.stop_after,
-            selectivity1=selectivity1,
-            selectivity2=selectivity2,
-            estimated_result_pairs=estimate.result_pairs,
-            estimated_node_io=estimate.node_io,
-            estimated_dist_calcs=estimate.dist_calcs,
-            estimated_cost=min(pipeline_cost, prefilter_cost),
-            pipeline_cost=pipeline_cost,
-            prefilter_cost=prefilter_cost,
-            parallel=query.parallel,
-        )
+        return self.physical_plan(sql, strategy=strategy).explanation
 
     def explain_analyze(
         self,
@@ -639,15 +379,18 @@ class Database:
         :class:`~repro.util.obs.Observer`.
         """
         query = parse(sql) if isinstance(sql, str) else sql
-        plan = self.explain(query)
         observer = join_kwargs.pop("observer", None)
         obs = observer if observer is not None else Observer()
+        plan = build_physical_plan(
+            self, query, strategy=strategy,
+            join_kwargs=dict(join_kwargs, observer=obs),
+        )
+        # Estimate first: the cost model's stat walk reads tree nodes,
+        # which must not leak into the measured counter delta.
+        explanation = plan.explanation
         before = self.counters.full_snapshot()
         start = time.perf_counter()
-        join, mapping1, mapping2 = self._build_execution(
-            query, strategy=strategy, observer=obs, **join_kwargs
-        )
-        rows = sum(1 for __ in self._rows(join, mapping1, mapping2))
+        rows = sum(1 for __ in plan.rows())
         elapsed = time.perf_counter() - start
         counters = self.counters.full_snapshot().delta_from(before)
         # Peaks are levels, so the delta keeps them all -- but a shared
@@ -661,12 +404,13 @@ class Database:
                 or peak != before.peaks.get(name, 0)
             },
         )
+        join = plan.open_join()
         stages = (
             join.stage_breakdown()
             if isinstance(join, ParallelDistanceJoin) else None
         )
         return AnalyzedPlan(
-            plan=plan,
+            plan=explanation,
             rows=rows,
             elapsed_s=elapsed,
             counters=counters,

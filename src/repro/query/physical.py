@@ -1,0 +1,752 @@
+"""Physical plans: executable Volcano-style operator trees.
+
+:func:`build_physical_plan` lowers a logical plan
+(:mod:`repro.query.logical`) into a tree of physical operators:
+
+``Limit(RowProject(RemapOids(DistanceJoinOp(side, side))))``
+
+where each ``side`` is an :class:`IndexScan` optionally wrapped in one
+of the two predicate implementations the paper's Section 5 discusses:
+
+- :class:`PairFilterPushdown` -- the **pipeline** plan: the predicate
+  rides into the join as a ``pair_filter``, so non-qualifying objects
+  never enter the queue and the join still streams incrementally;
+- :class:`PrefilterMaterialize` -- the **prefilter** plan: the
+  qualifying subset is materialized into a temporary index first (the
+  paper: best for highly selective predicates, at the price of an
+  index build before the first result).
+
+The choice between them is a *planner rule* here: under
+``strategy="auto"`` both plans are priced with the Section 5 cost
+model (:mod:`repro.query.costmodel`) and the cheaper shape is built;
+the costs stay annotated on the join node so ``EXPLAIN`` can show
+both.  ``execute``, ``EXPLAIN`` and ``EXPLAIN ANALYZE`` all walk this
+same tree -- EXPLAIN renders it without opening it (no temporary
+index is built), execution opens it and streams rows.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import math
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Tuple,
+)
+
+from repro.core.distance_join import IncrementalDistanceJoin, JoinResult
+from repro.core.pairs import NODE, Pair
+from repro.core.reverse import ReverseDistanceJoin, ReverseDistanceSemiJoin
+from repro.core.semi_join import IncrementalDistanceSemiJoin
+from repro.errors import QueryError
+from repro.parallel.join import (
+    ParallelDistanceJoin,
+    ParallelDistanceSemiJoin,
+)
+from repro.query.ast_nodes import Query
+from repro.query.costmodel import JoinCostModel, estimate_build_cost
+from repro.query.logical import LogicalPlan, build_logical_plan
+from repro.rtree.base import DEFAULT_MAX_ENTRIES
+from repro.rtree.bulk import bulk_load_str
+from repro.util.validation import require
+
+_INF = float("inf")
+
+STRATEGIES = ("auto", "pipeline", "prefilter")
+
+__all__ = [
+    "STRATEGIES",
+    "Row",
+    "PlanExplanation",
+    "PhysicalNode",
+    "IndexScan",
+    "PrefilterMaterialize",
+    "PairFilterPushdown",
+    "DistanceJoinOp",
+    "RemapOids",
+    "RowProject",
+    "Limit",
+    "PhysicalPlan",
+    "build_physical_plan",
+    "materialize_filtered",
+]
+
+
+class Row(NamedTuple):
+    """One output tuple of a distance (semi-)join query."""
+
+    d: float
+    oid1: int
+    geom1: Any
+    oid2: int
+    geom2: Any
+
+
+class PlanExplanation(NamedTuple):
+    """Output of :meth:`repro.query.executor.Database.explain`."""
+
+    operator: str
+    strategy: str
+    relation1: str
+    relation2: str
+    outer_size: int
+    inner_size: int
+    min_distance: float
+    max_distance: float
+    stop_after: Optional[int]
+    selectivity1: float
+    selectivity2: float
+    estimated_result_pairs: float
+    estimated_node_io: float
+    estimated_dist_calcs: float
+    estimated_cost: float
+    pipeline_cost: float
+    prefilter_cost: float
+    parallel: Optional[int] = None
+    tree: Optional[str] = None
+
+    def pretty(self) -> str:
+        """A human-readable plan description."""
+        bound = (
+            f"STOP AFTER {self.stop_after}"
+            if self.stop_after is not None else "unbounded"
+        )
+        lines = [
+            f"{self.operator}({self.relation1}[{self.outer_size:,}], "
+            f"{self.relation2}[{self.inner_size:,}])",
+            f"  strategy: {self.strategy}",
+            f"  distance range: [{self.min_distance:g}, "
+            f"{self.max_distance:g}], {bound}",
+        ]
+        if self.parallel is not None:
+            lines.append(f"  parallel workers: {self.parallel}")
+        if self.selectivity1 < 1.0 or self.selectivity2 < 1.0:
+            lines.append(
+                f"  predicate selectivity: "
+                f"{self.relation1}={self.selectivity1:.3f}, "
+                f"{self.relation2}={self.selectivity2:.3f}"
+            )
+            lines.append(
+                f"  plan costs: pipeline={self.pipeline_cost:,.0f}, "
+                f"prefilter={self.prefilter_cost:,.0f}"
+            )
+        lines += [
+            f"  est. result pairs: {self.estimated_result_pairs:,.0f}",
+            f"  est. node I/O:     {self.estimated_node_io:,.0f}",
+            f"  est. dist. calcs:  {self.estimated_dist_calcs:,.0f}",
+            f"  est. cost:         {self.estimated_cost:,.0f}",
+        ]
+        if self.tree:
+            lines.append("  plan:")
+            lines += [
+                "    " + line for line in self.tree.splitlines()
+            ]
+        return "\n".join(lines)
+
+
+def materialize_filtered(
+    tree: Any, matches: Callable[[int], bool]
+) -> Tuple[Any, List[int]]:
+    """Materialize the qualifying subset into a temporary index;
+    returns the tree and the new-oid -> original-oid mapping.
+
+    The temporary index inherits the source tree's storage
+    configuration -- fanout, page size and buffer-pool capacity -- so
+    its ``node_io`` counters stay comparable with a join over the
+    original index instead of silently reverting to defaults.
+    """
+    kept = sorted(
+        (entry.oid, entry.obj if entry.obj is not None else entry.rect)
+        for entry in tree.items()
+        if matches(entry.oid)
+    )
+    mapping = [oid for oid, __ in kept]
+    objects = [obj for __, obj in kept]
+    build_kwargs: Dict[str, Any] = dict(
+        max_entries=getattr(tree, "max_entries", DEFAULT_MAX_ENTRIES),
+        dim=tree.dim,
+        counters=tree.counters,
+    )
+    store = getattr(tree, "store", None)
+    if store is not None:
+        build_kwargs["page_size"] = store.page_size
+    pool = getattr(tree, "pool", None)
+    if pool is not None:
+        build_kwargs["buffer_pages"] = pool.capacity
+    sub_tree = bulk_load_str(objects, **build_kwargs)
+    return sub_tree, mapping
+
+
+def _maybe_span(obs: Optional[Any], name: str):
+    return obs.span(name) if obs is not None \
+        else contextlib.nullcontext()
+
+
+def _compose_pair_filter(
+    match1: Optional[Callable[[int], bool]],
+    match2: Optional[Callable[[int], bool]],
+) -> Optional[Callable[[Pair], bool]]:
+    """Fold the two sides' oid predicates into one join pair filter."""
+    if match1 is None and match2 is None:
+        return None
+
+    def keep(pair: Pair) -> bool:
+        if (
+            match1 is not None
+            and pair.item1.kind != NODE
+            and not match1(pair.item1.oid)
+        ):
+            return False
+        if (
+            match2 is not None
+            and pair.item2.kind != NODE
+            and not match2(pair.item2.oid)
+        ):
+            return False
+        return True
+
+    return keep
+
+
+class ResolvedInput(NamedTuple):
+    """One join input, ready to hand to the operator constructor."""
+
+    tree: Any
+    mapping: Optional[List[int]]  # new-oid -> original oid, or None
+    matcher: Optional[Callable[[int], bool]]  # pushed-down predicate
+
+
+class PhysicalNode:
+    """Base class: tree shape plus the EXPLAIN rendering."""
+
+    def children(self) -> Tuple["PhysicalNode", ...]:
+        return ()
+
+    def label(self) -> str:
+        return type(self).__name__
+
+    def walk(self) -> Iterator["PhysicalNode"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def pretty(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.label()]
+        for child in self.children():
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+
+class IndexScan(PhysicalNode):
+    """Expose one relation's index to the join."""
+
+    def __init__(self, relation: str, tree: Any) -> None:
+        self.relation = relation
+        self.tree = tree
+
+    def label(self) -> str:
+        kind = type(self.tree).__name__
+        return (
+            f"IndexScan({self.relation}, {kind}, "
+            f"{len(self.tree):,} objects)"
+        )
+
+    def resolve(self, obs: Optional[Any] = None) -> ResolvedInput:
+        return ResolvedInput(self.tree, None, None)
+
+
+class PrefilterMaterialize(PhysicalNode):
+    """The prefilter plan's side: build a temporary index over the
+    qualifying subset (resolved lazily, so EXPLAIN never builds it;
+    the build is idempotent once opened)."""
+
+    def __init__(
+        self,
+        child: IndexScan,
+        matcher: Callable[[int], bool],
+        selectivity: float,
+    ) -> None:
+        self.child = child
+        self.matcher = matcher
+        self.selectivity = selectivity
+        self._resolved: Optional[ResolvedInput] = None
+
+    def children(self) -> Tuple[PhysicalNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"PrefilterMaterialize(sel={self.selectivity:.3f})"
+
+    def resolve(self, obs: Optional[Any] = None) -> ResolvedInput:
+        if self._resolved is None:
+            source = self.child.resolve(obs).tree
+            with _maybe_span(obs, "op.PrefilterMaterialize"):
+                tree, mapping = materialize_filtered(
+                    source, self.matcher
+                )
+            self._resolved = ResolvedInput(tree, mapping, None)
+        return self._resolved
+
+
+class PairFilterPushdown(PhysicalNode):
+    """The pipeline plan's side: the predicate travels into the join
+    as a pair filter (composed in :class:`DistanceJoinOp`)."""
+
+    def __init__(
+        self,
+        child: IndexScan,
+        matcher: Callable[[int], bool],
+        selectivity: float,
+    ) -> None:
+        self.child = child
+        self.matcher = matcher
+        self.selectivity = selectivity
+
+    def children(self) -> Tuple[PhysicalNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"PairFilterPushdown(sel={self.selectivity:.3f})"
+
+    def resolve(self, obs: Optional[Any] = None) -> ResolvedInput:
+        base = self.child.resolve(obs)
+        return ResolvedInput(base.tree, base.mapping, self.matcher)
+
+
+class DistanceJoinOp(PhysicalNode):
+    """The distance (semi-)join operator.
+
+    ``open()`` resolves both inputs (building prefilter indexes if the
+    plan has any), composes pushed-down predicates into one
+    ``pair_filter`` (a caller-supplied ``pair_filter`` kwarg wins) and
+    constructs the join iterator exactly once.  The planner's cost
+    annotations (both strategies' estimates) live here for EXPLAIN.
+    """
+
+    def __init__(
+        self,
+        left: PhysicalNode,
+        right: PhysicalNode,
+        operator_cls: type,
+        kwargs: Dict[str, Any],
+        strategy: str,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.operator_cls = operator_cls
+        self.kwargs = kwargs
+        self.strategy = strategy
+        # Cost annotations arrive lazily (see PhysicalPlan.explanation):
+        # plain execution never prices plans it was not asked to choose
+        # between, so it skips the cost model's tree walk entirely.
+        self.pipeline_cost: Optional[float] = None
+        self.prefilter_cost: Optional[float] = None
+        self.mapping1: Optional[List[int]] = None
+        self.mapping2: Optional[List[int]] = None
+        self._join: Optional[IncrementalDistanceJoin] = None
+
+    def children(self) -> Tuple[PhysicalNode, ...]:
+        return (self.left, self.right)
+
+    def annotate_costs(
+        self, pipeline_cost: float, prefilter_cost: float
+    ) -> None:
+        self.pipeline_cost = pipeline_cost
+        self.prefilter_cost = prefilter_cost
+
+    def label(self) -> str:
+        cost = self.estimated_cost
+        if cost is None:
+            return f"{self.operator_cls.__name__}[{self.strategy}]"
+        return (
+            f"{self.operator_cls.__name__}"
+            f"[{self.strategy}, est. cost {cost:,.0f}]"
+        )
+
+    @property
+    def estimated_cost(self) -> Optional[float]:
+        return (
+            self.prefilter_cost if self.strategy == "prefilter"
+            else self.pipeline_cost
+        )
+
+    def open(self) -> IncrementalDistanceJoin:
+        if self._join is None:
+            obs = self.kwargs.get("observer")
+            with _maybe_span(obs, "op.DistanceJoin"):
+                left = self.left.resolve(obs)
+                right = self.right.resolve(obs)
+                self.mapping1 = left.mapping
+                self.mapping2 = right.mapping
+                kwargs = dict(self.kwargs)
+                pair_filter = _compose_pair_filter(
+                    left.matcher, right.matcher
+                )
+                if pair_filter is not None:
+                    kwargs.setdefault("pair_filter", pair_filter)
+                self._join = self.operator_cls(
+                    left.tree, right.tree, **kwargs
+                )
+        return self._join
+
+    def results(self) -> Iterator[JoinResult]:
+        return iter(self.open())
+
+
+class RemapOids(PhysicalNode):
+    """Translate prefilter-index oids back to original object ids
+    (identity when neither side was materialized)."""
+
+    def __init__(self, child: DistanceJoinOp) -> None:
+        self.child = child
+
+    def children(self) -> Tuple[PhysicalNode, ...]:
+        return (self.child,)
+
+    def results(self) -> Iterator[JoinResult]:
+        join = self.child.open()
+        mapping1 = self.child.mapping1
+        mapping2 = self.child.mapping2
+        if mapping1 is None and mapping2 is None:
+            yield from join
+            return
+        for result in join:
+            oid1 = mapping1[result.oid1] if mapping1 is not None \
+                else result.oid1
+            oid2 = mapping2[result.oid2] if mapping2 is not None \
+                else result.oid2
+            yield JoinResult(
+                result.distance, oid1, result.obj1, oid2, result.obj2
+            )
+
+
+class RowProject(PhysicalNode):
+    """Shape join results into the SELECT list's row tuples."""
+
+    def __init__(self, child: RemapOids) -> None:
+        self.child = child
+
+    def children(self) -> Tuple[PhysicalNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return "RowProject(d, oid1, geom1, oid2, geom2)"
+
+    def rows(self) -> Iterator[Row]:
+        for result in self.child.results():
+            yield Row(
+                result.distance,
+                result.oid1, result.obj1,
+                result.oid2, result.obj2,
+            )
+
+
+class Limit(PhysicalNode):
+    """``STOP AFTER n`` safety net.
+
+    The real bounding is the join's own ``max_pairs`` (so the
+    incremental algorithm stops expanding); this operator only
+    guarantees the row stream never exceeds the bound, pulling no
+    extra rows beyond it.
+    """
+
+    def __init__(self, child: RowProject, count: int) -> None:
+        self.child = child
+        self.count = count
+
+    def children(self) -> Tuple[PhysicalNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Limit({self.count})"
+
+    def rows(self) -> Iterator[Row]:
+        return itertools.islice(self.child.rows(), self.count)
+
+
+class PhysicalPlan:
+    """An executable plan: the operator tree plus its explanation.
+
+    The same instance serves all three consumers: ``explain`` renders
+    :attr:`explanation` (without opening anything), ``execute``
+    streams :meth:`rows`, and ``EXPLAIN ANALYZE`` does both.
+    """
+
+    def __init__(
+        self,
+        root: PhysicalNode,
+        join_op: DistanceJoinOp,
+        logical: LogicalPlan,
+        explanation_factory: Callable[[], PlanExplanation],
+    ) -> None:
+        self.root = root
+        self.join_op = join_op
+        self.logical = logical
+        self.query = logical.query
+        self._explanation_factory = explanation_factory
+        self._explanation: Optional[PlanExplanation] = None
+
+    @property
+    def explanation(self) -> PlanExplanation:
+        """The EXPLAIN view of this plan (cost estimates are computed
+        on first access; plain execution never needs them)."""
+        if self._explanation is None:
+            self._explanation = self._explanation_factory()
+        return self._explanation
+
+    def open_join(self) -> IncrementalDistanceJoin:
+        """Build (once) and return the underlying join iterator."""
+        return self.join_op.open()
+
+    def rows(self) -> Iterator[Row]:
+        """Open the plan eagerly and stream result rows.
+
+        Opening is eager so the cost of temporary index builds and
+        join construction is paid at call time (matching the join
+        constructors' own semantics), not at first ``next()``.
+        """
+        self.join_op.open()
+        root = self.root
+        assert isinstance(root, (Limit, RowProject))
+        return root.rows()
+
+    def pretty(self) -> str:
+        return self.root.pretty()
+
+
+def _matcher(
+    db: Any, query: Query, relation: str
+) -> Tuple[Optional[Callable[[int], bool]], float]:
+    """An oid predicate and its selectivity for one relation."""
+    predicates = [
+        p for p in query.attribute_predicates
+        if p.relation == relation
+    ]
+    if not predicates:
+        return None, 1.0
+    columns = [
+        (db.attribute(relation, p.attribute), p)
+        for p in predicates
+    ]
+
+    def matches(oid: int) -> bool:
+        return all(p.matches(col[oid]) for col, p in columns)
+
+    size = len(db.relation(relation))
+    selectivity = (
+        sum(1 for oid in range(size) if matches(oid)) / size
+        if size else 1.0
+    )
+    return matches, selectivity
+
+
+def _operator_for(query: Query) -> type:
+    """Map the logical join kind onto an operator class."""
+    if query.parallel is not None:
+        if query.descending:
+            raise QueryError(
+                "PARALLEL does not support ORDER BY ... DESC "
+                "(the parallel merge is nearest-first)"
+            )
+        return (
+            ParallelDistanceSemiJoin if query.is_semi_join
+            else ParallelDistanceJoin
+        )
+    if query.is_semi_join:
+        return (
+            ReverseDistanceSemiJoin if query.descending
+            else IncrementalDistanceSemiJoin
+        )
+    return (
+        ReverseDistanceJoin if query.descending
+        else IncrementalDistanceJoin
+    )
+
+
+def _price_strategies(
+    query: Query,
+    tree1: Any,
+    tree2: Any,
+    selectivity1: float,
+    selectivity2: float,
+) -> Tuple[str, float, float]:
+    """The planner rule: price the two Section 5 plans; returns
+    (choice, cost_pipeline, cost_prefilter)."""
+    __, dmax = query.distance_bounds()
+    model = JoinCostModel(tree1, tree2)
+    pair_selectivity = selectivity1 * selectivity2
+    # Pipeline: the join must surface enough raw pairs that the
+    # qualifying subset reaches the requested count.
+    raw_pairs = None
+    if query.stop_after is not None and pair_selectivity > 0:
+        raw_pairs = int(
+            math.ceil(query.stop_after / pair_selectivity)
+        )
+    pipeline = model.estimate(
+        max_distance=dmax,
+        max_pairs=raw_pairs,
+        semi_join=query.is_semi_join,
+    ).total_cost()
+    # Prefilter: pay the index builds, then join the small inputs.
+    scaled = model.scaled(selectivity1, selectivity2)
+    build = 0.0
+    if selectivity1 < 1.0:
+        build += estimate_build_cost(
+            int(len(tree1) * selectivity1),
+            getattr(tree1, "max_entries", DEFAULT_MAX_ENTRIES),
+        )
+    if selectivity2 < 1.0:
+        build += estimate_build_cost(
+            int(len(tree2) * selectivity2),
+            getattr(tree2, "max_entries", DEFAULT_MAX_ENTRIES),
+        )
+    prefilter = build + scaled.estimate(
+        max_distance=dmax,
+        max_pairs=query.stop_after,
+        semi_join=query.is_semi_join,
+    ).total_cost()
+    choice = "prefilter" if prefilter < pipeline else "pipeline"
+    return choice, pipeline, prefilter
+
+
+def build_physical_plan(
+    db: Any,
+    query: Query,
+    strategy: str = "auto",
+    join_kwargs: Optional[Dict[str, Any]] = None,
+) -> PhysicalPlan:
+    """Lower ``query`` into an executable physical plan.
+
+    ``strategy`` forces the predicate plan (``pipeline`` /
+    ``prefilter``); ``auto`` applies the cost rule.  ``join_kwargs``
+    are forwarded to the join operator constructor and take precedence
+    over planner defaults (e.g. a caller ``pair_filter`` suppresses
+    the pushed-down predicate filter).
+    """
+    require(strategy in STRATEGIES,
+            f"strategy must be one of {STRATEGIES}")
+    logical = build_logical_plan(query)
+    tree1 = db.relation(query.relation1)
+    tree2 = db.relation(query.relation2)
+    match1, selectivity1 = _matcher(db, query, query.relation1)
+    match2, selectivity2 = _matcher(db, query, query.relation2)
+    dmin, dmax = query.distance_bounds()
+    operator_cls = _operator_for(query)
+    has_predicates = match1 is not None or match2 is not None
+
+    def price() -> Tuple[str, float, float]:
+        if has_predicates:
+            return _price_strategies(
+                query, tree1, tree2, selectivity1, selectivity2
+            )
+        # Without predicates the two shapes coincide; one pipeline
+        # estimate covers both.
+        cost = JoinCostModel(tree1, tree2).estimate(
+            max_distance=dmax,
+            max_pairs=query.stop_after,
+            semi_join=query.is_semi_join,
+        ).total_cost()
+        return "pipeline", cost, cost
+
+    # Planner rule: the cost model only runs when it has a choice to
+    # make (auto + predicates) -- or lazily, for EXPLAIN (below).
+    costs: Optional[Tuple[float, float]] = None
+    if strategy != "auto":
+        strategy_used = strategy
+    elif has_predicates:
+        strategy_used, pipeline_cost, prefilter_cost = price()
+        costs = (pipeline_cost, prefilter_cost)
+    else:
+        strategy_used = "pipeline"
+
+    kwargs: Dict[str, Any] = dict(
+        metric=db.metric,
+        min_distance=dmin,
+        max_distance=dmax,
+        max_pairs=query.stop_after,
+        counters=db.counters,
+    )
+    kwargs.update(join_kwargs or {})
+    if query.parallel is not None:
+        kwargs.setdefault("workers", query.parallel)
+
+    def side(
+        relation: str,
+        tree: Any,
+        matcher: Optional[Callable[[int], bool]],
+        selectivity: float,
+    ) -> PhysicalNode:
+        scan = IndexScan(relation, tree)
+        if matcher is None:
+            return scan
+        if strategy_used == "prefilter":
+            return PrefilterMaterialize(scan, matcher, selectivity)
+        return PairFilterPushdown(scan, matcher, selectivity)
+
+    join_op = DistanceJoinOp(
+        left=side(query.relation1, tree1, match1, selectivity1),
+        right=side(query.relation2, tree2, match2, selectivity2),
+        operator_cls=operator_cls,
+        kwargs=kwargs,
+        strategy=strategy_used,
+    )
+    if costs is not None:
+        join_op.annotate_costs(*costs)
+    project = RowProject(RemapOids(join_op))
+    root: PhysicalNode = (
+        Limit(project, query.stop_after)
+        if query.stop_after is not None else project
+    )
+
+    def explanation_factory() -> PlanExplanation:
+        if join_op.pipeline_cost is None:
+            __, pipeline_cost, prefilter_cost = price()
+            join_op.annotate_costs(pipeline_cost, prefilter_cost)
+        detail_model = JoinCostModel(tree1, tree2)
+        if strategy_used == "prefilter":
+            detail_model = detail_model.scaled(
+                selectivity1, selectivity2
+            )
+        estimate = detail_model.estimate(
+            max_distance=dmax,
+            max_pairs=query.stop_after,
+            semi_join=query.is_semi_join,
+        )
+        assert join_op.pipeline_cost is not None
+        assert join_op.prefilter_cost is not None
+        assert join_op.estimated_cost is not None
+        return PlanExplanation(
+            operator=operator_cls.__name__,
+            strategy=strategy_used,
+            relation1=query.relation1,
+            relation2=query.relation2,
+            outer_size=len(tree1),
+            inner_size=len(tree2),
+            min_distance=dmin,
+            max_distance=dmax,
+            stop_after=query.stop_after,
+            selectivity1=selectivity1,
+            selectivity2=selectivity2,
+            estimated_result_pairs=estimate.result_pairs,
+            estimated_node_io=estimate.node_io,
+            estimated_dist_calcs=estimate.dist_calcs,
+            estimated_cost=join_op.estimated_cost,
+            pipeline_cost=join_op.pipeline_cost,
+            prefilter_cost=join_op.prefilter_cost,
+            parallel=query.parallel,
+            tree=root.pretty(),
+        )
+
+    return PhysicalPlan(
+        root=root,
+        join_op=join_op,
+        logical=logical,
+        explanation_factory=explanation_factory,
+    )

@@ -26,7 +26,7 @@ trace.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
 
 from repro.util.obs import ObsSnapshot, Observer, SPAN_EVENT
 

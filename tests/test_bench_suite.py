@@ -8,7 +8,6 @@ import pytest
 
 from repro.bench import registry
 from repro.bench.compare import (
-    CompareConfig,
     compare_entries,
     compare_file,
 )
@@ -52,7 +51,7 @@ class TestRegistry:
         with pytest.raises(ValueError):
             registry.register(BenchCase(
                 name=existing.name, description="dup",
-                make=existing.make, pairs=existing.pairs,
+                spec=existing.spec, pairs=existing.pairs,
             ))
 
     def test_pairs_resolve_per_tier(self):

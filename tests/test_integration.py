@@ -8,7 +8,6 @@ from repro.core.distance_join import (
     IncrementalDistanceJoin,
 )
 from repro.core.semi_join import IncrementalDistanceSemiJoin
-from repro.geometry.metrics import EUCLIDEAN
 from repro.geometry.point import Point
 from repro.geometry.shapes import LineSegment, Polygon
 from repro.query.executor import Database

@@ -4,20 +4,14 @@ import pickle
 
 import pytest
 
-from repro.core.distance_join import IncrementalDistanceJoin
 from repro.core.pairs import OBJ
-from repro.core.semi_join import IncrementalDistanceSemiJoin
 from repro.errors import JoinError, QueryError, QuerySyntaxError
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.parallel import (
     GridPartitioner,
-    OrderedStreamMerge,
     ParallelDistanceJoin,
     ParallelDistanceSemiJoin,
-    STRPartitioner,
-    StreamExecutor,
-    TileJoinTask,
     make_partitioner,
     reference_point,
 )

@@ -1,0 +1,306 @@
+"""Tests for the logical/physical plan pipeline: one shared plan tree
+behind execute, EXPLAIN and EXPLAIN ANALYZE, the planner's strategy
+rule, prefilter storage-config propagation, and quadtree relations."""
+
+import random
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.geometry.metrics import EUCLIDEAN
+from repro.geometry.point import Point
+from repro.quadtree.prquadtree import PRQuadtree
+from repro.query.executor import Database
+from repro.query.logical import (
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalProject,
+    LogicalScan,
+    build_logical_plan,
+)
+from repro.query.parser import parse
+from repro.query.physical import (
+    IndexScan,
+    Limit,
+    PairFilterPushdown,
+    PrefilterMaterialize,
+    RowProject,
+    materialize_filtered,
+)
+from repro.rtree.bulk import bulk_load_str
+from repro.util.counters import CounterRegistry
+
+from tests.conftest import make_points
+
+
+SQL = (
+    "SELECT * FROM cities, rivers, "
+    "DISTANCE(cities.geom, rivers.geom) AS d "
+    "WHERE cities.pop > {threshold} ORDER BY d STOP AFTER {limit}"
+)
+
+PLAIN_SQL = (
+    "SELECT * FROM cities, rivers, "
+    "DISTANCE(cities.geom, rivers.geom) AS d "
+    "ORDER BY d STOP AFTER {limit}"
+)
+
+
+def build_db(city_count=70, river_count=90):
+    rng = random.Random(1400)
+    cities = make_points(city_count, seed=141)
+    populations = [rng.randint(1_000, 10_000_000) for __ in cities]
+    rivers = make_points(river_count, seed=142)
+    db = Database(counters=CounterRegistry())
+    db.create_relation("cities", cities,
+                       attributes={"pop": populations})
+    db.create_relation("rivers", rivers)
+    return db, cities, populations, rivers
+
+
+class TestLogicalPlan:
+    def test_shape_with_predicates_and_limit(self):
+        query = parse(SQL.format(threshold=5_000_000, limit=3))
+        plan = build_logical_plan(query)
+        assert isinstance(plan.root, LogicalProject)
+        limit = plan.root.child
+        assert isinstance(limit, LogicalLimit)
+        assert limit.count == 3
+        join = limit.child
+        assert isinstance(join, LogicalJoin)
+        assert isinstance(join.left, LogicalFilter)
+        assert join.left.child.relation == "cities"
+        assert isinstance(join.right, LogicalScan)
+
+    def test_shape_without_limit(self):
+        query = parse(
+            "SELECT * FROM a, b, DISTANCE(a.geom, b.geom) AS d "
+            "ORDER BY d"
+        )
+        plan = build_logical_plan(query)
+        assert isinstance(plan.root.child, LogicalJoin)
+
+    def test_join_node_carries_bounds(self):
+        query = parse(
+            "SELECT * FROM a, b, DISTANCE(a.geom, b.geom) AS d "
+            "WHERE d < 9 AND d >= 2 ORDER BY d"
+        )
+        join = build_logical_plan(query).join
+        assert join.min_distance == 2.0
+        assert join.max_distance == 9.0
+
+    def test_pretty_renders_tree(self):
+        query = parse(SQL.format(threshold=5_000_000, limit=3))
+        text = build_logical_plan(query).pretty()
+        assert "Scan(cities)" in text
+        assert "Filter(" in text
+        assert "Limit(3)" in text
+
+
+class TestSharedPlanTree:
+    """execute / EXPLAIN / EXPLAIN ANALYZE walk one physical plan."""
+
+    def test_execute_streams_the_plan_rows(self):
+        db, cities, populations, rivers = build_db()
+        sql = SQL.format(threshold=5_000_000, limit=5)
+        plan = db.physical_plan(parse(sql))
+        assert list(db.execute(sql)) == list(
+            db.physical_plan(parse(sql)).rows()
+        )
+        assert [type(node).__name__ for node in plan.root.walk()][:3] \
+            == ["Limit", "RowProject", "RemapOids"]
+
+    def test_explain_does_not_materialize(self):
+        db, *__ = build_db()
+        plan = db.physical_plan(
+            parse(SQL.format(threshold=9_000_000, limit=2)),
+            strategy="prefilter",
+        )
+        assert plan.explanation.strategy == "prefilter"
+        side = plan.join_op.left
+        assert isinstance(side, PrefilterMaterialize)
+        assert side._resolved is None  # EXPLAIN never built the index
+
+    def test_open_is_idempotent(self):
+        db, *__ = build_db()
+        plan = db.physical_plan(
+            parse(SQL.format(threshold=5_000_000, limit=3))
+        )
+        assert plan.open_join() is plan.open_join()
+
+    def test_explanation_tree_rendered(self):
+        db, *__ = build_db()
+        plan = db.explain(SQL.format(threshold=5_000_000, limit=3))
+        assert plan.tree is not None
+        assert "IndexScan(cities" in plan.tree
+        assert "plan:" in plan.pretty()
+
+    def test_pipeline_plan_uses_pushdown_nodes(self):
+        db, *__ = build_db()
+        plan = db.physical_plan(
+            parse(SQL.format(threshold=5_000_000, limit=3)),
+            strategy="pipeline",
+        )
+        assert isinstance(plan.join_op.left, PairFilterPushdown)
+        assert isinstance(plan.join_op.right, IndexScan)
+
+    def test_limit_only_above_project(self):
+        db, *__ = build_db()
+        bounded = db.physical_plan(
+            parse(PLAIN_SQL.format(limit=4))
+        )
+        assert isinstance(bounded.root, Limit)
+        unbounded = db.physical_plan(parse(
+            "SELECT * FROM cities, rivers, "
+            "DISTANCE(cities.geom, rivers.geom) AS d ORDER BY d"
+        ))
+        assert isinstance(unbounded.root, RowProject)
+
+    def test_explain_analyze_reports_chosen_strategy(self):
+        db, *__ = build_db()
+        analyzed = db.explain_analyze(
+            SQL.format(threshold=5_000_000, limit=3),
+            strategy="prefilter",
+        )
+        assert analyzed.plan.strategy == "prefilter"
+        assert analyzed.rows == 3
+
+    def test_bad_strategy_rejected(self):
+        db, *__ = build_db()
+        with pytest.raises(ValueError):
+            db.execute(SQL.format(threshold=5, limit=1),
+                       strategy="psychic")
+        with pytest.raises(ValueError):
+            db.explain(SQL.format(threshold=5, limit=1),
+                       strategy="psychic")
+
+
+class TestPrefilterStorageConfig:
+    """The temporary prefilter index inherits the source tree's
+    storage configuration instead of reverting to defaults."""
+
+    def test_materialize_filtered_propagates_config(self):
+        points = make_points(64, seed=77)
+        tree = bulk_load_str(
+            points, max_entries=4, page_size=512, buffer_pages=7,
+        )
+        sub, mapping = materialize_filtered(
+            tree, lambda oid: oid % 2 == 0
+        )
+        assert sub.max_entries == 4
+        assert sub.store.page_size == 512
+        assert sub.pool.capacity == 7
+        assert mapping == [oid for oid in range(64) if oid % 2 == 0]
+        assert len(sub) == 32
+
+    def test_prefilter_query_uses_source_config(self):
+        rng = random.Random(900)
+        cities = make_points(60, seed=91)
+        populations = [rng.randint(0, 100) for __ in cities]
+        db = Database()
+        db.create_relation(
+            "cities", cities, attributes={"pop": populations},
+            max_entries=4, page_size=512, buffer_pages=7,
+        )
+        db.create_relation("rivers", make_points(60, seed=92))
+        plan = db.physical_plan(
+            parse(SQL.format(threshold=90, limit=2)),
+            strategy="prefilter",
+        )
+        plan.open_join()
+        resolved = plan.join_op.left.resolve()
+        assert resolved.tree.max_entries == 4
+        assert resolved.tree.store.page_size == 512
+        assert resolved.tree.pool.capacity == 7
+
+
+class TestQuadtreeRelations:
+    def test_quadtree_joins_rtree_relation(self):
+        points_q = make_points(45, seed=201)
+        points_r = make_points(55, seed=202)
+        db = Database()
+        db.create_relation("quads", points_q, index="quadtree")
+        db.create_relation("rects", points_r)
+        assert isinstance(db.relation("quads"), PRQuadtree)
+        rows = list(db.execute(
+            "SELECT * FROM quads, rects, "
+            "DISTANCE(quads.geom, rects.geom) AS d "
+            "ORDER BY d STOP AFTER 10"
+        ))
+        brute = sorted(
+            (EUCLIDEAN.distance(a, b), i, j)
+            for i, a in enumerate(points_q)
+            for j, b in enumerate(points_r)
+        )[:10]
+        assert [
+            (pytest.approx(r.d), r.oid1, r.oid2) for r in rows
+        ] == [(pytest.approx(d), i, j) for d, i, j in brute]
+
+    def test_prebuilt_quadtree_accepted(self):
+        points = make_points(20, seed=203)
+        from repro.geometry.rectangle import Rect
+
+        tree = PRQuadtree(Rect((-1.0, -1.0), (101.0, 101.0)))
+        for point in points:
+            tree.insert(point)
+        db = Database()
+        assert db.create_relation("pts", tree) is tree
+
+    def test_quadtree_rejects_non_points(self):
+        from repro.errors import QueryError
+        from repro.geometry.rectangle import Rect
+
+        db = Database()
+        with pytest.raises(QueryError, match="Point data"):
+            db.create_relation(
+                "boxes", [Rect((0, 0), (1, 1))], index="quadtree"
+            )
+
+    def test_unknown_index_kind_rejected(self):
+        db = Database()
+        with pytest.raises(ValueError, match="index must be"):
+            db.create_relation("pts", [Point((0.0, 0.0))],
+                               index="btree")
+
+
+class TestCliStrategy:
+    @pytest.fixture
+    def csv_files(self, tmp_path, capsys):
+        a = str(tmp_path / "a.csv")
+        b = str(tmp_path / "b.csv")
+        for path, seed in ((a, 1), (b, 2)):
+            cli_main(["generate", "uniform", "--count", "40",
+                      "--seed", str(seed), "--out", path])
+        capsys.readouterr()
+        return a, b
+
+    def test_explain_strategy_flag(self, capsys, csv_files):
+        a, b = csv_files
+        code = cli_main([
+            "explain",
+            "SELECT * FROM a, b, DISTANCE(a.geom, b.geom) AS d "
+            "ORDER BY d STOP AFTER 3",
+            "--relation", f"a={a}", "--relation", f"b={b}",
+            "--strategy", "prefilter",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "strategy: prefilter" in out
+
+    def test_query_strategy_flag(self, capsys, csv_files):
+        a, b = csv_files
+        sql = (
+            "SELECT * FROM a, b, DISTANCE(a.geom, b.geom) AS d "
+            "ORDER BY d STOP AFTER 5"
+        )
+        outputs = []
+        for strategy in ("pipeline", "prefilter"):
+            code = cli_main([
+                "query", sql,
+                "--relation", f"a={a}", "--relation", f"b={b}",
+                "--strategy", strategy,
+            ])
+            assert code == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]

@@ -1,6 +1,5 @@
 """Unit + property tests for the plane-sweep candidate generator."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.planesweep import restrict_entries, sweep_pairs

@@ -8,7 +8,6 @@ import pytest
 
 from repro.errors import QueryError, QuerySyntaxError
 from repro.geometry.metrics import EUCLIDEAN
-from repro.geometry.point import Point
 from repro.query.executor import Database
 from repro.query.parser import parse
 from repro.util.counters import CounterRegistry

@@ -1,0 +1,197 @@
+"""Tests for the unified join configuration (``repro.core.spec``):
+one frozen spec type shared by every operator family, validated in
+exactly one place."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.core.distance_join import IncrementalDistanceJoin
+from repro.core.knn_join import KNearestNeighborJoin
+from repro.core.reverse import ReverseDistanceJoin, ReverseDistanceSemiJoin
+from repro.core.semi_join import IncrementalDistanceSemiJoin
+from repro.core.spec import JoinSpec
+from repro.parallel.join import ParallelDistanceJoin
+
+from tests.conftest import make_points, make_tree
+
+
+@pytest.fixture(scope="module")
+def trees():
+    return (
+        make_tree(make_points(40, seed=31)),
+        make_tree(make_points(50, seed=32)),
+    )
+
+
+SEQUENTIAL_OPERATORS = [
+    IncrementalDistanceJoin,
+    IncrementalDistanceSemiJoin,
+    KNearestNeighborJoin,
+    ReverseDistanceJoin,
+    ReverseDistanceSemiJoin,
+]
+
+
+class TestSpecBasics:
+    def test_frozen(self):
+        spec = JoinSpec()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.max_pairs = 5
+
+    def test_evolve_returns_new_spec(self):
+        spec = JoinSpec(max_pairs=10)
+        changed = spec.evolve(max_pairs=None, node_policy="basic")
+        assert spec.max_pairs == 10
+        assert changed.max_pairs is None
+        assert changed.node_policy == "basic"
+
+    def test_picklable(self):
+        spec = JoinSpec(queue="hybrid", queue_dt=3.0, max_pairs=7)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+
+    def test_coalesce_from_knobs(self):
+        spec = JoinSpec.coalesce(None, {"max_pairs": 3})
+        assert spec.max_pairs == 3
+
+    def test_coalesce_overrides_spec(self):
+        base = JoinSpec(max_pairs=3, node_policy="basic")
+        spec = JoinSpec.coalesce(base, {"max_pairs": 9})
+        assert spec.max_pairs == 9
+        assert spec.node_policy == "basic"
+
+    def test_coalesce_rejects_unknown_knob(self):
+        with pytest.raises(TypeError):
+            JoinSpec.coalesce(None, {"max_paris": 3})
+
+
+class TestSingleValidationPoint:
+    """Every operator rejects bad knobs through JoinSpec.validate."""
+
+    @pytest.mark.parametrize("operator", SEQUENTIAL_OPERATORS)
+    @pytest.mark.parametrize("bad", [
+        {"tie_break": "sideways"},
+        {"node_policy": "odd"},
+        {"queue": "punchcard"},
+        {"queue": "hybrid"},  # hybrid requires a positive D_T
+        {"queue": "hybrid", "queue_dt": -1.0},
+        {"leaf_mode": "indirect"},
+        {"min_distance": -1.0},
+        {"min_distance": 5.0, "max_distance": 1.0},
+        {"max_pairs": 0},
+        {"filter_strategy": "outside9"},
+        {"dmax_strategy": "galactic"},
+        {"dmax_strategy": "local", "filter_strategy": "outside"},
+    ])
+    def test_rejected_everywhere(self, trees, operator, bad):
+        with pytest.raises(ValueError):
+            operator(*trees, **bad)
+
+    @pytest.mark.parametrize("operator", SEQUENTIAL_OPERATORS)
+    def test_spec_positional_accepted(self, trees, operator):
+        join = operator(*trees, JoinSpec(max_pairs=4))
+        assert join.spec.max_pairs == 4
+
+    def test_validate_directly(self):
+        with pytest.raises(ValueError):
+            JoinSpec(queue="hybrid").validate()
+        JoinSpec(queue="hybrid", queue_dt=2.0).validate()
+
+
+class TestBackCompatKeywords:
+    """The old keyword constructors still work and agree with specs."""
+
+    def test_join_kwargs_equal_spec(self, trees):
+        by_kwargs = list(IncrementalDistanceJoin(
+            *trees, max_pairs=25, node_policy="basic",
+            tie_break="breadth_first",
+        ))
+        by_spec = list(IncrementalDistanceJoin(
+            *trees, JoinSpec(
+                max_pairs=25, node_policy="basic",
+                tie_break="breadth_first",
+            ),
+        ))
+        assert [
+            (r.distance, r.oid1, r.oid2) for r in by_kwargs
+        ] == [
+            (r.distance, r.oid1, r.oid2) for r in by_spec
+        ]
+
+    def test_semi_join_kwargs_equal_spec(self, trees):
+        by_kwargs = list(IncrementalDistanceSemiJoin(
+            *trees, dmax_strategy="global_all",
+        ))
+        by_spec = list(IncrementalDistanceSemiJoin(
+            *trees, JoinSpec(dmax_strategy="global_all"),
+        ))
+        assert [
+            (r.oid1, r.oid2) for r in by_kwargs
+        ] == [
+            (r.oid1, r.oid2) for r in by_spec
+        ]
+
+    def test_spec_knobs_combine(self, trees):
+        join = IncrementalDistanceJoin(
+            *trees, JoinSpec(node_policy="basic"), max_pairs=5,
+        )
+        assert join.spec.node_policy == "basic"
+        assert join.spec.max_pairs == 5
+        assert len(list(join)) == 5
+
+    def test_reverse_join_forces_descending(self, trees):
+        join = ReverseDistanceJoin(*trees, JoinSpec(max_pairs=3))
+        assert join.spec.descending
+        assert join.descending
+
+
+class TestSemiJoinDirectionGuard:
+    def test_semi_join_rejects_descending(self, trees):
+        with pytest.raises(ValueError, match="ReverseDistanceSemiJoin"):
+            IncrementalDistanceSemiJoin(*trees, descending=True)
+
+    def test_reverse_semi_join_is_the_blessed_path(self, trees):
+        join = ReverseDistanceSemiJoin(*trees)
+        assert join.spec.descending
+
+
+class TestParallelValidation:
+    """The engine validates the spec explicitly instead of silently
+    ignoring unsupported knobs."""
+
+    def test_queue_request_rejected(self, trees):
+        with pytest.raises(ValueError, match="in-memory queue"):
+            ParallelDistanceJoin(
+                *trees, workers=2, backend="thread",
+                queue="hybrid", queue_dt=2.0,
+            )
+
+    def test_descending_rejected(self, trees):
+        with pytest.raises(ValueError, match="min-merge"):
+            ParallelDistanceJoin(
+                *trees, workers=2, backend="thread", descending=True,
+            )
+
+    def test_spec_threaded_to_tasks(self, trees):
+        engine = ParallelDistanceJoin(
+            *trees, JoinSpec(max_pairs=10, node_policy="basic"),
+            workers=2, backend="thread",
+        )
+        assert engine.spec.max_pairs == 10
+        for task in engine.tasks:
+            assert task.spec.node_policy == "basic"
+
+    def test_semi_join_workers_uncapped(self, trees):
+        from repro.parallel.join import ParallelDistanceSemiJoin
+
+        engine = ParallelDistanceSemiJoin(
+            *trees, JoinSpec(max_pairs=5),
+            workers=2, backend="thread",
+        )
+        # The parent bound stays; workers must stream unbounded so the
+        # post-merge dedup sees every outer object's best partner.
+        assert engine.max_pairs == 5
+        for task in engine.tasks:
+            assert task.spec.max_pairs is None
