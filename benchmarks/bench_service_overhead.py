@@ -1,0 +1,129 @@
+"""Service overhead -- the price of suspending and resuming a join.
+
+The preemptable service (``repro.service``) suspends a running join by
+saving its cursor and later rebuilding the operator from it.  This
+benchmark measures that cost directly: the same bounded join is run
+uninterrupted and with a suspend/resume cycle (including a pickle
+round-trip, the evicted-session path) every N results, for a sweep of
+suspend cadences.  The interesting shape: overhead per result falls
+roughly linearly with the cadence, and even an aggressive cadence
+(every 16 results) stays within a small multiple of the plain run
+because the cursor is just the priority-queue state -- nothing is
+recomputed.
+
+Run ``python benchmarks/bench_service_overhead.py`` for the table;
+``pytest benchmarks/bench_service_overhead.py --benchmark-only`` for
+the timing harness at test scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import sys as _sys
+from pathlib import Path as _Path
+
+# Allow `python benchmarks/bench_*.py` without installing the
+# benchmarks package (pytest imports it via the repo root).
+_sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import (
+    TEST_SCALE,
+    bench_args,
+    best_of,
+    emit,
+    workload,
+)
+from repro.bench.runner import run_join
+from repro.core.distance_join import IncrementalDistanceJoin
+from repro.core.spec import JoinSpec
+from repro.service.overhead import resumed_join
+
+#: Suspend cadences swept by the script (results between suspends).
+SCRIPT_CADENCES = [16, 64, 256]
+
+#: Result pairs consumed per measurement (script runs).
+SCRIPT_PAIRS = 2_000
+
+TEST_CADENCES = [32]
+TEST_PAIRS_BUDGET = 200
+
+
+def make_plain(load, pairs):
+    return IncrementalDistanceJoin(
+        load.tree1, load.tree2, JoinSpec(max_pairs=pairs),
+        counters=load.counters,
+    )
+
+
+def make_resumed(load, pairs, every):
+    return resumed_join(
+        load.tree1, load.tree2, JoinSpec(max_pairs=pairs),
+        counters=load.counters, every=every, through_bytes=True,
+    )
+
+
+def measure(scale, pairs, cadences, repeat=1):
+    load = workload(scale)
+    baseline = best_of(repeat, lambda: run_join(
+        lambda: make_plain(load, pairs), pairs, load.counters,
+        label="plain", before=load.cold_caches,
+    ))
+    rows = [{
+        "Suspend every": "(never)",
+        "Time (s)": baseline.seconds,
+        "Suspends": 0,
+        "Overhead": "--",
+    }]
+    runs = [baseline]
+    for every in cadences:
+        run = best_of(repeat, lambda: run_join(
+            lambda: make_resumed(load, pairs, every),
+            pairs, load.counters,
+            label=f"every={every}", before=load.cold_caches,
+        ))
+        runs.append(run)
+        overhead = (run.seconds / baseline.seconds - 1.0) \
+            if baseline.seconds > 0 else 0.0
+        rows.append({
+            "Suspend every": every,
+            "Time (s)": run.seconds,
+            "Suspends": (pairs - 1) // every,
+            "Overhead": f"{overhead:+.0%}",
+        })
+    return rows, runs
+
+
+@pytest.mark.parametrize("every", TEST_CADENCES)
+def test_service_overhead(benchmark, every):
+    load = workload(TEST_SCALE)
+
+    def once():
+        load.cold_caches()
+        load.reset_counters()
+        for __ in make_resumed(load, TEST_PAIRS_BUDGET, every):
+            pass
+
+    benchmark(once)
+
+
+def main(argv=None):
+    args = bench_args(
+        argv, "Service overhead: suspend/resume vs uninterrupted join"
+    )
+    rows, runs = measure(
+        args.scale, SCRIPT_PAIRS, SCRIPT_CADENCES, args.repeat
+    )
+    emit(
+        args, rows,
+        columns=["Suspend every", "Time (s)", "Suspends", "Overhead"],
+        title=(
+            f"Suspend/resume overhead, {SCRIPT_PAIRS} pairs of "
+            f"Water x Roads at scale {args.scale:g}"
+        ),
+        runs=runs,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -58,7 +58,7 @@ SMOKE = "smoke"
 FULL = "full"
 
 #: Operator families a case can exercise.
-OPERATORS = ("join", "semi", "parallel")
+OPERATORS = ("join", "semi", "parallel", "service")
 
 #: A case's join configuration: a spec, or a factory deriving one
 #: from the workload and the tier's result budget.
@@ -88,8 +88,9 @@ class BenchCase:
 
     ``spec`` holds the join knobs (static, or derived per workload);
     ``operator`` selects the family (``join`` / ``semi`` /
-    ``parallel``); ``engine`` carries parallel-engine options that are
-    deliberately *not* part of the spec (workers, backend).  The
+    ``parallel`` / ``service``); ``engine`` carries engine options
+    that are deliberately *not* part of the spec (workers, backend;
+    the service family's suspend cadence).  The
     runner calls :meth:`build` per repetition against cold caches and
     reset counters, exactly like the ``benchmarks/`` scripts, and
     consumes the tier's ``pairs`` budget (None = exhaust).
@@ -136,6 +137,13 @@ class BenchCase:
             from repro.parallel import ParallelDistanceJoin
 
             return ParallelDistanceJoin(
+                load.tree1, load.tree2, spec,
+                **common, **dict(self.engine),
+            )
+        if self.operator == "service":
+            from repro.service.overhead import resumed_join
+
+            return resumed_join(
                 load.tree1, load.tree2, spec,
                 **common, **dict(self.engine),
             )
@@ -255,6 +263,16 @@ register(BenchCase(
     spec=lambda load, pairs: JoinSpec(max_distance=suggest_dt(load)),
     pairs={SMOKE: None, FULL: 1_000},
     operator="semi",
+))
+
+register(BenchCase(
+    name="service.suspend_resume",
+    description="Service: join suspended/resumed through pickled "
+                "cursors every 32 results",
+    spec=lambda load, pairs: JoinSpec(max_pairs=pairs),
+    pairs={SMOKE: 100, FULL: 10_000},
+    operator="service",
+    engine={"every": 32, "through_bytes": True},
 ))
 
 register(BenchCase(

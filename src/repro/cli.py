@@ -21,6 +21,13 @@ Commands
     Print the plan and cost estimates for a query without running it
     (``--analyze`` or an ``EXPLAIN ANALYZE`` prefix runs it and
     reports actuals).
+``serve``
+    Serve queries over HTTP with the preemptable join scheduler
+    (``POST /query`` then ``GET /next`` pages -- see docs/SERVICE.md).
+
+``query --page K`` prints K rows and persists the suspended cursor to
+``--cursor FILE``; ``query --resume FILE`` continues it later without
+recomputing anything.
 
 Examples
 --------
@@ -185,11 +192,93 @@ def _stop_profiler(profiler, path: Optional[str]) -> None:
     print(f"-- profile -> {path} (pstats)", file=sys.stderr)
 
 
+def _print_row(row) -> None:
+    coords1 = ",".join(f"{c:g}" for c in row.geom1.coords) \
+        if isinstance(row.geom1, Point) else ""
+    coords2 = ",".join(f"{c:g}" for c in row.geom2.coords) \
+        if isinstance(row.geom2, Point) else ""
+    print(
+        f"{row.d:.6f}\t{row.oid1}\t{coords1}\t"
+        f"{row.oid2}\t{coords2}"
+    )
+
+
+def _cmd_query_paged(args: argparse.Namespace) -> int:
+    """``repro query --page K``: fetch one page, persist the cursor.
+
+    A fresh run needs the SQL; ``--resume FILE`` continues from a
+    cursor file instead (the same ``--relation`` bindings must be
+    supplied -- the cursor stores execution state, not the data).
+    """
+    import os
+
+    from repro.service import cursor as service_cursor
+    from repro.service.session import QuerySource
+
+    db = _build_database(args.relation)
+    if args.resume:
+        with open(args.resume, "rb") as handle:
+            state = service_cursor.loads(handle.read())
+        if args.sql and args.sql != state["sql"]:
+            raise SystemExit(
+                "error: the cursor was saved for a different query; "
+                "omit the SQL argument when resuming"
+            )
+        source = QuerySource(db, state["sql"], strategy=state["strategy"])
+        source.load(state)
+        rows = source.open()
+    else:
+        if not args.sql:
+            raise SystemExit("error: a SQL query is required "
+                             "(or --resume CURSOR_FILE)")
+        source = QuerySource(db, args.sql, strategy=args.strategy)
+        rows = source.open()
+
+    page = args.page if args.page is not None else 16
+    printed = 0
+    exhausted = False
+    while printed < page:
+        try:
+            row = next(rows)
+        except StopIteration:
+            exhausted = True
+            break
+        _print_row(row)
+        printed += 1
+
+    cursor_path = args.cursor or args.resume
+    print(f"-- {printed} row(s)", file=sys.stderr)
+    if exhausted:
+        print("-- done (stream exhausted)", file=sys.stderr)
+        if cursor_path and os.path.exists(cursor_path):
+            os.remove(cursor_path)
+        return 0
+    if not cursor_path:
+        print(
+            "-- warning: no --cursor file given; progress discarded",
+            file=sys.stderr,
+        )
+        return 0
+    blob = service_cursor.dumps(source.save())
+    with open(cursor_path, "wb") as handle:
+        handle.write(blob)
+    print(
+        f"-- cursor -> {cursor_path} "
+        f"(resume with: repro query --resume {cursor_path} ...)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     """``repro query``: run a SQL query, streaming rows to stdout."""
     from repro.query.parser import parse
     from repro.util.obs import Observer, write_metrics
 
+    if args.page is not None or args.resume:
+        return _cmd_query_paged(args)
+    if not args.sql:
+        raise SystemExit("error: a SQL query is required")
     db = _build_database(args.relation)
     query = parse(args.sql)
     if args.workers is not None:
@@ -225,14 +314,7 @@ def cmd_query(args: argparse.Namespace) -> int:
         )
         printed = 0
         for row in rows:
-            coords1 = ",".join(f"{c:g}" for c in row.geom1.coords) \
-                if isinstance(row.geom1, Point) else ""
-            coords2 = ",".join(f"{c:g}" for c in row.geom2.coords) \
-                if isinstance(row.geom2, Point) else ""
-            print(
-                f"{row.d:.6f}\t{row.oid1}\t{coords1}\t"
-                f"{row.oid2}\t{coords2}"
-            )
+            _print_row(row)
             printed += 1
             if args.limit is not None and printed >= args.limit:
                 break
@@ -268,6 +350,32 @@ def cmd_explain(args: argparse.Namespace) -> int:
         print(db.explain_analyze(query, strategy=args.strategy).pretty())
     else:
         print(db.explain(query, strategy=args.strategy).pretty())
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the preemptable join service over HTTP."""
+    from repro.service.server import run
+
+    db = _build_database(args.relation)
+    names = ", ".join(db.relations()) or "(none)"
+    print(
+        f"serving relations [{names}] on "
+        f"http://{args.host}:{args.port} "
+        f"(quantum {args.quantum_pairs} pairs / "
+        f"{args.quantum_seconds}s; Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+    run(
+        db,
+        host=args.host,
+        port=args.port,
+        quantum_pairs=args.quantum_pairs,
+        quantum_seconds=args.quantum_seconds,
+        max_sessions=args.max_sessions,
+        spool_dir=args.spool_dir,
+        idle_evict_seconds=args.idle_evict_seconds,
+    )
     return 0
 
 
@@ -358,7 +466,10 @@ def build_parser() -> argparse.ArgumentParser:
     query = commands.add_parser(
         "query", help="run a distance (semi-)join SQL query"
     )
-    query.add_argument("sql")
+    query.add_argument(
+        "sql", nargs="?", default=None,
+        help="the query text (optional with --resume)",
+    )
     query.add_argument(
         "--relation", action="append", default=[],
         metavar="NAME=SOURCE",
@@ -396,6 +507,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", default=None, metavar="FILE",
         help="run under cProfile and dump pstats to FILE",
     )
+    query.add_argument(
+        "--page", type=_positive_int, default=None, metavar="K",
+        help="interactive paging: print K rows, persist the suspended "
+             "cursor to --cursor, and exit",
+    )
+    query.add_argument(
+        "--cursor", default=None, metavar="FILE",
+        help="where --page writes the suspended cursor",
+    )
+    query.add_argument(
+        "--resume", default=None, metavar="FILE",
+        help="continue a paged query from a cursor file written by a "
+             "previous --page run (same --relation bindings required)",
+    )
     query.set_defaults(func=cmd_query)
 
     explain = commands.add_parser(
@@ -418,6 +543,42 @@ def build_parser() -> argparse.ArgumentParser:
              "materialization, or the cost model's choice (default)",
     )
     explain.set_defaults(func=cmd_explain)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve queries over HTTP with the preemptable join "
+             "scheduler",
+    )
+    serve.add_argument(
+        "--relation", action="append", default=[],
+        metavar="NAME=SOURCE",
+        help="bind a relation name to a .csv file or tree snapshot "
+             "(repeatable)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--quantum-pairs", type=_positive_int, default=64,
+        help="max rows one scheduler quantum produces per session",
+    )
+    serve.add_argument(
+        "--quantum-seconds", type=float, default=0.05,
+        help="wall-clock budget of one quantum",
+    )
+    serve.add_argument(
+        "--max-sessions", type=_positive_int, default=256,
+        help="admission cap on concurrent sessions",
+    )
+    serve.add_argument(
+        "--spool-dir", default=None, metavar="DIR",
+        help="evict idle sessions' cursors to DIR (eviction is off "
+             "without it)",
+    )
+    serve.add_argument(
+        "--idle-evict-seconds", type=float, default=30.0,
+        help="idle threshold before a session is spooled to disk",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     bench = commands.add_parser(
         "bench",

@@ -31,6 +31,7 @@ All of the paper's algorithmic knobs are exposed:
 
 from __future__ import annotations
 
+import pickle
 from typing import Any, List, NamedTuple, Optional, Tuple
 
 from repro.core.estimate import JoinEstimator, make_join_estimator
@@ -48,6 +49,7 @@ from repro.core.pqueue import (
     HybridPairQueue,
     MemoryPairQueue,
     PairQueue,
+    queue_from_state,
 )
 from repro.core.spec import (  # noqa: F401  (re-exported for back-compat)
     ADAPTIVE_QUEUE,
@@ -63,12 +65,16 @@ from repro.core.spec import (  # noqa: F401  (re-exported for back-compat)
     JoinSpec,
 )
 from repro.core.tiebreak import KeyMaker
-from repro.errors import JoinError
+from repro.errors import CursorError, JoinError
 from repro.rtree.base import RTreeBase
 from repro.util.counters import CounterRegistry
 from repro.util.obs import NULL_OBSERVER, Observer
 
 _INF = float("inf")
+
+#: Identifier and version of the suspended-join cursor format.
+CURSOR_FORMAT = "repro-join-cursor"
+CURSOR_VERSION = 1
 
 
 class JoinResult(NamedTuple):
@@ -171,6 +177,10 @@ class IncrementalDistanceJoin:
 
         self._produced = 0
         self._to_skip = 0
+        if getattr(self, "_suspended_init", False):
+            # :meth:`load` finishes construction by restoring a cursor
+            # instead of seeding the queue with the root pair.
+            return
         with self.obs.span("join.init"):
             self._init_state()
 
@@ -597,6 +607,181 @@ class IncrementalDistanceJoin:
         self.estimate = False
         with self.obs.span("join.init"):
             self._init_state()
+
+    # ------------------------------------------------------------------
+    # suspendable cursor: save / load
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _tree_fingerprint(tree: RTreeBase) -> Tuple:
+        """Identity of an input tree, checked at :meth:`load` time.
+
+        Node ids are assigned deterministically by the builders, so the
+        (class, dim, size, root id) quadruple pins the cursor to the
+        exact tree shape its queued node ids refer to.
+        """
+        return (type(tree).__name__, tree.dim, len(tree), tree.root_id)
+
+    def save(self) -> dict:
+        """Snapshot the complete execution state as a picklable cursor.
+
+        The join's entire state is its priority queue (the paper's
+        defining property), so the cursor is the queue snapshot plus a
+        handful of scalars: the spec, the tie-break sequence position,
+        restart bookkeeping, the estimator's ``M`` structure, and a
+        full counter snapshot.  Only valid between ``next()`` calls.
+
+        A ``pair_filter`` that does not pickle (e.g. a closure composed
+        by the query planner) is stripped from the saved spec and
+        flagged; :meth:`load` then requires it re-supplied.
+        """
+        spec = self.spec
+        has_filter = spec.pair_filter is not None
+        if has_filter:
+            try:
+                pickle.dumps(spec.pair_filter, pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                spec = spec.evolve(pair_filter=None)
+        return {
+            "format": CURSOR_FORMAT,
+            "version": CURSOR_VERSION,
+            "class": type(self).__name__,
+            "spec": spec,
+            "has_pair_filter": has_filter,
+            "check_consistency": self.distance.check_consistency,
+            "trees": (
+                self._tree_fingerprint(self.tree1),
+                self._tree_fingerprint(self.tree2),
+            ),
+            "estimate": self.estimate,
+            "max_pairs": self.max_pairs,
+            "produced": self._produced,
+            "to_skip": self._to_skip,
+            "seq": self._keys.seq,
+            "queue": self._queue.state(),
+            "estimator": (
+                self._estimator.state()
+                if self._estimator is not None else None
+            ),
+            "counters": self.counters.full_snapshot(),
+            "extra": self._state_extra(),
+        }
+
+    @classmethod
+    def load(
+        cls,
+        state: dict,
+        tree1: RTreeBase,
+        tree2: RTreeBase,
+        *,
+        counters: Optional[CounterRegistry] = None,
+        observer: Optional[Observer] = None,
+        pair_filter: Optional[Any] = None,
+    ) -> "IncrementalDistanceJoin":
+        """Rebuild a suspended join from a :meth:`save` cursor.
+
+        ``tree1``/``tree2`` must be the trees the cursor was taken
+        against (same class, dimensionality, size, and root id) --
+        queued node ids are meaningless otherwise.
+
+        With ``counters`` supplied (e.g. the registry the suspended
+        run charged), the resumed run continues those totals exactly:
+        restoring is counter-silent.  Without it a fresh registry is
+        created and primed with the cursor's counter snapshot, so the
+        final totals still match an uninterrupted run.
+
+        ``pair_filter`` re-supplies a filter that could not be
+        serialized; :class:`~repro.errors.CursorError` is raised when
+        the cursor needs one and none is given.
+        """
+        if not isinstance(state, dict) or state.get("format") != \
+                CURSOR_FORMAT:
+            raise CursorError("not a join cursor")
+        if state.get("version") != CURSOR_VERSION:
+            raise CursorError(
+                f"unsupported cursor version {state.get('version')!r} "
+                f"(this build reads version {CURSOR_VERSION})"
+            )
+        if state.get("class") != cls.__name__:
+            raise CursorError(
+                f"cursor was saved by {state.get('class')!r}; "
+                f"load it with that class, not {cls.__name__}"
+            )
+        expected = (
+            cls._tree_fingerprint(tree1), cls._tree_fingerprint(tree2)
+        )
+        if tuple(map(tuple, state["trees"])) != expected:
+            raise CursorError(
+                "cursor does not match the supplied trees: saved "
+                f"{state['trees']!r}, got {expected!r}"
+            )
+        spec = state["spec"]
+        if pair_filter is not None:
+            spec = spec.evolve(pair_filter=pair_filter)
+        elif state["has_pair_filter"] and spec.pair_filter is None:
+            raise CursorError(
+                "the cursor's pair filter was not serializable; "
+                "re-supply it via pair_filter="
+            )
+        registry = counters if counters is not None else CounterRegistry()
+        join = cls.__new__(cls)
+        join._suspended_init = True
+        try:
+            join.__init__(
+                tree1, tree2, spec,
+                counters=registry,
+                observer=observer,
+                check_consistency=state["check_consistency"],
+            )
+        finally:
+            join.__dict__.pop("_suspended_init", None)
+        join._restore_state(state)
+        if counters is None:
+            # Prime the fresh registry with the suspended run's totals
+            # and peaks so the resumed run's final numbers equal an
+            # uninterrupted run's.
+            snap = state["counters"]
+            for name, value in snap.values.items():
+                registry.counter(name).value = value
+            for name, peak in snap.peaks.items():
+                counter = registry.counter(name)
+                if peak > counter.peak:
+                    counter.peak = peak
+        return join
+
+    def _restore_state(self, state: dict) -> None:
+        """Overwrite execution state with a :meth:`save` snapshot."""
+        self.estimate = state["estimate"]
+        self.max_pairs = state["max_pairs"]
+        self._produced = state["produced"]
+        self._to_skip = state["to_skip"]
+        self._keys = KeyMaker(self.tie_break, descending=self.descending)
+        self._keys.restore_seq(state["seq"])
+        self._queue = queue_from_state(
+            state["queue"],
+            heap_class=self.heap_class,
+            counters=self.counters,
+            observer=self.obs if self.obs.enabled else None,
+        )
+        est_state = state["estimator"]
+        if est_state is None:
+            self._estimator = None
+        else:
+            self._estimator = self._make_estimator()
+            if self._estimator is None:
+                raise CursorError(
+                    "cursor carries estimator state but the restored "
+                    "spec disables estimation"
+                )
+            self._estimator.restore_state(est_state)
+        self._restore_extra(state["extra"])
+
+    def _state_extra(self) -> Any:
+        """Subclass hook: extra picklable state for :meth:`save`."""
+        return None
+
+    def _restore_extra(self, extra: Any) -> None:
+        """Subclass hook: restore what :meth:`_state_extra` captured."""
 
     def __repr__(self) -> str:
         return (

@@ -109,6 +109,43 @@ class _EstimatorBase:
         """Sum of generation lower bounds over M (introspection)."""
         return self._total
 
+    # ------------------------------------------------------------------
+    # suspendable-cursor support
+    # ------------------------------------------------------------------
+
+    def state(self) -> dict:
+        """A picklable snapshot of the estimator (counters excluded).
+
+        ``M`` is carried verbatim via
+        :meth:`~repro.core.heap.AddressableMaxQueue.state` -- its
+        insertion counter breaks priority ties, so the lazy-deletion
+        structure must survive suspension for trims to replay
+        identically.
+        """
+        return {
+            "k": self.k,
+            "dmin": self.dmin,
+            "dmax": self.dmax,
+            "aggressive": self.aggressive,
+            "trimmed": self.trimmed,
+            "m": self._m.state(),
+            "total": self._total,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite this estimator with a :meth:`state` snapshot.
+
+        The counters reference set at construction is kept: snapshots
+        never carry a registry.
+        """
+        self.k = state["k"]
+        self.dmin = state["dmin"]
+        self.dmax = state["dmax"]
+        self.aggressive = state["aggressive"]
+        self.trimmed = state["trimmed"]
+        self._m.restore_state(state["m"])
+        self._total = state["total"]
+
 
 class JoinEstimator(_EstimatorBase):
     """Maximum-distance estimation for the distance join."""
@@ -151,6 +188,15 @@ class SemiJoinEstimator(_EstimatorBase):
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._processed_first: set = set()
+
+    def state(self) -> dict:
+        out = super().state()
+        out["processed_first"] = set(self._processed_first)
+        return out
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._processed_first = set(state["processed_first"])
 
     @staticmethod
     def _count_of(value) -> int:

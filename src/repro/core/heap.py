@@ -91,6 +91,27 @@ class PairingHeap(Generic[K, V]):
         self._root = None
         self._size = 0
 
+    def items(self) -> List[Tuple[K, V]]:
+        """All (key, value) items in internal (arbitrary) order.
+
+        Non-destructive: the heap structure is untouched.  Used by the
+        queue snapshot machinery -- re-pushing the returned items into
+        a fresh heap reproduces the same *pop order* (keys are totally
+        ordered), though not necessarily the same internal shape.
+        """
+        out: List[Tuple[K, V]] = []
+        stack: List[_PairingNode] = []
+        if self._root is not None:
+            stack.append(self._root)
+        while stack:
+            node = stack.pop()
+            out.append((node.key, node.value))
+            if node.sibling is not None:
+                stack.append(node.sibling)
+            if node.child is not None:
+                stack.append(node.child)
+        return out
+
     @staticmethod
     def _meld(
         a: Optional[_PairingNode], b: Optional[_PairingNode]
@@ -168,6 +189,10 @@ class BinaryHeap(Generic[K, V]):
         """Discard all items."""
         self._heap.clear()
 
+    def items(self) -> List[Tuple[K, V]]:
+        """All (key, value) items in internal (arbitrary) order."""
+        return list(self._heap)
+
 
 class AddressableMaxQueue(Generic[V]):
     """Max-priority queue over float priorities with delete-by-key.
@@ -235,3 +260,24 @@ class AddressableMaxQueue(Generic[V]):
     def items(self):
         """Iterate over live (key, (priority, value)) entries."""
         return self._live.items()
+
+    # ------------------------------------------------------------------
+    # suspendable-cursor support
+    # ------------------------------------------------------------------
+
+    def state(self) -> dict:
+        """A picklable snapshot of the queue, including stale heap
+        entries and the insertion counter -- the counter breaks
+        priority ties, so reproducing pop order exactly requires
+        carrying the lazy-deletion structure verbatim."""
+        return {
+            "heap": list(self._heap),
+            "live": dict(self._live),
+            "counter": self._counter,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite this queue with a :meth:`state` snapshot."""
+        self._heap = list(state["heap"])
+        self._live = dict(state["live"])
+        self._counter = state["counter"]

@@ -216,3 +216,28 @@ class KNearestNeighborJoin(IncrementalDistanceSemiJoin):
                 continue
             kept.append((child_pair, d))
         return kept
+
+    # ------------------------------------------------------------------
+    # suspendable cursor
+    # ------------------------------------------------------------------
+
+    def _state_extra(self):
+        extra = super()._state_extra()
+        extra["k"] = self.k
+        extra["partner_counts"] = dict(self._partner_counts)
+        extra["done_count"] = self._done_count
+        extra["bound_lists"] = {
+            key: list(values)
+            for key, values in self._bound_lists.items()
+        }
+        return extra
+
+    def _restore_extra(self, extra) -> None:
+        super()._restore_extra(extra)
+        self.k = extra["k"]
+        self._partner_counts = dict(extra["partner_counts"])
+        self._done_count = extra["done_count"]
+        self._bound_lists = {
+            key: list(values)
+            for key, values in extra["bound_lists"].items()
+        }

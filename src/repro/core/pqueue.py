@@ -87,6 +87,40 @@ class MemoryPairQueue(PairQueue):
     def __len__(self) -> int:
         return len(self._heap)
 
+    # ------------------------------------------------------------------
+    # suspendable-cursor support
+    # ------------------------------------------------------------------
+
+    def state(self) -> dict:
+        """A picklable snapshot of the queue contents.
+
+        Heap items are captured in internal order; keys are totally
+        ordered (the tie-break seq makes them so), so re-pushing into a
+        fresh heap reproduces the identical pop order.
+        """
+        return {"kind": "memory", "items": self._heap.items()}
+
+    @classmethod
+    def from_state(
+        cls,
+        state: dict,
+        *,
+        heap_class: Type = PairingHeap,
+        counters: Optional[CounterRegistry] = None,
+        observer: Optional[Observer] = None,
+        store: Optional[PageStore] = None,
+    ) -> "MemoryPairQueue":
+        """Rebuild a queue from a :meth:`state` snapshot.
+
+        The extra keyword arguments mirror the other queues' signatures
+        so :func:`queue_from_state` can dispatch uniformly; this queue
+        only uses ``heap_class``.
+        """
+        queue = cls(heap_class=heap_class)
+        for key, value in state["items"]:
+            queue._heap.push(key, value)
+        return queue
+
 
 class HybridPairQueue(PairQueue):
     """The three-tier memory/disk queue of Section 3.2.
@@ -274,6 +308,82 @@ class HybridPairQueue(PairQueue):
             f" disk={self._disk_records}, d1={self._d1:g}, d2={self._d2:g})"
         )
 
+    # ------------------------------------------------------------------
+    # suspendable-cursor support
+    # ------------------------------------------------------------------
+
+    def state(self) -> dict:
+        """A picklable snapshot of all three tiers.
+
+        Disk-band page payloads are captured with uncounted
+        :meth:`~repro.storage.pager.PageStore.peek` reads, so taking a
+        snapshot is invisible to the I/O counters.  The band cursor,
+        the unorganized list, and the per-band open/closed page
+        structure are all carried so a restore reproduces the exact
+        refill and promotion sequence of an uninterrupted run.
+        """
+        bands = []
+        for band in sorted(self._bands):
+            pages = [
+                list(self.store.peek(page_id).payload)
+                for page_id in self._bands[band]
+            ]
+            bands.append((band, pages, band in self._open_page))
+        return {
+            "kind": "hybrid",
+            "dt": self.dt,
+            "cursor": self._cursor,
+            "heap": self._heap.items(),
+            "list": list(self._list),
+            "bands": bands,
+            "disk_records": self._disk_records,
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: dict,
+        *,
+        heap_class: Type = PairingHeap,
+        counters: Optional[CounterRegistry] = None,
+        observer: Optional[Observer] = None,
+        store: Optional[PageStore] = None,
+    ) -> "HybridPairQueue":
+        """Rebuild a queue from a :meth:`state` snapshot.
+
+        Pages are re-allocated directly in the store (never through
+        :meth:`push`), so no ``pq_disk_writes`` or ``queue_inserts``
+        are charged: with a shared counter registry the restored run's
+        counters continue exactly where the suspended run left off.
+        """
+        queue = cls(
+            dt=state["dt"],
+            store=store,
+            counters=counters,
+            heap_class=heap_class,
+            observer=observer,
+        )
+        for key, value in state["heap"]:
+            queue._heap.push(key, value)
+        queue._list = list(state["list"])
+        queue._cursor = state["cursor"]
+        queue._disk_records = state["disk_records"]
+        for band, pages, has_open in state["bands"]:
+            page_ids = []
+            for records in pages:
+                records = list(records)
+                page_id = queue.store.allocate(
+                    records, len(records) * PAIR_RECORD_BYTES
+                )
+                page_ids.append(page_id)
+            queue._bands[band] = page_ids
+            if has_open and page_ids:
+                # Invariant: a band's open page is always the last page
+                # in its list (created together, dropped from the open
+                # map when full).
+                queue._open_page[band] = page_ids[-1]
+        return queue
+
 
 class AdaptiveHybridPairQueue(PairQueue):
     """A hybrid queue that chooses ``D_T`` from its own early traffic.
@@ -405,3 +515,102 @@ class AdaptiveHybridPairQueue(PairQueue):
                 f"{len(self._warmup)}/{self.calibration_size})"
             )
         return f"AdaptiveHybridPairQueue(dt={self._inner.dt:g})"
+
+    # ------------------------------------------------------------------
+    # suspendable-cursor support
+    # ------------------------------------------------------------------
+
+    def state(self) -> dict:
+        """A picklable snapshot covering both phases.
+
+        During warmup the buffered items *and* the observed distance
+        list are captured, so a resumed queue calibrates to the exact
+        same ``D_T`` at the exact same push.  After calibration the
+        inner hybrid queue's snapshot is nested.
+        """
+        if self._inner is None:
+            return {
+                "kind": "adaptive",
+                "phase": "warmup",
+                "calibration_size": self.calibration_size,
+                "target_heap_fraction": self.target_heap_fraction,
+                "warmup": self._warmup.items(),
+                "observed": list(self._observed),
+            }
+        return {
+            "kind": "adaptive",
+            "phase": "inner",
+            "calibration_size": self.calibration_size,
+            "target_heap_fraction": self.target_heap_fraction,
+            "inner": self._inner.state(),
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: dict,
+        *,
+        heap_class: Type = PairingHeap,
+        counters: Optional[CounterRegistry] = None,
+        observer: Optional[Observer] = None,
+        store: Optional[PageStore] = None,
+    ) -> "AdaptiveHybridPairQueue":
+        """Rebuild a queue from a :meth:`state` snapshot.
+
+        Never re-runs calibration: a post-calibration snapshot restores
+        the inner queue directly, so ``pq_adaptive_dt_micro`` is not
+        observed a second time.
+        """
+        queue = cls(
+            calibration_size=state["calibration_size"],
+            target_heap_fraction=state["target_heap_fraction"],
+            store=store,
+            counters=counters,
+            heap_class=heap_class,
+            observer=observer,
+        )
+        if state["phase"] == "warmup":
+            for key, value in state["warmup"]:
+                queue._warmup.push(key, value)
+            queue._observed = list(state["observed"])
+        else:
+            queue._inner = HybridPairQueue.from_state(
+                state["inner"],
+                heap_class=heap_class,
+                counters=queue.counters,
+                observer=queue.obs if queue.obs.enabled else None,
+                store=store,
+            )
+        return queue
+
+
+#: Snapshot ``kind`` -> queue class, for :func:`queue_from_state`.
+_QUEUE_KINDS: Dict[str, Type[PairQueue]] = {
+    "memory": MemoryPairQueue,
+    "hybrid": HybridPairQueue,
+    "adaptive": AdaptiveHybridPairQueue,
+}
+
+
+def queue_from_state(
+    state: dict,
+    *,
+    heap_class: Type = PairingHeap,
+    counters: Optional[CounterRegistry] = None,
+    observer: Optional[Observer] = None,
+    store: Optional[PageStore] = None,
+) -> PairQueue:
+    """Rebuild any pair queue from its :meth:`state` snapshot."""
+    try:
+        queue_class = _QUEUE_KINDS[state["kind"]]
+    except KeyError:
+        raise ValueError(
+            f"unknown queue snapshot kind {state.get('kind')!r}"
+        ) from None
+    return queue_class.from_state(
+        state,
+        heap_class=heap_class,
+        counters=counters,
+        observer=observer,
+        store=store,
+    )

@@ -97,3 +97,9 @@ class ReverseDistanceSemiJoin(ReverseDistanceJoin):
 
     def _on_report(self, pair: Pair) -> None:
         self._seen.add(pair.item1.oid)
+
+    def _state_extra(self):
+        return {"seen": self._seen.state()}
+
+    def _restore_extra(self, extra) -> None:
+        self._seen = Bitset.from_state(extra["seen"])

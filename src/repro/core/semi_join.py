@@ -238,3 +238,17 @@ class IncrementalDistanceSemiJoin(IncrementalDistanceJoin):
                 continue
             kept.append((child_pair, d))
         return kept
+
+    # ------------------------------------------------------------------
+    # suspendable cursor
+    # ------------------------------------------------------------------
+
+    def _state_extra(self):
+        return {
+            "seen": self._seen.state(),
+            "bounds": dict(self._bounds),
+        }
+
+    def _restore_extra(self, extra) -> None:
+        self._seen = Bitset.from_state(extra["seen"])
+        self._bounds = dict(extra["bounds"])

@@ -10,8 +10,7 @@ while *breadth-first* gives it to shallower ones.
 
 from __future__ import annotations
 
-from itertools import count
-from typing import Iterator, Tuple
+from typing import Tuple
 
 from repro.core.pairs import Pair
 
@@ -58,7 +57,11 @@ class KeyMaker:
             )
         self.tie_break = tie_break
         self.descending = descending
-        self._seq: Iterator[int] = count()
+        # A plain integer (not itertools.count) so a suspended join can
+        # snapshot and restore the sequence position -- the seq
+        # component is part of every queue key, and resumed runs must
+        # generate byte-identical keys to preserve tie ordering.
+        self._seq = 0
 
     def key(self, pair: Pair, distance: float) -> Tuple:
         """The queue key for ``pair`` ordered at ``distance``.
@@ -78,11 +81,21 @@ class KeyMaker:
             level_sum += pair.item1.level
         if pair.item2.is_node:
             level_sum += pair.item2.level
-        seq = next(self._seq)
+        seq = self._seq
+        self._seq += 1
         signed_distance = -distance if self.descending else distance
         if self.tie_break == DEPTH_FIRST:
             return (signed_distance, rank, level_sum, -seq)
         return (signed_distance, rank, -level_sum, seq)
+
+    @property
+    def seq(self) -> int:
+        """The next sequence number :meth:`key` will consume."""
+        return self._seq
+
+    def restore_seq(self, value: int) -> None:
+        """Reposition the sequence counter (cursor resume)."""
+        self._seq = int(value)
 
     @staticmethod
     def distance_of(key: Tuple) -> float:

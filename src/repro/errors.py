@@ -91,6 +91,27 @@ class RestartRequired(JoinError):
     """
 
 
+class CursorError(ReproError):
+    """A suspended-execution cursor could not be saved or restored.
+
+    Raised when a cursor blob has an unknown format or version, when
+    it was taken against different input trees than the ones supplied
+    at load time, when a component of the execution state is not
+    serializable (e.g. a closure pair filter that was not re-supplied),
+    or when an operator does not support suspension at all (the
+    multiprocessing parallel join).
+    """
+
+
+class ServiceError(ReproError):
+    """Errors raised by the preemptable join service layer.
+
+    Covers session admission (service full), unknown or expired
+    session ids, and attempts to evict a session whose operator only
+    supports in-memory suspension.
+    """
+
+
 class ConsistencyError(JoinError):
     """The supplied distance functions violate the consistency contract.
 

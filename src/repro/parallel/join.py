@@ -33,7 +33,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.distance_join import JoinResult
 from repro.core.spec import JoinSpec
-from repro.errors import JoinError
+from repro.errors import CursorError, JoinError
 from repro.parallel.executor import (
     BACKENDS,
     DEFAULT_BATCH_SIZE,
@@ -167,6 +167,11 @@ class ParallelDistanceJoin:
         self._merge: Optional[OrderedStreamMerge] = None
         self._produced = 0
         self._closed = False
+        #: Worker result batches folded in so far.  Batch arrivals are
+        #: the operator's natural preemption points: the scheduler's
+        #: quantum loop reads this to yield between tile batches
+        #: instead of mid-batch.
+        self.batches_received = 0
 
     # ------------------------------------------------------------------
     # planning
@@ -225,6 +230,7 @@ class ParallelDistanceJoin:
         )
         self.counters.merge(delta)
         self.counters.add("parallel_batches")
+        self.batches_received += 1
         self._task_snapshots[batch.task_id] = batch.counters
         self._task_workers[batch.task_id] = batch.worker
         if batch.spans is not None:
@@ -285,6 +291,22 @@ class ParallelDistanceJoin:
     # ------------------------------------------------------------------
     # lifecycle / introspection
     # ------------------------------------------------------------------
+
+    def save(self) -> dict:
+        """Not supported: mid-flight worker state cannot be serialized.
+
+        A parallel join's execution state lives in its worker pool
+        (in-flight tile batches, per-worker queues), so it cannot be
+        turned into a compact on-disk cursor.  It is still a Python
+        iterator, so the scheduler suspends it *in memory* between
+        ``next()`` calls -- ideally at :attr:`batches_received`
+        boundaries -- but such a session cannot be evicted to disk.
+        """
+        raise CursorError(
+            f"{type(self).__name__} does not support save(): parallel "
+            "joins suspend in memory only (between next() calls), not "
+            "to a serialized cursor"
+        )
 
     def close(self) -> None:
         """Cancel outstanding worker batches and release the pool.

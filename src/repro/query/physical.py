@@ -50,6 +50,7 @@ from repro.parallel.join import (
     ParallelDistanceJoin,
     ParallelDistanceSemiJoin,
 )
+from repro.errors import CursorError
 from repro.query.ast_nodes import Query
 from repro.query.costmodel import JoinCostModel, estimate_build_cost
 from repro.query.logical import LogicalPlan, build_logical_plan
@@ -65,6 +66,7 @@ __all__ = [
     "STRATEGIES",
     "Row",
     "PlanExplanation",
+    "OperatorState",
     "PhysicalNode",
     "IndexScan",
     "PrefilterMaterialize",
@@ -223,8 +225,28 @@ class ResolvedInput(NamedTuple):
     matcher: Optional[Callable[[int], bool]]  # pushed-down predicate
 
 
+class OperatorState(NamedTuple):
+    """One node of a saved physical-plan cursor.
+
+    A plan cursor is a tree of these mirroring the operator tree:
+    ``operator`` names the class that wrote it, ``version`` its payload
+    layout, ``payload`` the class-specific picklable state, and
+    ``children`` the saved subtrees.  Restore by rebuilding an
+    identical plan (same SQL, same strategy) and calling
+    :meth:`PhysicalNode.load` on its root.
+    """
+
+    operator: str
+    version: int
+    payload: Any
+    children: Tuple["OperatorState", ...]
+
+
 class PhysicalNode:
     """Base class: tree shape plus the EXPLAIN rendering."""
+
+    #: Bump in a subclass when its :meth:`_state_payload` layout changes.
+    STATE_VERSION = 1
 
     def children(self) -> Tuple["PhysicalNode", ...]:
         return ()
@@ -243,6 +265,56 @@ class PhysicalNode:
             lines.append(child.pretty(indent + 1))
         return "\n".join(lines)
 
+    # ------------------------------------------------------------------
+    # suspendable cursor
+    # ------------------------------------------------------------------
+
+    def save(self) -> OperatorState:
+        """Snapshot this operator subtree as a picklable cursor."""
+        return OperatorState(
+            operator=type(self).__name__,
+            version=self.STATE_VERSION,
+            payload=self._state_payload(),
+            children=tuple(child.save() for child in self.children()),
+        )
+
+    def load(self, state: OperatorState) -> None:
+        """Restore a :meth:`save` cursor into this operator subtree.
+
+        Call on a freshly built plan of the same shape (same query,
+        same strategy); children restore bottom-up so a parent's
+        payload can rely on its restored inputs.
+        """
+        if state.operator != type(self).__name__:
+            raise CursorError(
+                f"cursor node was saved by {state.operator!r}, "
+                f"found {type(self).__name__!r} -- the plan shape "
+                "changed since the cursor was taken"
+            )
+        if state.version != self.STATE_VERSION:
+            raise CursorError(
+                f"unsupported {state.operator} cursor version "
+                f"{state.version!r} (this build reads "
+                f"{self.STATE_VERSION})"
+            )
+        children = self.children()
+        if len(children) != len(state.children):
+            raise CursorError(
+                f"cursor for {state.operator} has "
+                f"{len(state.children)} children, plan has "
+                f"{len(children)}"
+            )
+        for child, child_state in zip(children, state.children):
+            child.load(child_state)
+        self._load_payload(state.payload)
+
+    def _state_payload(self) -> Any:
+        """Subclass hook: this operator's own picklable state."""
+        return None
+
+    def _load_payload(self, payload: Any) -> None:
+        """Subclass hook: restore what :meth:`_state_payload` wrote."""
+
 
 class IndexScan(PhysicalNode):
     """Expose one relation's index to the join."""
@@ -260,6 +332,27 @@ class IndexScan(PhysicalNode):
 
     def resolve(self, obs: Optional[Any] = None) -> ResolvedInput:
         return ResolvedInput(self.tree, None, None)
+
+    def _state_payload(self) -> Any:
+        return {
+            "relation": self.relation,
+            "size": len(self.tree),
+            "dim": self.tree.dim,
+        }
+
+    def _load_payload(self, payload: Any) -> None:
+        if (
+            payload["relation"] != self.relation
+            or payload["size"] != len(self.tree)
+            or payload["dim"] != self.tree.dim
+        ):
+            raise CursorError(
+                f"cursor was taken against relation "
+                f"{payload['relation']!r} ({payload['size']} objects, "
+                f"dim {payload['dim']}); the plan scans "
+                f"{self.relation!r} ({len(self.tree)} objects, "
+                f"dim {self.tree.dim})"
+            )
 
 
 class PrefilterMaterialize(PhysicalNode):
@@ -294,6 +387,13 @@ class PrefilterMaterialize(PhysicalNode):
             self._resolved = ResolvedInput(tree, mapping, None)
         return self._resolved
 
+    def _state_payload(self) -> Any:
+        # The materialized index itself is not saved:
+        # materialize_filtered is deterministic (sorted oids, bulk
+        # load), so a resume rebuilds the identical temporary index on
+        # demand and the join cursor's node ids stay valid.
+        return {"selectivity": self.selectivity}
+
 
 class PairFilterPushdown(PhysicalNode):
     """The pipeline plan's side: the predicate travels into the join
@@ -318,6 +418,11 @@ class PairFilterPushdown(PhysicalNode):
     def resolve(self, obs: Optional[Any] = None) -> ResolvedInput:
         base = self.child.resolve(obs)
         return ResolvedInput(base.tree, base.mapping, self.matcher)
+
+    def _state_payload(self) -> Any:
+        # The matcher is a closure over database columns; the rebuilt
+        # plan recreates it from the same query text.
+        return {"selectivity": self.selectivity}
 
 
 class DistanceJoinOp(PhysicalNode):
@@ -399,6 +504,50 @@ class DistanceJoinOp(PhysicalNode):
     def results(self) -> Iterator[JoinResult]:
         return iter(self.open())
 
+    def _state_payload(self) -> Any:
+        return {
+            "strategy": self.strategy,
+            "join": self._join.save() if self._join is not None
+            else None,
+        }
+
+    def _load_payload(self, payload: Any) -> None:
+        if payload["strategy"] != self.strategy:
+            raise CursorError(
+                f"cursor was taken under strategy "
+                f"{payload['strategy']!r}; rebuild the plan with that "
+                f"strategy (got {self.strategy!r})"
+            )
+        cursor = payload["join"]
+        if cursor is None:
+            # Suspended before the join was ever opened: a fresh open
+            # is exactly equivalent.
+            return
+        loader = getattr(self.operator_cls, "load", None)
+        if loader is None:
+            raise CursorError(
+                f"{self.operator_cls.__name__} does not support "
+                "cursor restore"
+            )
+        obs = self.kwargs.get("observer")
+        with _maybe_span(obs, "op.DistanceJoin"):
+            left = self.left.resolve(obs)
+            right = self.right.resolve(obs)
+            self.mapping1 = left.mapping
+            self.mapping2 = right.mapping
+            # Recompose the pushed-down predicate closure that save()
+            # had to strip (a caller-supplied pair_filter kwarg wins,
+            # matching open()).
+            pair_filter = self.kwargs.get(
+                "pair_filter"
+            ) or _compose_pair_filter(left.matcher, right.matcher)
+            self._join = loader(
+                cursor, left.tree, right.tree,
+                counters=self.kwargs.get("counters"),
+                observer=obs,
+                pair_filter=pair_filter,
+            )
+
 
 class RemapOids(PhysicalNode):
     """Translate prefilter-index oids back to original object ids
@@ -460,6 +609,8 @@ class Limit(PhysicalNode):
     def __init__(self, child: RowProject, count: int) -> None:
         self.child = child
         self.count = count
+        #: Rows already delivered; a resumed plan only emits the rest.
+        self.emitted = 0
 
     def children(self) -> Tuple[PhysicalNode, ...]:
         return (self.child,)
@@ -468,7 +619,21 @@ class Limit(PhysicalNode):
         return f"Limit({self.count})"
 
     def rows(self) -> Iterator[Row]:
-        return itertools.islice(self.child.rows(), self.count)
+        remaining = max(0, self.count - self.emitted)
+        for row in itertools.islice(self.child.rows(), remaining):
+            self.emitted += 1
+            yield row
+
+    def _state_payload(self) -> Any:
+        return {"count": self.count, "emitted": self.emitted}
+
+    def _load_payload(self, payload: Any) -> None:
+        if payload["count"] != self.count:
+            raise CursorError(
+                f"cursor was taken with STOP AFTER {payload['count']}; "
+                f"the plan stops after {self.count}"
+            )
+        self.emitted = payload["emitted"]
 
 
 class PhysicalPlan:
@@ -516,6 +681,14 @@ class PhysicalPlan:
         root = self.root
         assert isinstance(root, (Limit, RowProject))
         return root.rows()
+
+    def save(self) -> OperatorState:
+        """Snapshot the whole operator tree as a picklable cursor."""
+        return self.root.save()
+
+    def restore(self, state: OperatorState) -> None:
+        """Load a :meth:`save` cursor into this freshly built plan."""
+        self.root.load(state)
 
     def pretty(self) -> str:
         return self.root.pretty()

@@ -1,0 +1,119 @@
+"""A small synchronous client for the join service HTTP API.
+
+Used by the tests, the CI smoke job, and ``examples/service_smoke.py``
+so they all exercise the server the same way a real client would --
+over a socket, one page at a time.  Stdlib only (``http.client``).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import ServiceError
+
+
+class ServiceClient:
+    """Talk to a running :class:`~repro.service.server.JoinService`.
+
+    Parameters
+    ----------
+    host / port:
+        Where the server listens.
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8080,
+        timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = json.dumps(body).encode("utf-8") \
+                if body is not None else None
+            headers = {"Content-Type": "application/json"} \
+                if payload is not None else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            content_type = response.getheader("Content-Type", "")
+            if content_type.startswith("application/json"):
+                decoded: Any = json.loads(raw.decode("utf-8"))
+            else:
+                decoded = raw.decode("utf-8")
+            if response.status >= 400:
+                detail = decoded.get("error", decoded) \
+                    if isinstance(decoded, dict) else decoded
+                raise ServiceError(
+                    f"{method} {path} -> {response.status}: {detail}"
+                )
+            return decoded
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+
+    def query(self, sql: str, strategy: str = "auto") -> str:
+        """Admit a query; returns the new session id."""
+        reply = self._request(
+            "POST", "/query", {"sql": sql, "strategy": strategy}
+        )
+        return reply["session"]
+
+    def next(self, session_id: str, k: int = 16) -> Dict[str, Any]:
+        """Fetch the next page: ``{"rows", "done", ...}``."""
+        return self._request(
+            "GET", f"/next?session={session_id}&k={k}"
+        )
+
+    def pages(
+        self, sql: str, k: int = 16, strategy: str = "auto"
+    ) -> Iterator[List[Dict[str, Any]]]:
+        """Run ``sql`` and yield pages of rows until the stream ends."""
+        session_id = self.query(sql, strategy=strategy)
+        while True:
+            reply = self.next(session_id, k=k)
+            if reply["rows"]:
+                yield reply["rows"]
+            if reply["done"]:
+                return
+
+    def rows(
+        self, sql: str, k: int = 16, strategy: str = "auto"
+    ) -> List[Dict[str, Any]]:
+        """All rows of ``sql``, fetched page by page."""
+        out: List[Dict[str, Any]] = []
+        for page in self.pages(sql, k=k, strategy=strategy):
+            out.extend(page)
+        return out
+
+    def status(self) -> Dict[str, Any]:
+        """The scheduler's ``/status`` snapshot."""
+        return self._request("GET", "/status")
+
+    def metrics_text(self) -> str:
+        """The Prometheus-style ``/metrics`` exposition."""
+        return self._request("GET", "/metrics")
+
+    def delete(self, session_id: str) -> None:
+        """Cancel a session."""
+        self._request("DELETE", f"/session?session={session_id}")
+
+
+__all__ = ["ServiceClient"]

@@ -1,0 +1,147 @@
+"""Cursor blobs: the service's serialized suspended-execution format.
+
+A cursor blob is a pickled envelope ``{"format", "version", "state"}``
+around whatever picklable state a component produced --
+:meth:`repro.core.distance_join.IncrementalDistanceJoin.save` for a
+bare join, :meth:`repro.query.physical.PhysicalNode.save` for a whole
+plan, or :meth:`repro.service.session.QuerySource.save` for a service
+session.  The envelope is what gets versioned here; the inner states
+carry their own format markers where they need them.
+
+:class:`CursorStore` spools blobs to files for idle-session eviction,
+accounting the traffic in the same simulated-page currency as the rest
+of the storage layer (``cursor_spool_writes`` / ``cursor_spool_reads``
+pages of the configured page size).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, Iterator, Optional
+
+from repro.errors import CursorError
+from repro.storage.pager import DEFAULT_PAGE_SIZE
+from repro.util.counters import CounterRegistry
+
+#: Identifier and version of the service cursor envelope.
+CURSOR_FORMAT = "repro-service-cursor"
+CURSOR_VERSION = 1
+
+
+def dumps(state: Any) -> bytes:
+    """Wrap ``state`` in the versioned envelope and pickle it."""
+    try:
+        return pickle.dumps(
+            {
+                "format": CURSOR_FORMAT,
+                "version": CURSOR_VERSION,
+                "state": state,
+            },
+            pickle.HIGHEST_PROTOCOL,
+        )
+    except Exception as exc:
+        raise CursorError(
+            f"cursor state is not serializable: {exc}"
+        ) from exc
+
+
+def loads(blob: bytes) -> Any:
+    """Unpickle a :func:`dumps` blob, checking the envelope."""
+    try:
+        envelope = pickle.loads(blob)
+    except Exception as exc:
+        raise CursorError(f"corrupt cursor blob: {exc}") from exc
+    if (
+        not isinstance(envelope, dict)
+        or envelope.get("format") != CURSOR_FORMAT
+    ):
+        raise CursorError("not a service cursor blob")
+    if envelope.get("version") != CURSOR_VERSION:
+        raise CursorError(
+            f"unsupported cursor version {envelope.get('version')!r} "
+            f"(this build reads version {CURSOR_VERSION})"
+        )
+    return envelope["state"]
+
+
+class CursorStore:
+    """File-backed spool for evicted session cursors.
+
+    Parameters
+    ----------
+    spool_dir:
+        Directory the blobs are written to (created on first use).
+    counters:
+        Registry charged with ``cursor_spool_writes`` /
+        ``cursor_spool_reads`` in simulated pages of ``page_size``
+        bytes, plus ``cursor_spool_bytes`` (gauge peak = largest blob).
+    page_size:
+        Page size used for the simulated-I/O accounting only; blobs
+        are stored as ordinary files.
+    """
+
+    def __init__(
+        self,
+        spool_dir: str,
+        counters: Optional[CounterRegistry] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> None:
+        self.spool_dir = spool_dir
+        self.counters = counters if counters is not None else CounterRegistry()
+        self.page_size = page_size
+
+    def _path(self, session_id: str) -> str:
+        safe = "".join(
+            c if c.isalnum() or c in "-_" else "_" for c in session_id
+        )
+        return os.path.join(self.spool_dir, f"session-{safe}.cursor")
+
+    def _pages(self, nbytes: int) -> int:
+        return max(1, -(-nbytes // self.page_size))
+
+    def save(self, session_id: str, state: Any) -> str:
+        """Spool ``state`` for ``session_id``; returns the file path."""
+        blob = dumps(state)
+        os.makedirs(self.spool_dir, exist_ok=True)
+        path = self._path(session_id)
+        with open(path, "wb") as handle:
+            handle.write(blob)
+        self.counters.add("cursor_spool_writes", self._pages(len(blob)))
+        self.counters.counter("cursor_spool_bytes").observe(len(blob))
+        return path
+
+    def load(self, session_id: str) -> Any:
+        """Read back the spooled cursor for ``session_id``."""
+        path = self._path(session_id)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except FileNotFoundError:
+            raise CursorError(
+                f"no spooled cursor for session {session_id!r}"
+            ) from None
+        self.counters.add("cursor_spool_reads", self._pages(len(blob)))
+        return loads(blob)
+
+    def delete(self, session_id: str) -> bool:
+        """Drop the spooled cursor; True if one existed."""
+        try:
+            os.remove(self._path(session_id))
+            return True
+        except FileNotFoundError:
+            return False
+
+    def exists(self, session_id: str) -> bool:
+        """True when a cursor is spooled for ``session_id``."""
+        return os.path.exists(self._path(session_id))
+
+    def session_ids(self) -> Iterator[str]:
+        """Session ids with a spooled cursor (by file name)."""
+        try:
+            names = os.listdir(self.spool_dir)
+        except FileNotFoundError:
+            return
+        for name in sorted(names):
+            if name.startswith("session-") and name.endswith(".cursor"):
+                yield name[len("session-"):-len(".cursor")]

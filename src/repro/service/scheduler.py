@@ -1,0 +1,317 @@
+"""The quantum scheduler: fair time-slicing of concurrent join sessions.
+
+Because an incremental join's execution state is its priority queue,
+suspending it costs nothing beyond *not calling* ``next()`` -- so a
+single thread can interleave hundreds of concurrent ``STOP AFTER k``
+sessions by running each for a bounded **quantum** (a pair budget and
+a wall-clock budget, whichever ends first) and moving on.
+
+Fairness is round-based: :meth:`JoinScheduler.run_round` gives every
+session with unmet demand exactly one quantum, in admission order, so
+no session starves while any round completes.  A ``STOP AFTER k``
+session that exhausts its stream is marked done and its slot freed on
+:meth:`remove` (the HTTP layer deletes it; the sync :meth:`fetch` path
+leaves that to the caller).
+
+Sessions idle past a threshold are *evicted to disk*: the plan cursor
+is spooled through a :class:`~repro.service.cursor.CursorStore` and
+the in-memory plan dropped; the next quantum resumes from the spooled
+cursor.  Parallel-join sessions suspend in memory only (their worker
+pools cannot serialize) and are simply skipped by eviction.
+
+Per-session observers record ``service.quantum`` / ``service.suspend``
+/ ``service.resume`` spans and the ``service.quantum_pairs`` gauge;
+:meth:`metrics` flattens them into the shared metrics schema with a
+``session`` label.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import CursorError, ServiceError
+from repro.query.physical import Row
+from repro.service.cursor import CursorStore
+from repro.service.session import QuerySource, Session
+from repro.util.counters import CounterRegistry
+from repro.util.obs import Observer, metrics_records
+from repro.util.validation import require_positive
+
+
+class JoinScheduler:
+    """Admits sessions and runs them in fair, preemptable quanta.
+
+    Parameters
+    ----------
+    quantum_pairs:
+        Maximum result rows one quantum may produce for a session.
+    quantum_seconds:
+        Wall-clock budget of one quantum (checked between rows; a
+        quantum always completes at least one ``next()``).
+    max_sessions:
+        Admission cap; :meth:`admit` raises
+        :class:`~repro.errors.ServiceError` beyond it.
+    counters:
+        Registry receiving ``service_quanta`` / ``service_rows`` /
+        ``service_evictions`` / ``service_resumes`` and the
+        ``service_sessions`` gauge.
+    cursor_store:
+        Spool for idle-session eviction (eviction is disabled when
+        omitted).
+    """
+
+    def __init__(
+        self,
+        quantum_pairs: int = 64,
+        quantum_seconds: float = 0.05,
+        max_sessions: int = 256,
+        counters: Optional[CounterRegistry] = None,
+        cursor_store: Optional[CursorStore] = None,
+    ) -> None:
+        require_positive(quantum_pairs, "quantum_pairs")
+        require_positive(quantum_seconds, "quantum_seconds")
+        require_positive(max_sessions, "max_sessions")
+        self.quantum_pairs = quantum_pairs
+        self.quantum_seconds = quantum_seconds
+        self.max_sessions = max_sessions
+        self.counters = counters if counters is not None else CounterRegistry()
+        self.store = cursor_store
+        self._sessions: Dict[str, Session] = {}
+        self._session_seq = 0
+
+    # ------------------------------------------------------------------
+    # admission / lookup
+    # ------------------------------------------------------------------
+
+    def admit(
+        self,
+        source: QuerySource,
+        session_id: Optional[str] = None,
+    ) -> Session:
+        """Register a new session for ``source``; returns it."""
+        if len(self._sessions) >= self.max_sessions:
+            raise ServiceError(
+                f"service full: {self.max_sessions} concurrent "
+                "sessions"
+            )
+        if session_id is None:
+            self._session_seq += 1
+            session_id = f"s{self._session_seq:06d}"
+        if session_id in self._sessions:
+            raise ServiceError(f"session {session_id!r} already exists")
+        session = Session(session_id, source, observer=Observer(
+            max_events=64
+        ))
+        self._sessions[session_id] = session
+        self.counters.observe("service_sessions", len(self._sessions))
+        return session
+
+    def session(self, session_id: str) -> Session:
+        """The session for ``session_id`` (ServiceError if unknown)."""
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise ServiceError(
+                f"unknown session {session_id!r}"
+            ) from None
+
+    def sessions(self) -> List[Session]:
+        """All live sessions in admission (round-robin) order."""
+        return list(self._sessions.values())
+
+    def remove(self, session_id: str) -> None:
+        """Terminate a session and free its slot.
+
+        Closes the underlying operator when it has a lifecycle (the
+        parallel join's worker pool) and drops any spooled cursor.
+        """
+        session = self.session(session_id)
+        plan = session.source.plan
+        join = getattr(plan, "join_op", None) if plan is not None \
+            else None
+        live = getattr(join, "_join", None) if join is not None else None
+        if live is not None and hasattr(live, "close"):
+            live.close()
+        if self.store is not None:
+            self.store.delete(session_id)
+        del self._sessions[session_id]
+        self.counters.observe("service_sessions", len(self._sessions))
+
+    # ------------------------------------------------------------------
+    # quantum execution
+    # ------------------------------------------------------------------
+
+    def request(self, session_id: str, k: int) -> Session:
+        """The client asks for ``k`` more rows of a session."""
+        require_positive(k, "k")
+        session = self.session(session_id)
+        session.demand += k
+        session.touch()
+        return session
+
+    def run_quantum(self, session: Session) -> int:
+        """Run one quantum for ``session``; returns rows buffered.
+
+        The quantum ends at the first of: the pair budget, the time
+        budget, the session's demand being met, a parallel worker
+        batch arriving (the TaskBatch-aware preemption point), or the
+        stream ending.
+        """
+        if session.done:
+            return 0
+        if session.evicted:
+            self._resume(session)
+        produced = 0
+        deadline = time.monotonic() + self.quantum_seconds
+        rows = session.rows()
+        live = self._live_join(session)
+        batch_mark = getattr(live, "batches_received", None)
+        with session.obs.span("service.quantum"):
+            while (
+                produced < self.quantum_pairs
+                and len(session.buffer) < session.demand
+            ):
+                try:
+                    row = next(rows)
+                except StopIteration:
+                    session.done = True
+                    break
+                session.buffer.append(row)
+                produced += 1
+                if time.monotonic() >= deadline:
+                    break
+                if batch_mark is not None:
+                    # Parallel sources preempt between tile batches:
+                    # a batch arrival is the natural yield point.
+                    current = getattr(live, "batches_received", 0)
+                    if current > batch_mark:
+                        break
+        session.quanta += 1
+        session.obs.gauge("service.quantum_pairs", float(produced))
+        self.counters.add("service_quanta")
+        if produced:
+            self.counters.add("service_rows", produced)
+        return produced
+
+    def run_round(self) -> int:
+        """One fairness round: a quantum per session with unmet demand.
+
+        Returns the total rows produced; 0 means no session can make
+        progress (all demands met, done, or no sessions).
+        """
+        produced = 0
+        for session in list(self._sessions.values()):
+            if session.pending:
+                produced += self.run_quantum(session)
+        return produced
+
+    def take(
+        self, session_id: str, k: Optional[int] = None
+    ) -> Tuple[List[Row], bool]:
+        """Pop up to ``k`` buffered rows (all buffered when None).
+
+        Returns ``(rows, exhausted)`` where ``exhausted`` is True once
+        the stream ended and the buffer is drained.
+        """
+        session = self.session(session_id)
+        count = len(session.buffer) if k is None else min(
+            k, len(session.buffer)
+        )
+        rows = [session.buffer.popleft() for __ in range(count)]
+        session.demand = max(0, session.demand - count)
+        session.emitted_total += count
+        session.touch()
+        return rows, session.done and not session.buffer
+
+    def fetch(self, session_id: str, k: int) -> Tuple[List[Row], bool]:
+        """Synchronous convenience: demand ``k`` rows and run rounds
+        until they are buffered (or the stream ends), then take them.
+
+        Other pending sessions advance too -- every round is fair.
+        """
+        self.request(session_id, k)
+        session = self.session(session_id)
+        while session.pending:
+            if self.run_round() == 0 and session.pending:
+                break
+        return self.take(session_id, k)
+
+    # ------------------------------------------------------------------
+    # eviction / resume
+    # ------------------------------------------------------------------
+
+    def evict_idle(self, idle_seconds: float) -> List[str]:
+        """Spool sessions idle past ``idle_seconds`` to disk.
+
+        Returns the evicted session ids.  Sessions with unmet demand,
+        already-evicted sessions, and operators that cannot serialize
+        (parallel joins) are skipped.
+        """
+        if self.store is None:
+            return []
+        evicted: List[str] = []
+        for session in list(self._sessions.values()):
+            if (
+                session.evicted
+                or session.pending
+                or session.done
+                or session.idle_seconds() < idle_seconds
+            ):
+                continue
+            try:
+                with session.obs.span("service.suspend"):
+                    state = session.suspend_to_state()
+                    self.store.save(session.id, state)
+            except CursorError:
+                continue
+            evicted.append(session.id)
+            self.counters.add("service_evictions")
+        return evicted
+
+    def _resume(self, session: Session) -> None:
+        if self.store is None:
+            raise ServiceError(
+                f"session {session.id!r} was evicted but the "
+                "scheduler has no cursor store"
+            )
+        with session.obs.span("service.resume"):
+            state = self.store.load(session.id)
+            session.resume_from_state(state)
+        self.store.delete(session.id)
+        self.counters.add("service_resumes")
+
+    def _live_join(self, session: Session) -> Any:
+        plan = session.source.plan
+        if plan is None:
+            return None
+        return getattr(plan.join_op, "_join", None)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        """A JSON-friendly snapshot of the whole scheduler."""
+        return {
+            "sessions": [s.stats() for s in self._sessions.values()],
+            "session_count": len(self._sessions),
+            "max_sessions": self.max_sessions,
+            "quantum_pairs": self.quantum_pairs,
+            "quantum_seconds": self.quantum_seconds,
+            "counters": dict(self.counters.snapshot()),
+        }
+
+    def metrics(
+        self, labels: Optional[Dict[str, Any]] = None
+    ) -> List[Dict[str, Any]]:
+        """Scheduler counters plus per-session spans/gauges, in the
+        shared metrics schema (one ``session`` label per session)."""
+        records = metrics_records(self.counters, labels=labels)
+        for session in self._sessions.values():
+            session_labels = dict(labels or {})
+            session_labels["session"] = session.id
+            records.extend(metrics_records(
+                obs=session.obs, labels=session_labels
+            ))
+        return records

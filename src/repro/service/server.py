@@ -1,0 +1,331 @@
+"""A stdlib-only asyncio HTTP front end for the join scheduler.
+
+The server speaks a deliberately small JSON API (documented with curl
+examples in ``docs/SERVICE.md``):
+
+- ``POST /query`` with ``{"sql": ..., "strategy": ...}`` admits a
+  session and returns its id;
+- ``GET /next?session=ID&k=N`` runs fair scheduler rounds until the
+  session has ``N`` rows (or its stream ends) and returns them as JSON
+  -- interleaving with every other pending session's quanta;
+- ``GET /status`` and ``GET /metrics`` expose the scheduler snapshot
+  and a Prometheus-style rendering of the service metrics;
+- ``DELETE /session?session=ID`` cancels a session.
+
+A background task periodically evicts idle sessions to the cursor
+spool; the next ``/next`` transparently resumes them.  Everything is
+``asyncio`` + ``json`` + manual HTTP/1.1 parsing -- no dependencies
+beyond the standard library, one request per connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import QueryError, ReproError, ServiceError
+from repro.query.parser import parse
+from repro.query.physical import STRATEGIES, Row
+from repro.service.cursor import CursorStore
+from repro.service.scheduler import JoinScheduler
+from repro.service.session import QuerySource
+from repro.util.counters import CounterRegistry
+from repro.util.obs import prometheus_text
+
+#: Strategies a client may request; anything else is a 400.
+ALLOWED_STRATEGIES = STRATEGIES
+
+#: Hard cap on one ``/next`` page (the client loops for more).
+MAX_PAGE = 4096
+
+
+def row_to_json(row: Row) -> Dict[str, Any]:
+    """A :class:`~repro.query.physical.Row` as JSON-friendly data."""
+    def geom(value: Any) -> Any:
+        coords = getattr(value, "coords", None)
+        return list(coords) if coords is not None else None
+
+    return {
+        "d": row.d,
+        "oid1": row.oid1,
+        "geom1": geom(row.geom1),
+        "oid2": row.oid2,
+        "geom2": geom(row.geom2),
+    }
+
+
+class JoinService:
+    """The HTTP-facing service: a database plus a quantum scheduler.
+
+    Parameters
+    ----------
+    db:
+        The :class:`~repro.query.executor.Database` queries run over.
+    scheduler:
+        Pre-configured scheduler (one is built when omitted).
+    spool_dir:
+        Where idle sessions are evicted to (``None`` disables
+        eviction); ignored when ``scheduler`` is supplied.
+    idle_evict_seconds / evict_interval:
+        Idle threshold and sweep period of the background evictor.
+    """
+
+    def __init__(
+        self,
+        db: Any,
+        scheduler: Optional[JoinScheduler] = None,
+        spool_dir: Optional[str] = None,
+        counters: Optional[CounterRegistry] = None,
+        idle_evict_seconds: float = 30.0,
+        evict_interval: float = 5.0,
+        quantum_pairs: int = 64,
+        quantum_seconds: float = 0.05,
+        max_sessions: int = 256,
+    ) -> None:
+        self.db = db
+        if scheduler is None:
+            store = CursorStore(spool_dir, counters=counters) \
+                if spool_dir is not None else None
+            scheduler = JoinScheduler(
+                quantum_pairs=quantum_pairs,
+                quantum_seconds=quantum_seconds,
+                max_sessions=max_sessions,
+                counters=counters,
+                cursor_store=store,
+            )
+        self.scheduler = scheduler
+        self.idle_evict_seconds = idle_evict_seconds
+        self.evict_interval = evict_interval
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._evictor: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------
+    # request handlers (route → JSON)
+    # ------------------------------------------------------------------
+
+    def _post_query(self, body: Dict[str, Any]) -> Tuple[int, Any]:
+        sql = body.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            return 400, {"error": "body must carry a 'sql' string"}
+        strategy = body.get("strategy", "auto")
+        if strategy not in ALLOWED_STRATEGIES:
+            return 400, {
+                "error": f"unknown strategy {strategy!r}",
+                "allowed": list(ALLOWED_STRATEGIES),
+            }
+        # Planning is lazy (the first quantum builds it), but a syntax
+        # error should be a 400 at admission, not a late surprise.
+        parse(sql)
+        source = QuerySource(self.db, sql, strategy=strategy)
+        session = self.scheduler.admit(source)
+        return 200, {"session": session.id, "status": session.stats()}
+
+    async def _get_next(self, params: Dict[str, Any]) -> Tuple[int, Any]:
+        session_id = params.get("session")
+        if not session_id:
+            return 400, {"error": "missing 'session' parameter"}
+        try:
+            k = int(params.get("k", "16"))
+        except ValueError:
+            return 400, {"error": "'k' must be an integer"}
+        if k < 1 or k > MAX_PAGE:
+            return 400, {"error": f"'k' must be in [1, {MAX_PAGE}]"}
+        session = self.scheduler.request(session_id, k)
+        while session.pending:
+            produced = self.scheduler.run_round()
+            # Yield between rounds so concurrent /next handlers (and
+            # the evictor) interleave; the round itself is atomic.
+            await asyncio.sleep(0)
+            if produced == 0 and session.pending:
+                break
+        rows, exhausted = self.scheduler.take(session_id, k)
+        payload = {
+            "session": session_id,
+            "rows": [row_to_json(r) for r in rows],
+            "done": exhausted,
+            "emitted_total": session.emitted_total,
+            "quanta": session.quanta,
+        }
+        if exhausted:
+            # A finished STOP AFTER k stream frees its slot at once.
+            self.scheduler.remove(session_id)
+        return 200, payload
+
+    def _get_status(self) -> Tuple[int, Any]:
+        return 200, self.scheduler.status()
+
+    def _delete_session(self, params: Dict[str, Any]) -> Tuple[int, Any]:
+        session_id = params.get("session")
+        if not session_id:
+            return 400, {"error": "missing 'session' parameter"}
+        self.scheduler.remove(session_id)
+        return 200, {"deleted": session_id}
+
+    def _get_metrics(self) -> Tuple[int, str]:
+        return 200, prometheus_text(self.scheduler.metrics())
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Any, str]:
+        parts = urlsplit(path)
+        params = {
+            key: values[-1]
+            for key, values in parse_qs(parts.query).items()
+        }
+        route = (method, parts.path)
+        try:
+            if route == ("POST", "/query"):
+                try:
+                    parsed = json.loads(body.decode("utf-8") or "{}")
+                except ValueError:
+                    return 400, {"error": "body is not valid JSON"}, \
+                        "application/json"
+                if not isinstance(parsed, dict):
+                    return 400, {"error": "body must be a JSON object"}, \
+                        "application/json"
+                status, payload = self._post_query(parsed)
+            elif route == ("GET", "/next"):
+                status, payload = await self._get_next(params)
+            elif route == ("GET", "/status"):
+                status, payload = self._get_status()
+            elif route == ("GET", "/metrics"):
+                status, text = self._get_metrics()
+                return status, text, "text/plain; version=0.0.4"
+            elif route == ("DELETE", "/session"):
+                status, payload = self._delete_session(params)
+            else:
+                status, payload = 404, {
+                    "error": f"no route {method} {parts.path}"
+                }
+        except ServiceError as exc:
+            message = str(exc)
+            status = 409 if "full" in message else 404
+            payload = {"error": message}
+        except QueryError as exc:
+            status, payload = 400, {"error": str(exc)}
+        except ReproError as exc:
+            status, payload = 500, {"error": str(exc)}
+        return status, payload, "application/json"
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+
+    async def _handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            pieces = request_line.decode("latin-1").split()
+            if len(pieces) < 2:
+                return
+            method, path = pieces[0].upper(), pieces[1]
+            content_length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, __, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    try:
+                        content_length = int(value.strip())
+                    except ValueError:
+                        content_length = 0
+            body = await reader.readexactly(content_length) \
+                if content_length else b""
+            status, payload, ctype = await self._dispatch(
+                method, path, body
+            )
+            if isinstance(payload, str):
+                data = payload.encode("utf-8")
+            else:
+                data = json.dumps(payload).encode("utf-8")
+            reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                      409: "Conflict", 500: "Internal Server Error"}
+            head = (
+                f"HTTP/1.1 {status} {reason.get(status, 'OK')}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(data)}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            )
+            writer.write(head.encode("latin-1") + data)
+            await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _evict_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.evict_interval)
+            self.scheduler.evict_idle(self.idle_evict_seconds)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 8080):
+        """Bind and start serving; returns the asyncio server."""
+        self._server = await asyncio.start_server(
+            self._handle, host, port
+        )
+        if self.scheduler.store is not None:
+            self._evictor = asyncio.get_running_loop().create_task(
+                self._evict_loop()
+            )
+        return self._server
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` in tests)."""
+        if self._server is None:
+            raise ServiceError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop the evictor and close the listening socket."""
+        if self._evictor is not None:
+            self._evictor.cancel()
+            try:
+                await self._evictor
+            except asyncio.CancelledError:
+                pass
+            self._evictor = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(
+        self, host: str = "127.0.0.1", port: int = 8080
+    ) -> None:
+        """Start and block until cancelled (the ``repro serve`` path)."""
+        server = await self.start(host, port)
+        async with server:
+            await server.serve_forever()
+
+
+def run(
+    db: Any,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    **service_kwargs: Any,
+) -> None:
+    """Blocking entry point: serve ``db`` until interrupted."""
+    service = JoinService(db, **service_kwargs)
+    try:
+        asyncio.run(service.serve_forever(host, port))
+    except KeyboardInterrupt:
+        pass
+
+
+__all__ = ["ALLOWED_STRATEGIES", "JoinService", "row_to_json", "run"]

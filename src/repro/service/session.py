@@ -1,0 +1,217 @@
+"""Query sources and sessions: the units the scheduler time-slices.
+
+A :class:`QuerySource` is a *rebuildable* row stream: the SQL text,
+the strategy, and the join kwargs needed to lower it into a physical
+plan against a :class:`~repro.query.executor.Database`.  Saving one
+captures the plan's operator cursor
+(:meth:`repro.query.physical.PhysicalNode.save`); loading rebuilds the
+plan from the same text and restores the cursor into it, so a resumed
+stream continues bit-identically.
+
+A :class:`Session` wraps a source with the per-client state the
+scheduler needs: a result buffer, outstanding demand, quantum
+statistics, and a private :class:`~repro.util.obs.Observer` whose
+spans/gauges flow into the service metrics under a ``session`` label.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, Optional
+
+from repro.errors import CursorError
+from repro.query.physical import PhysicalPlan, Row
+from repro.util.obs import Observer
+
+#: Envelope marker for saved query sources.
+SOURCE_FORMAT = "repro-service-session"
+SOURCE_VERSION = 1
+
+
+class QuerySource:
+    """A rebuildable query row stream bound to a database.
+
+    Parameters
+    ----------
+    db:
+        The :class:`~repro.query.executor.Database` to plan against.
+    sql:
+        Query text (the cursor pins it: a cursor saved for one query
+        cannot resume another).
+    strategy:
+        Plan strategy (``auto`` / ``pipeline`` / ``prefilter``).
+    join_kwargs:
+        Extra keyword arguments forwarded to the join operator
+        (``observer``, queue knobs, ...).
+    """
+
+    def __init__(
+        self,
+        db: Any,
+        sql: str,
+        strategy: str = "auto",
+        join_kwargs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.db = db
+        self.sql = sql
+        self.strategy = strategy
+        self.join_kwargs = dict(join_kwargs or {})
+        self._plan: Optional[PhysicalPlan] = None
+        self._rows: Optional[Iterator[Row]] = None
+
+    @property
+    def plan(self) -> Optional[PhysicalPlan]:
+        """The physical plan, once opened (None before)."""
+        return self._plan
+
+    def open(self) -> Iterator[Row]:
+        """Build the plan (once) and return the row iterator."""
+        if self._rows is None:
+            self._plan = self.db.physical_plan(
+                self.sql, strategy=self.strategy, **self.join_kwargs
+            )
+            self._rows = self._plan.rows()
+        return self._rows
+
+    def release(self) -> None:
+        """Drop the plan and iterator (after :meth:`save`, to evict)."""
+        self._plan = None
+        self._rows = None
+
+    def save(self) -> Dict[str, Any]:
+        """Snapshot the source as a picklable cursor state.
+
+        Raises :class:`~repro.errors.CursorError` when the underlying
+        operator cannot serialize (the multiprocessing parallel join).
+        """
+        return {
+            "format": SOURCE_FORMAT,
+            "version": SOURCE_VERSION,
+            "sql": self.sql,
+            "strategy": self.strategy,
+            "plan": self._plan.save() if self._plan is not None else None,
+        }
+
+    def load(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`save` snapshot in place.
+
+        Rebuilds the physical plan from the stored SQL and strategy
+        against :attr:`db` and restores the operator cursor into it;
+        the next ``next()`` continues where the suspended run stopped.
+        """
+        if (
+            not isinstance(state, dict)
+            or state.get("format") != SOURCE_FORMAT
+        ):
+            raise CursorError("not a query-source cursor")
+        if state.get("version") != SOURCE_VERSION:
+            raise CursorError(
+                f"unsupported source cursor version "
+                f"{state.get('version')!r} (this build reads "
+                f"{SOURCE_VERSION})"
+            )
+        self.sql = state["sql"]
+        self.strategy = state["strategy"]
+        self._plan = self.db.physical_plan(
+            self.sql, strategy=self.strategy, **self.join_kwargs
+        )
+        if state["plan"] is not None:
+            self._plan.restore(state["plan"])
+        self._rows = self._plan.rows()
+
+
+class Session:
+    """One client's suspended/running query inside the scheduler.
+
+    Attributes
+    ----------
+    id:
+        The session id handed to the client.
+    source:
+        The :class:`QuerySource` being consumed.
+    obs:
+        Per-session observer; ``service.quantum`` / ``service.suspend``
+        / ``service.resume`` spans and the ``service.quantum_pairs``
+        gauge land here.
+    buffer:
+        Rows produced but not yet taken by the client.
+    demand:
+        Rows the client is currently waiting for.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        source: QuerySource,
+        observer: Optional[Observer] = None,
+    ) -> None:
+        self.id = session_id
+        self.source = source
+        self.obs = observer if observer is not None else Observer(
+            max_events=64
+        )
+        self.buffer: Deque[Row] = deque()
+        self.demand = 0
+        self.emitted_total = 0
+        self.quanta = 0
+        self.done = False
+        self.evicted = False
+        self.last_touch = time.monotonic()
+        self._rows: Optional[Iterator[Row]] = None
+
+    def touch(self) -> None:
+        """Record client activity (defers idle eviction)."""
+        self.last_touch = time.monotonic()
+
+    def idle_seconds(self) -> float:
+        """Seconds since the client last touched this session."""
+        return time.monotonic() - self.last_touch
+
+    @property
+    def pending(self) -> bool:
+        """True while the client waits for rows this session owes.
+
+        Evicted sessions count: the scheduler resumes them from the
+        spool at the start of their next quantum.
+        """
+        return not self.done and len(self.buffer) < self.demand
+
+    def rows(self) -> Iterator[Row]:
+        """The live row iterator (opens the source on first use)."""
+        if self._rows is None:
+            self._rows = self.source.open()
+        return self._rows
+
+    def suspend_to_state(self) -> Dict[str, Any]:
+        """Serialize for eviction and drop the in-memory plan.
+
+        Raises :class:`~repro.errors.CursorError` for operators that
+        only support in-memory suspension (parallel joins).
+        """
+        state = self.source.save()
+        self.source.release()
+        self._rows = None
+        self.evicted = True
+        return state
+
+    def resume_from_state(self, state: Dict[str, Any]) -> None:
+        """Rebuild the plan from an eviction cursor."""
+        self.source.load(state)
+        self._rows = self.source.open()
+        self.evicted = False
+
+    def stats(self) -> Dict[str, Any]:
+        """A JSON-friendly status snapshot."""
+        return {
+            "session": self.id,
+            "sql": self.source.sql,
+            "strategy": self.source.strategy,
+            "emitted": self.emitted_total,
+            "buffered": len(self.buffer),
+            "demand": self.demand,
+            "quanta": self.quanta,
+            "done": self.done,
+            "evicted": self.evicted,
+            "idle_seconds": round(self.idle_seconds(), 3),
+        }

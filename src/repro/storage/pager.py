@@ -112,6 +112,18 @@ class PageStore:
         page.size_bytes = size_bytes
         self.counters.add("page_writes")
 
+    def peek(self, page_id: int) -> Page:
+        """Read a page without charging ``page_reads``.
+
+        Used by the cursor snapshot machinery: saving a suspended
+        queue must not perturb the I/O counters, or a resumed run
+        would diverge from an uninterrupted one.
+        """
+        page = self._pages.get(page_id)
+        if page is None:
+            raise PageNotFoundError(page_id)
+        return page
+
     def exists(self, page_id: int) -> bool:
         """True if the page is currently allocated."""
         return page_id in self._pages

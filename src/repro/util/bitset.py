@@ -108,3 +108,16 @@ class Bitset:
     def memory_bytes(self) -> int:
         """Approximate memory footprint of the bit string itself."""
         return len(self._bits)
+
+    def state(self) -> tuple:
+        """A compact picklable snapshot: ``(bit string, count)``."""
+        return (bytes(self._bits), self._count)
+
+    @classmethod
+    def from_state(cls, state: tuple) -> "Bitset":
+        """Rebuild a bitset from a :meth:`state` snapshot."""
+        bits, count = state
+        out = cls(0)
+        out._bits = bytearray(bits)
+        out._count = count
+        return out

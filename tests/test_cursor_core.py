@@ -1,0 +1,218 @@
+"""Unit tests for the suspendable-cursor building blocks: queue
+snapshots (including the mid-band hybrid regression), key-maker
+sequence restore, estimator state, and the join-level cursor."""
+
+import pickle
+import random
+
+import pytest
+
+from repro.core.distance_join import IncrementalDistanceJoin
+from repro.core.pqueue import (
+    AdaptiveHybridPairQueue,
+    HybridPairQueue,
+    MemoryPairQueue,
+    queue_from_state,
+)
+from repro.core.pairs import OBJ, Item, Pair
+from repro.core.semi_join import IncrementalDistanceSemiJoin
+from repro.core.spec import JoinSpec
+from repro.core.tiebreak import KeyMaker
+from repro.errors import CursorError
+from repro.geometry.rectangle import Rect
+from repro.util.counters import CounterRegistry
+
+from tests.conftest import make_points, make_tree
+
+
+def key(distance, seq=0):
+    return (distance, 0, 0, seq)
+
+
+def drain(queue):
+    out = []
+    while queue:
+        out.append(queue.pop())
+    return out
+
+
+def roundtrip(queue, counters=None):
+    """state -> pickle -> from_state, as an evicted cursor would."""
+    state = pickle.loads(pickle.dumps(queue.state()))
+    return queue_from_state(state, counters=counters)
+
+
+class TestMemoryQueueSnapshot:
+    def test_roundtrip_preserves_pop_order(self):
+        rng = random.Random(5)
+        q = MemoryPairQueue()
+        items = [(key(rng.uniform(0, 100), i), f"v{i}")
+                 for i in range(50)]
+        for k, v in items:
+            q.push(k, v)
+        expected = drain(roundtrip(q))
+        assert expected == sorted(items, key=lambda kv: kv[0])
+        # The original queue is unharmed by taking a snapshot.
+        assert drain(q) == expected
+
+    def test_empty_queue(self):
+        assert drain(roundtrip(MemoryPairQueue())) == []
+
+
+class TestHybridQueueSnapshot:
+    def _filled(self, counters, n=120, dt=5.0, seed=9):
+        rng = random.Random(seed)
+        q = HybridPairQueue(dt=dt, counters=counters)
+        for i in range(n):
+            q.push(key(rng.uniform(0, 200), i), i)
+        return q
+
+    def test_roundtrip_preserves_pop_order(self):
+        q = self._filled(CounterRegistry())
+        reference = drain(self._filled(CounterRegistry()))
+        assert drain(roundtrip(q)) == reference
+
+    def test_mid_band_suspend_regression(self):
+        """Regression: suspending after the disk tier has been
+        partially consumed must restore the band cursor and the
+        buffered page payloads exactly -- including the still-open
+        page of each band."""
+        reference_q = self._filled(CounterRegistry())
+        reference = drain(reference_q)
+
+        q = self._filled(CounterRegistry())
+        popped = [q.pop() for __ in range(40)]  # into the disk bands
+        assert q.disk_size() > 0  # the suspend point is mid-band
+        restored = roundtrip(q)
+        assert q.disk_size() == restored.disk_size()
+        assert len(q) == len(restored)
+        assert popped + drain(restored) == reference
+
+    def test_snapshot_is_counter_silent(self):
+        counters = CounterRegistry()
+        q = self._filled(counters)
+        before = dict(counters.snapshot())
+        q.state()
+        assert dict(counters.snapshot()) == before
+
+    def test_restore_is_counter_silent(self):
+        counters = CounterRegistry()
+        q = self._filled(counters)
+        state = q.state()
+        before = dict(counters.snapshot())
+        queue_from_state(state, counters=counters)
+        assert dict(counters.snapshot()) == before
+
+    def test_open_page_still_accepts_pushes_after_restore(self):
+        q = self._filled(CounterRegistry(), n=30)
+        restored = roundtrip(q)
+        for i in range(200, 230):
+            restored.push(key(float(i), i), i)
+        out = drain(restored)
+        assert out == sorted(out, key=lambda kv: kv[0])
+        assert len(out) == 60
+
+
+class TestAdaptiveQueueSnapshot:
+    def test_warmup_phase_roundtrip(self):
+        q = AdaptiveHybridPairQueue(calibration_size=64)
+        for i in range(10):  # still below the calibration threshold
+            q.push(key(float(i), i), i)
+        restored = roundtrip(q)
+        assert drain(restored) == [(key(float(i), i), i)
+                                   for i in range(10)]
+
+    def test_calibrated_phase_roundtrip(self):
+        rng = random.Random(3)
+
+        def filled():
+            q = AdaptiveHybridPairQueue(calibration_size=16)
+            for i in range(80):
+                q.push(key(rng.uniform(0, 50), i), i)
+            return q
+
+        rng = random.Random(3)
+        reference = drain(filled())
+        rng = random.Random(3)
+        q = filled()
+        assert q._inner is not None  # calibration has happened
+        restored = roundtrip(q)
+        assert restored._inner is not None  # never re-calibrates
+        assert drain(restored) == reference
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            queue_from_state({"kind": "teleport"})
+
+
+class TestKeyMakerSequence:
+    def _pair(self):
+        rect = Rect((0.0, 0.0), (1.0, 1.0))
+        item = Item(OBJ, rect, oid=1, obj=None)
+        return Pair(item, item, 1.0)
+
+    def test_seq_survives_restore(self):
+        pair = self._pair()
+        a = KeyMaker("depth_first")
+        keys = [a.key(pair, 1.0) for __ in range(5)]
+        saved = a.seq
+
+        b = KeyMaker("depth_first")
+        b.restore_seq(saved)
+        more_a = [a.key(pair, 1.0) for __ in range(5)]
+        more_b = [b.key(pair, 1.0) for __ in range(5)]
+        assert more_a == more_b
+        assert len(set(keys + more_a)) == 10  # seq never repeats
+
+
+class TestJoinCursor:
+    def _trees(self):
+        return (
+            make_tree(make_points(70, seed=31), max_entries=4),
+            make_tree(make_points(90, seed=32), max_entries=4),
+        )
+
+    def test_load_validates_format_and_trees(self):
+        t1, t2 = self._trees()
+        join = IncrementalDistanceJoin(
+            t1, t2, JoinSpec(max_pairs=50), counters=CounterRegistry()
+        )
+        next(iter(join))
+        state = join.save()
+
+        with pytest.raises(CursorError):
+            IncrementalDistanceJoin.load({"format": "nope"}, t1, t2)
+        bad_version = dict(state, version=99)
+        with pytest.raises(CursorError):
+            IncrementalDistanceJoin.load(bad_version, t1, t2)
+        with pytest.raises(CursorError):
+            # Trees swapped: the fingerprints must not match.
+            IncrementalDistanceJoin.load(state, t2, t1)
+        with pytest.raises(CursorError):
+            # Wrong operator class for the cursor.
+            IncrementalDistanceSemiJoin.load(state, t1, t2)
+
+    def test_fresh_registry_is_primed_with_saved_totals(self):
+        t1, t2 = self._trees()
+        shared = CounterRegistry()
+        join = IncrementalDistanceJoin(
+            t1, t2, JoinSpec(max_pairs=60), counters=shared
+        )
+        results = [next(iter(join)) for __ in range(20)]
+        state = pickle.loads(pickle.dumps(join.save()))
+
+        resumed = IncrementalDistanceJoin.load(state, t1, t2)
+        results += list(resumed)
+
+        # Fresh, identically built trees for the reference run so the
+        # buffer-pool state (node_io) is comparable run to run.
+        r1, r2 = self._trees()
+        reference = CounterRegistry()
+        uninterrupted = list(IncrementalDistanceJoin(
+            r1, r2, JoinSpec(max_pairs=60), counters=reference
+        ))
+        assert results == uninterrupted
+        assert dict(resumed.counters.snapshot()) == \
+            dict(reference.snapshot())
+        assert dict(resumed.counters.snapshot_peaks()) == \
+            dict(reference.snapshot_peaks())
