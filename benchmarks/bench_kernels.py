@@ -1,0 +1,165 @@
+"""Scalar vs. vectorized node expansion on the paper's workloads.
+
+The batch kernels (:mod:`repro.kernels`) compute MINDIST / MAXDIST /
+object distances for a node's whole entry array in one numpy call
+instead of one Python call per entry.  The contract is that they are a
+pure speed knob: identical result rows, tie order, and counter totals
+(docs/KERNELS.md).  This script measures the speedup on the Table 1 /
+Figure 6 configurations -- Even/DepthFirst and Basic/DepthFirst over
+Water ⋈ Roads -- and re-verifies row identity on the measured
+workload before reporting.
+
+Run ``python benchmarks/bench_kernels.py``; with ``--json`` the rows
+include the ``sec/1k`` ratio used by the acceptance check.  Without
+numpy the script reports the scalar baseline only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import sys as _sys
+from pathlib import Path as _Path
+
+# Allow `python benchmarks/bench_kernels.py` without installing the
+# benchmarks package (pytest imports it via the repo root).
+_sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import (
+    SCRIPT_PAIRS,
+    TEST_PAIRS,
+    TEST_SCALE,
+    bench_args,
+    best_of,
+    emit,
+    workload,
+)
+from repro.bench.runner import run_join
+from repro.core.distance_join import IncrementalDistanceJoin
+from repro.core.spec import JoinSpec
+from repro.core.tiebreak import DEPTH_FIRST
+from repro.kernels import kernels_available
+
+#: The measured configurations (paper Table 1 and Figure 6).
+POLICIES = ("even", "basic")
+
+
+def make_join(load, kernel, node_policy="even"):
+    spec = JoinSpec(
+        node_policy=node_policy,
+        tie_break=DEPTH_FIRST,
+        kernel=kernel,
+    )
+    return IncrementalDistanceJoin(
+        load.tree1, load.tree2, spec, counters=load.counters
+    )
+
+
+def rows_of(load, kernel, node_policy, pairs):
+    """The first ``pairs`` result rows as comparable tuples."""
+    load.cold_caches()
+    load.reset_counters()
+    join = make_join(load, kernel, node_policy)
+    out = []
+    for result in join:
+        out.append((result.distance, result.oid1, result.oid2))
+        if pairs is not None and len(out) >= pairs:
+            break
+    return out
+
+
+def check_parity(load, node_policy, pairs):
+    """Row-identity spot check on the measured workload (exact
+    distances, ids, and order -- not approximate)."""
+    scalar = rows_of(load, "scalar", node_policy, pairs)
+    vector = rows_of(load, "vector", node_policy, pairs)
+    if scalar != vector:
+        raise AssertionError(
+            f"scalar/vector rows diverge on {node_policy} "
+            f"({len(scalar)} vs {len(vector)} rows)"
+        )
+    return len(scalar)
+
+
+def measure(scale, pairs_list, repeat=1):
+    load = workload(scale)
+    kernels = ("scalar", "vector") if kernels_available() else ("scalar",)
+    rows, runs = [], []
+    for node_policy in POLICIES:
+        if len(kernels) == 2:
+            check_parity(load, node_policy, max(pairs_list))
+        for pairs in pairs_list:
+            measured = {}
+            for kernel in kernels:
+                run = best_of(repeat, lambda: run_join(
+                    lambda: make_join(load, kernel, node_policy),
+                    pairs,
+                    load.counters,
+                    label=f"{node_policy}/{kernel}/{pairs}",
+                    before=load.cold_caches,
+                ))
+                runs.append(run)
+                measured[kernel] = run
+            scalar = measured["scalar"]
+            vector = measured.get("vector")
+            row = {
+                "Policy": node_policy,
+                "Pairs": pairs,
+                "Scalar (s)": scalar.seconds,
+                "Vector (s)": vector.seconds if vector else None,
+                "Speedup": (
+                    scalar.seconds / vector.seconds
+                    if vector and vector.seconds > 0 else None
+                ),
+                "sec/1k scalar": 1000.0 * scalar.seconds / max(
+                    1, scalar.pairs_produced),
+                "sec/1k vector": (
+                    1000.0 * vector.seconds / max(1, vector.pairs_produced)
+                    if vector else None
+                ),
+            }
+            rows.append(row)
+    return rows, runs
+
+
+@pytest.mark.parametrize("kernel", ["scalar", "vector"])
+@pytest.mark.parametrize("pairs", TEST_PAIRS)
+def test_kernel_paths(benchmark, kernel, pairs):
+    if kernel == "vector" and not kernels_available():
+        pytest.skip("numpy not importable; vector kernels unavailable")
+    load = workload(TEST_SCALE)
+
+    def once():
+        load.cold_caches()
+        load.reset_counters()
+        join = make_join(load, kernel)
+        for count, __ in enumerate(join, start=1):
+            if count >= pairs:
+                break
+
+    benchmark(once)
+
+
+def main(argv=None):
+    args = bench_args(
+        argv, "Batch kernels: scalar vs vectorized node expansion"
+    )
+    rows, runs = measure(args.scale, SCRIPT_PAIRS, args.repeat)
+    emit(
+        args, rows,
+        columns=[
+            "Policy", "Pairs", "Scalar (s)", "Vector (s)", "Speedup",
+            "sec/1k scalar", "sec/1k vector",
+        ],
+        title=(
+            f"Batch kernels vs scalar expansion, Water x Roads at "
+            f"scale {args.scale:g} "
+            f"(numpy {'available' if kernels_available() else 'absent'})"
+        ),
+        runs=runs,
+        extra={"numpy": kernels_available()},
+    )
+
+
+if __name__ == "__main__":
+    main()

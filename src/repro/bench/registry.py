@@ -275,6 +275,27 @@ register(BenchCase(
     engine={"every": 32, "through_bytes": True},
 ))
 
+def _vector_or_scalar(load: JoinWorkload, pairs: Optional[int]) -> JoinSpec:
+    """Fig 6 workload on the vector kernels when numpy is importable
+    (falling back to scalar so the case still runs everywhere).  The
+    wall time depends on which path ran, so the case is reported, not
+    gated; its counters are identical either way by construction."""
+    from repro.kernels import kernels_available
+
+    kernel = "vector" if kernels_available() else "scalar"
+    return JoinSpec(node_policy="even", tie_break="depth_first",
+                    kernel=kernel)
+
+
+register(BenchCase(
+    name="kernels.vector_speedup",
+    description="Vectorized node expansion (numpy batch bounds) on "
+                "the Fig 6 Even/DepthFirst workload",
+    spec=_vector_or_scalar,
+    pairs={SMOKE: 100, FULL: 10_000},
+    deterministic=False,
+))
+
 register(BenchCase(
     name="parallel.thread_x2",
     description="Parallel scaling: 2 thread workers, ordered merge",

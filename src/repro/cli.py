@@ -307,6 +307,8 @@ def cmd_query(args: argparse.Namespace) -> int:
     obs = Observer(trace_spans=bool(args.trace)) if observe else None
     before = db.counters.full_snapshot() if args.metrics else None
     join_kwargs = {"observer": obs} if obs is not None else {}
+    if args.kernel != "auto":
+        join_kwargs["kernel"] = args.kernel
     profiler = _start_profiler(args.profile)
     try:
         rows = db.execute_query(
@@ -502,6 +504,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="predicate plan for WHERE attribute filters: push them "
              "into the join pipeline, prefilter into temporary "
              "indexes, or let the cost model decide (default)",
+    )
+    query.add_argument(
+        "--kernel", choices=("auto", "scalar", "vector"),
+        default="auto",
+        help="batch-kernel selection for node expansion: vectorized "
+             "bounds when numpy is importable (auto, the default), "
+             "the pure-Python path (scalar), or require the numpy "
+             "kernels (vector); results are identical either way",
     )
     query.add_argument(
         "--profile", default=None, metavar="FILE",

@@ -43,7 +43,11 @@ from repro.core.pairs import (
     Pair,
     PairDistance,
 )
-from repro.core.planesweep import restrict_entries, sweep_pairs
+from repro.core.planesweep import (
+    restrict_entries,
+    sweep_index_pairs,
+    sweep_pairs,
+)
 from repro.core.pqueue import (
     AdaptiveHybridPairQueue,
     HybridPairQueue,
@@ -66,6 +70,8 @@ from repro.core.spec import (  # noqa: F401  (re-exported for back-compat)
 )
 from repro.core.tiebreak import KeyMaker
 from repro.errors import CursorError, JoinError
+from repro.geometry.point import Point
+from repro.kernels import resolve_kernels
 from repro.rtree.base import RTreeBase
 from repro.util.counters import CounterRegistry
 from repro.util.obs import NULL_OBSERVER, Observer
@@ -167,6 +173,31 @@ class IncrementalDistanceJoin:
         self.obs = observer if observer is not None else NULL_OBSERVER
         self.distance = PairDistance(
             spec.metric, self.counters, check_consistency=check_consistency
+        )
+        # Batch kernels (None = scalar path).  Resolved once; with
+        # kernel="auto" an environment without numpy silently gets the
+        # scalar path, which produces bit-identical results.
+        self._kern = resolve_kernels(spec.kernel, spec.metric)
+        # The vectorized expansion may defer child-Item construction
+        # until after pruning -- but only when the _skip_child hook is
+        # the base no-op.  A subclass hook (the semi-join's Inside2
+        # seen-set) must observe every child, in entry order, before
+        # any distances are computed.
+        self._hooks_default = (
+            type(self)._skip_child is IncrementalDistanceJoin._skip_child
+        )
+        # Bulk enqueueing is only sound while per-push side effects are
+        # the stock ones; a subclass overriding _push (e.g. the tracing
+        # mixin recording push events) keeps the per-pair loop.
+        self._bulk_push_ok = (
+            type(self)._push is IncrementalDistanceJoin._push
+        )
+        # Child items are immutable, so the vectorized expansion may
+        # cache a node's child-Item list on its SoA and reuse it across
+        # expansions -- unless a subclass customizes construction.
+        self._child_items_default = (
+            type(self)._make_child_item
+            is IncrementalDistanceJoin._make_child_item
         )
         # Hot-path counters, cached once (registry lookups add up over
         # hundreds of thousands of candidate pairs).
@@ -439,8 +470,19 @@ class IncrementalDistanceJoin:
         other = pair.item2 if side == 1 else pair.item1
         tree = self._tree(side)
         node = self._read_node(tree, node_item.node_id)
-
         eff_dmax = self._effective_dmax()
+
+        candidates: Optional[List[Tuple[Pair, float]]] = None
+        if self._kern is not None:
+            candidates = self._expand_vector(node, other, side, eff_dmax)
+        if candidates is None:
+            candidates = self._expand_scalar(node, other, side, eff_dmax)
+        self._push_candidates(pair, side, candidates)
+
+    def _expand_scalar(
+        self, node: Any, other: Item, side: int, eff_dmax: float
+    ) -> List[Tuple[Pair, float]]:
+        """The per-entry (scalar) expansion loop."""
         candidates: List[Tuple[Pair, float]] = []
         for entry in node.entries:
             child = self._make_child_item(node.level, entry)
@@ -464,9 +506,224 @@ class IncrementalDistanceJoin:
                 self.counters.add("pruned_filter")
                 continue
             candidates.append((child_pair, d))
-        for child_pair, d in self._filter_candidates(pair, side, candidates):
-            self.distance.check_child(pair, d)
-            self._push(child_pair)
+        return candidates
+
+    def _expand_vector(
+        self, node: Any, other: Item, side: int, eff_dmax: float
+    ) -> Optional[List[Tuple[Pair, float]]]:
+        """Batch-kernel expansion of one node against ``other``.
+
+        Returns the candidate list -- identical, element for element,
+        to what :meth:`_expand_scalar` would build, with identical
+        counter charges -- or ``None`` to fall back to the scalar path
+        (foreign node type, or object payloads the point kernel cannot
+        serve).  Stage order replicates the scalar loop exactly:
+        seen-set hook, MINDIST + range test, pair filter.
+        """
+        soa_of = getattr(node, "entries_soa", None)
+        if soa_of is None:
+            return None
+        soa = soa_of()
+        if soa is None:
+            return None
+        entries = node.entries
+        level = node.level
+        if soa.n == 0:
+            return []
+        # Object/object pairs take the exact-distance path; everything
+        # else is a rectangle bound.  Mixed outcomes cannot occur: the
+        # child kind is uniform across one node's entries.
+        object_path = (
+            level == 0 and other.kind == OBJ and self.leaf_mode == DIRECT
+        )
+        if object_path and (
+            soa.pts is None or not isinstance(other.obj, Point)
+        ):
+            # Non-point payloads (exact shapes) stay scalar.
+            return None
+
+        kern = self._kern
+        dist = self.distance
+        children_all = self._node_children(soa, entries, level)
+
+        # The Inside2 seen-set hook must observe every child, in entry
+        # order, *before* any distance is computed (its pruned_seen
+        # charges are part of the bit-identity contract); with the
+        # default no-op hook, per-child work is deferred until after
+        # pruning.
+        children: Optional[List[Item]]
+        if self._hooks_default:
+            children = None
+            lo, hi, pts = soa.lo, soa.hi, soa.pts
+            kept_entries = entries
+            m = soa.n
+        else:
+            children = []
+            taken: List[int] = []
+            for i, entry in enumerate(entries):
+                if children_all is not None:
+                    child = children_all[i]
+                else:
+                    child = self._make_child_item(level, entry)
+                if self._skip_child(side, child):
+                    continue
+                children.append(child)
+                taken.append(i)
+            m = len(children)
+            if m == 0:
+                return []
+            kept_entries = [entries[i] for i in taken]
+            lo = soa.lo[taken]
+            hi = soa.hi[taken]
+            pts = soa.pts[taken] if soa.pts is not None else None
+
+        if object_path:
+            d = kern.point_distance(pts, other.obj.coords)
+            dist._dist_calcs.add(m)
+        else:
+            olo, ohi = other.rect.lo, other.rect.hi
+            if side == 1:
+                d = kern.mindist(lo, hi, olo, ohi)
+            else:
+                d = kern.mindist(olo, ohi, lo, hi)
+            dist._bound_calcs.add(m)
+
+        alive = self._range_admits_batch(
+            kern, d, eff_dmax, object_path,
+            lo, hi, other, side,
+        )
+
+        pair_filter = self.pair_filter
+        d_list = d.tolist()
+        source = children if children is not None else children_all
+        if source is not None and pair_filter is None:
+            # The common shape: no filter, children already built.
+            if alive is None:
+                if side == 1:
+                    return [(Pair(c, other, di), di)
+                            for c, di in zip(source, d_list)]
+                return [(Pair(other, c, di), di)
+                        for c, di in zip(source, d_list)]
+            if side == 1:
+                return [(Pair(source[i], other, d_list[i]), d_list[i])
+                        for i in alive.tolist()]
+            return [(Pair(other, source[i], d_list[i]), d_list[i])
+                    for i in alive.tolist()]
+        candidates: List[Tuple[Pair, float]] = []
+        indices = range(m) if alive is None else alive.tolist()
+        for i in indices:
+            if source is not None:
+                child = source[i]
+            else:
+                child = self._make_child_item(level, kept_entries[i])
+            di = d_list[i]
+            if side == 1:
+                child_pair = Pair(child, other, di)
+            else:
+                child_pair = Pair(other, child, di)
+            if pair_filter is not None and not pair_filter(child_pair):
+                self.counters.add("pruned_filter")
+                continue
+            candidates.append((child_pair, di))
+        return candidates
+
+    def _node_children(
+        self, soa: Any, entries: Any, level: int
+    ) -> Optional[List[Item]]:
+        """The node's full child-Item list, cached on its SoA.
+
+        Items are immutable once constructed (OBR resolution builds
+        *new* OBJ items), so a node expanded against many partners can
+        reuse one list.  The cache is keyed by child kind: a branch
+        node always yields NODE items, a leaf node OBJ or OBR items
+        depending on ``leaf_mode``, so concurrent joins with different
+        modes coexist.  Returns ``None`` (no caching) when a subclass
+        customizes item construction.
+        """
+        if not self._child_items_default:
+            return None
+        if level > 0:
+            key = NODE
+        elif self.leaf_mode == DIRECT:
+            key = OBJ
+        else:
+            key = OBR
+        cached = soa.items.get(key)
+        if cached is None:
+            make = self._make_child_item
+            cached = [make(level, e) for e in entries]
+            soa.items[key] = cached
+        return cached
+
+    def _range_admits_batch(
+        self, kern, d, eff_dmax: float, object_path: bool,
+        lo, hi, other: Optional[Item], side: int,
+        lo2=None, hi2=None,
+    ):
+        """Vectorized :meth:`_range_admits` over a distance array.
+
+        Returns the indices of admitted elements (original order), or
+        ``None`` meaning *all* elements are admitted (the common
+        unbounded case, short-circuited before any mask work).  Each
+        test replicates the scalar comparison polarity (NaN distances
+        are *not* pruned by ``d > dmax`` style tests, exactly as in
+        the scalar code) and charges the same counters: one
+        ``pruned_range`` unit per rejected element, and one MAXDIST
+        bound (or exact re-evaluation on the object path) per element
+        surviving the first test when a minimum distance is active.
+
+        For the one-sided expansion ``lo``/``hi`` pair with ``other``;
+        the simultaneous expansion passes both sides' corner arrays
+        (``lo2``/``hi2``) and ``other=None``.
+        """
+        if self.min_distance == 0.0 and (
+            self.max_distance == _INF if self.descending
+            else eff_dmax == _INF
+        ):
+            # No bound can prune (d > inf is false even for NaN): the
+            # scalar loop admits everything and charges nothing.
+            return None
+        np = kern.np
+        alive = np.arange(d.shape[0])
+        pruned = 0
+        if not self.descending:
+            keep = np.logical_not(np.greater(d, eff_dmax))
+            pruned += alive.size - int(np.count_nonzero(keep))
+            alive = alive[keep]
+        if self.min_distance > 0.0 and alive.size:
+            if object_path:
+                # Scalar maxdist() of an object/object pair re-runs
+                # object_distance: same value, one more dist_calcs.
+                upper = d[alive]
+                self.distance._dist_calcs.add(int(alive.size))
+            else:
+                if other is not None:
+                    lo_a, hi_a = lo[alive], hi[alive]
+                    if side == 1:
+                        upper = kern.maxdist(
+                            lo_a, hi_a, other.rect.lo, other.rect.hi
+                        )
+                    else:
+                        upper = kern.maxdist(
+                            other.rect.lo, other.rect.hi, lo_a, hi_a
+                        )
+                else:
+                    upper = kern.maxdist(
+                        lo[alive], hi[alive], lo2[alive], hi2[alive]
+                    )
+                self.distance._bound_calcs.add(int(alive.size))
+            keep = np.logical_not(np.less(upper, self.min_distance))
+            pruned += int(alive.size) - int(np.count_nonzero(keep))
+            alive = alive[keep]
+        if self.descending and alive.size:
+            keep = np.logical_not(
+                np.greater(d[alive], self.max_distance)
+            )
+            pruned += int(alive.size) - int(np.count_nonzero(keep))
+            alive = alive[keep]
+        if pruned:
+            self._c_pruned_range.add(pruned)
+        return alive
 
     def _process_both(self, pair: Pair) -> None:
         """Expand both nodes at once with restriction + plane sweep
@@ -477,6 +734,20 @@ class IncrementalDistanceJoin:
         node2 = self._read_node(self.tree2, pair.item2.node_id)
         eff_dmax = self._effective_dmax()
 
+        candidates: Optional[List[Tuple[Pair, float]]] = None
+        if self._kern is not None:
+            candidates = self._expand_both_vector(
+                node1, node2, pair, eff_dmax
+            )
+        if candidates is None:
+            candidates = self._expand_both_scalar(
+                node1, node2, pair, eff_dmax
+            )
+        self._push_candidates(pair, 0, candidates)
+
+    def _expand_both_scalar(
+        self, node1: Any, node2: Any, pair: Pair, eff_dmax: float
+    ) -> List[Tuple[Pair, float]]:
         entries1 = restrict_entries(
             node1.entries, pair.item2.rect, self.metric, eff_dmax
         )
@@ -504,9 +775,184 @@ class IncrementalDistanceJoin:
                 self.counters.add("pruned_filter")
                 continue
             candidates.append((child_pair, d))
-        for child_pair, d in self._filter_candidates(pair, 0, candidates):
-            self.distance.check_child(pair, d)
-            self._push(child_pair)
+        return candidates
+
+    def _expand_both_vector(
+        self, node1: Any, node2: Any, pair: Pair, eff_dmax: float
+    ) -> Optional[List[Tuple[Pair, float]]]:
+        """Batch-kernel simultaneous expansion (restriction + sweep).
+
+        The search-space restriction becomes one MINDIST kernel call
+        per node, the plane sweep runs in index space with the exact
+        scalar yield order (:func:`sweep_index_pairs`), and the
+        per-sweep-pair MINDIST becomes one gathered pairwise kernel
+        call.  Counter charges match the scalar path element for
+        element; ``None`` falls back to scalar.
+        """
+        soa_of1 = getattr(node1, "entries_soa", None)
+        soa_of2 = getattr(node2, "entries_soa", None)
+        if soa_of1 is None or soa_of2 is None:
+            return None
+        s1 = soa_of1()
+        s2 = soa_of2()
+        if s1 is None or s2 is None:
+            return None
+        object_path = (
+            node1.level == 0 and node2.level == 0
+            and self.leaf_mode == DIRECT
+        )
+        if object_path and (s1.pts is None or s2.pts is None):
+            return None
+
+        kern = self._kern
+        np = kern.np
+        dist = self.distance
+        entries1, entries2 = node1.entries, node2.entries
+        n1, n2 = len(entries1), len(entries2)
+
+        # Search-space restriction (the scalar path charges the two
+        # nodes' full entry counts as bound_calcs whether or not a
+        # finite bound makes the restriction effective; so does this).
+        r1, r2 = pair.item1.rect, pair.item2.rect
+        if eff_dmax == _INF or n1 == 0:
+            idx1 = list(range(n1))
+        else:
+            dm = kern.mindist(s1.lo, s1.hi, r2.lo, r2.hi)
+            idx1 = np.flatnonzero(np.less_equal(dm, eff_dmax)).tolist()
+        if eff_dmax == _INF or n2 == 0:
+            idx2 = list(range(n2))
+        else:
+            dm = kern.mindist(s2.lo, s2.hi, r1.lo, r1.hi)
+            idx2 = np.flatnonzero(np.less_equal(dm, eff_dmax)).tolist()
+        self.counters.add("bound_calcs", n1 + n2)
+        if not idx1 or not idx2:
+            return []
+
+        # Plane sweep in index space, exactly the scalar yield order.
+        lo1x = s1.lo[idx1, 0].tolist()
+        hi1x = s1.hi[idx1, 0].tolist()
+        lo2x = s2.lo[idx2, 0].tolist()
+        hi2x = s2.hi[idx2, 0].tolist()
+        level1, level2 = node1.level, node2.level
+        hooks_default = self._hooks_default
+        children_all1 = self._node_children(s1, entries1, level1)
+        children_all2 = self._node_children(s2, entries2, level2)
+        children1: dict = {}
+        ii: List[int] = []
+        jj: List[int] = []
+        for a, b in sweep_index_pairs(lo1x, hi1x, lo2x, hi2x, eff_dmax):
+            if not hooks_default:
+                child1 = children1.get(a)
+                if child1 is None:
+                    if children_all1 is not None:
+                        child1 = children_all1[idx1[a]]
+                    else:
+                        child1 = self._make_child_item(
+                            level1, entries1[idx1[a]]
+                        )
+                    children1[a] = child1
+                if self._skip_child(1, child1):
+                    continue
+            ii.append(a)
+            jj.append(b)
+        if not ii:
+            return []
+
+        m = len(ii)
+        g1 = np.asarray(idx1, dtype=np.intp)[ii]
+        g2 = np.asarray(idx2, dtype=np.intp)[jj]
+        glo1, ghi1 = s1.lo[g1], s1.hi[g1]
+        glo2, ghi2 = s2.lo[g2], s2.hi[g2]
+        if object_path:
+            d = kern.point_distance(s1.pts[g1], s2.pts[g2])
+            dist._dist_calcs.add(m)
+        else:
+            d = kern.mindist(glo1, ghi1, glo2, ghi2)
+            dist._bound_calcs.add(m)
+
+        alive = self._range_admits_batch(
+            kern, d, eff_dmax, object_path,
+            glo1, ghi1, None, 0, lo2=glo2, hi2=ghi2,
+        )
+
+        candidates: List[Tuple[Pair, float]] = []
+        pair_filter = self.pair_filter
+        d_list = d.tolist()
+        indices = range(m) if alive is None else alive.tolist()
+        for t in indices:
+            a = ii[t]
+            if children_all1 is not None:
+                child1 = children_all1[idx1[a]]
+            else:
+                child1 = children1.get(a)
+                if child1 is None:
+                    child1 = self._make_child_item(
+                        level1, entries1[idx1[a]]
+                    )
+                    children1[a] = child1
+            if children_all2 is not None:
+                child2 = children_all2[idx2[jj[t]]]
+            else:
+                child2 = self._make_child_item(
+                    level2, entries2[idx2[jj[t]]]
+                )
+            di = d_list[t]
+            child_pair = Pair(child1, child2, di)
+            if pair_filter is not None and not pair_filter(child_pair):
+                self.counters.add("pruned_filter")
+                continue
+            candidates.append((child_pair, di))
+        return candidates
+
+    def _push_candidates(
+        self, pair: Pair, side: int,
+        candidates: List[Tuple[Pair, float]],
+    ) -> None:
+        """Run the d_max hooks over the candidates, then enqueue them.
+
+        When neither the estimator nor the consistency checker needs a
+        per-pair callback, the push is bulk: keys are produced in
+        candidate order (fixing the identical tie-break sequence) and
+        handed to the queue's ``push_many``, with the insert counter
+        charged in one add and the queue-size peak observed once at the
+        final (maximal) size -- totals and peaks equal the scalar
+        per-push accounting exactly.
+        """
+        filtered = self._filter_candidates(pair, side, candidates)
+        if not filtered:
+            return
+        if (
+            not self._bulk_push_ok
+            or self._estimator is not None
+            or self.distance.check_consistency
+        ):
+            for child_pair, d in filtered:
+                self.distance.check_child(pair, d)
+                self._push(child_pair)
+            return
+        keys = self._keys
+        if type(keys) is KeyMaker:
+            # One expansion's candidates share kind/level structure, so
+            # the key's discrete components are computed once for the
+            # whole batch (bit-identical to per-pair key() calls).
+            if self.descending:
+                dists = [self._key_distance(cp) for cp, _d in filtered]
+            else:
+                dists = [cp.distance for cp, _d in filtered]
+            batch_keys = keys.key_batch(filtered[0][0], dists)
+            items = [
+                (k, cp)
+                for k, (cp, _d) in zip(batch_keys, filtered)
+            ]
+        else:
+            items = [
+                (keys.key(child_pair, self._key_distance(child_pair)),
+                 child_pair)
+                for child_pair, _d in filtered
+            ]
+        self._queue.push_many(items)
+        self._c_queue_inserts.add(len(items))
+        self._c_queue_size.observe(len(self._queue))
 
     def _range_admits(self, child_pair: Pair, d: float,
                       eff_dmax: float) -> bool:

@@ -12,7 +12,17 @@ with lazy deletion).
 from __future__ import annotations
 
 import heapq
-from typing import Any, Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
+from typing import (
+    Any,
+    Dict,
+    Generic,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+)
 
 K = TypeVar("K")
 V = TypeVar("V")
@@ -63,6 +73,33 @@ class PairingHeap(Generic[K, V]):
         node = _PairingNode(key, value)
         self._root = self._meld(self._root, node)
         self._size += 1
+
+    def push_many(self, items: Iterable[Tuple[K, V]]) -> None:
+        """Insert items in iteration order.
+
+        Produces exactly the heap structure (hence pop order, equal
+        keys included) of calling :meth:`push` per item; the meld of a
+        singleton against the root is just inlined, which saves the
+        per-item call overhead on bulk enqueues.
+        """
+        root = self._root
+        count = 0
+        for key, value in items:
+            node = _PairingNode(key, value)
+            if root is None:
+                root = node
+            elif key < root.key:
+                # _meld(root, node) with the swap taken: the old root
+                # becomes the new node's first (only) child.
+                root.sibling = None
+                node.child = root
+                root = node
+            else:
+                node.sibling = root.child
+                root.child = node
+            count += 1
+        self._root = root
+        self._size += count
 
     def peek(self) -> Tuple[K, V]:
         """The minimum item without removing it."""

@@ -137,8 +137,15 @@ class PairDistance:
     metric:
         The point metric inducing all bounds.
     counters:
-        Registry charged with ``dist_calcs`` for object/object
-        distances and ``bound_calcs`` for every rectangle bound.
+        Registry charged per the canonical counting rule: *exact*
+        object/object distance evaluations (point metric distances,
+        ``SpatialObject.distance_to``) cost one ``dist_calcs`` unit;
+        every *rectangle bound* evaluation (MINDIST / MAXDIST /
+        MINMAXDIST -- including the rectangle fallback of
+        :meth:`object_distance` when only rectangles are indexed)
+        costs one ``bound_calcs`` unit.  The batch kernels of
+        :mod:`repro.kernels` charge the same units in bulk, one per
+        bound computed, so both paths produce identical totals.
     exact_shapes:
         When True (default), resolved objects that are
         :class:`SpatialObject` instances use their exact geometric
@@ -173,16 +180,21 @@ class PairDistance:
 
     def object_distance(self, item1: Item, item2: Item) -> float:
         """Exact distance between two (resolved or resolvable) objects."""
-        self._dist_calcs.add()
         o1, o2 = item1.obj, item2.obj
         if isinstance(o1, Point) and isinstance(o2, Point):
+            self._dist_calcs.add()
             return self.metric.distance(o1, o2)
         if (
             self.exact_shapes
             and isinstance(o1, SpatialObject)
             and isinstance(o2, SpatialObject)
         ):
+            self._dist_calcs.add()
             return o1.distance_to(o2)
+        # Only bounding rectangles are available: this evaluates a
+        # rectangle bound, not an exact object distance, and is charged
+        # accordingly (the canonical counting rule; see class docstring).
+        self._bound_calcs.add()
         return self.metric.mindist_rect_rect(item1.rect, item2.rect)
 
     # ------------------------------------------------------------------
@@ -238,7 +250,11 @@ class PairDistance:
         floating-point slack); no-op unless ``check_consistency``."""
         if not self.check_consistency:
             return
-        slack = 1e-9 * max(1.0, abs(parent.distance))
+        # Slack scales with the larger of the two magnitudes: a parent
+        # at distance 0.0 paired with children at coordinate scale 1e12
+        # still gets slack proportional to the children's rounding
+        # error, not the absolute 1e-9 the parent alone would give.
+        slack = 1e-9 * max(1.0, abs(parent.distance), abs(child_distance))
         if child_distance < parent.distance - slack:
             raise ConsistencyError(
                 f"child distance {child_distance} < parent distance "

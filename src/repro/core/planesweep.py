@@ -81,3 +81,49 @@ def sweep_pairs(
                 yield a[k], b[j]
                 k += 1
             j += 1
+
+
+def sweep_index_pairs(
+    lo1: Sequence[float],
+    hi1: Sequence[float],
+    lo2: Sequence[float],
+    hi2: Sequence[float],
+    max_gap: float,
+) -> Iterator[Tuple[int, int]]:
+    """Index-space variant of :func:`sweep_pairs` over parallel
+    coordinate lists (one sweep axis, already projected).
+
+    Yields ``(i, j)`` position pairs in *exactly* the order
+    :func:`sweep_pairs` yields the corresponding entry pairs -- both
+    use a stable sort on the same ``lo`` keys and the identical
+    two-pointer lookahead -- which is what lets the batch-kernel
+    expansion preserve the scalar path's tie-break sequence.
+    """
+    n1 = len(lo1)
+    n2 = len(lo2)
+    if max_gap == _INF:
+        for i in range(n1):
+            for j in range(n2):
+                yield i, j
+        return
+
+    a = sorted(range(n1), key=lo1.__getitem__)
+    b = sorted(range(n2), key=lo2.__getitem__)
+    i = j = 0
+    while i < n1 and j < n2:
+        ai = a[i]
+        bj = b[j]
+        if lo1[ai] <= lo2[bj]:
+            reach = hi1[ai] + max_gap
+            k = j
+            while k < n2 and lo2[b[k]] <= reach:
+                yield ai, b[k]
+                k += 1
+            i += 1
+        else:
+            reach = hi2[bj] + max_gap
+            k = i
+            while k < n1 and lo1[a[k]] <= reach:
+                yield a[k], bj
+                k += 1
+            j += 1

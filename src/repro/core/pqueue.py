@@ -46,6 +46,18 @@ class PairQueue(ABC):
     def push(self, key: Tuple, value: Any) -> None:
         """Insert an element."""
 
+    def push_many(self, items) -> None:
+        """Insert ``(key, value)`` elements in iteration order.
+
+        Semantically identical to calling :meth:`push` one by one --
+        subclasses may only batch *internal* work, never change the
+        accounting (the hybrid queue's per-push band/disk counters are
+        part of the join's bit-identity contract).  Iteration order
+        matters: it fixes the tie-break sequence of equal keys.
+        """
+        for key, value in items:
+            self.push(key, value)
+
     @abstractmethod
     def pop(self) -> Tuple[Tuple, Any]:
         """Remove and return the minimum element."""
@@ -77,6 +89,15 @@ class MemoryPairQueue(PairQueue):
 
     def push(self, key: Tuple, value: Any) -> None:
         self._heap.push(key, value)
+
+    def push_many(self, items) -> None:
+        heap_bulk = getattr(self._heap, "push_many", None)
+        if heap_bulk is not None:
+            heap_bulk(items)
+            return
+        push = self._heap.push
+        for key, value in items:
+            push(key, value)
 
     def pop(self) -> Tuple[Tuple, Any]:
         return self._heap.pop()

@@ -61,6 +61,12 @@ DMAX_STRATEGIES = (
     DMAX_NONE, DMAX_LOCAL, DMAX_GLOBAL_NODES, DMAX_GLOBAL_ALL
 )
 
+#: Batch-kernel selection (see :mod:`repro.kernels` / docs/KERNELS.md).
+KERNEL_AUTO = "auto"
+KERNEL_SCALAR = "scalar"
+KERNEL_VECTOR = "vector"
+KERNEL_MODES = (KERNEL_AUTO, KERNEL_SCALAR, KERNEL_VECTOR)
+
 
 @dataclass(frozen=True)
 class JoinSpec:
@@ -95,6 +101,13 @@ class JoinSpec:
     process_leaves_together: bool = False
     filter_strategy: str = INSIDE2
     dmax_strategy: str = DMAX_LOCAL
+    #: Batch-kernel selection: ``"auto"`` uses the vectorized node
+    #: expansion whenever numpy is importable and the metric supports
+    #: it, ``"scalar"`` forces the pure-Python path, ``"vector"``
+    #: requires the kernels (raising KernelError when unavailable).
+    #: Results are bit-identical either way; this knob only trades
+    #: speed (see docs/KERNELS.md).
+    kernel: str = KERNEL_AUTO
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -161,6 +174,8 @@ class JoinSpec:
         if self.queue == HYBRID_QUEUE:
             require(self.queue_dt is not None and self.queue_dt > 0,
                     'queue="hybrid" requires a positive queue_dt')
+        require(self.kernel in KERNEL_MODES,
+                f"kernel must be one of {KERNEL_MODES}")
         require(self.filter_strategy in FILTER_STRATEGIES,
                 f"filter_strategy must be one of {FILTER_STRATEGIES}")
         require(self.dmax_strategy in DMAX_STRATEGIES,

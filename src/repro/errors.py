@@ -80,6 +80,15 @@ class JoinError(ReproError):
     """Errors in the distance join / semi-join drivers."""
 
 
+class KernelError(JoinError):
+    """The requested batch-kernel configuration is unavailable.
+
+    Raised when ``JoinSpec.kernel="vector"`` is requested but numpy is
+    not importable (or disabled) or the metric has no bit-reproducible
+    batch kernels; ``kernel="auto"`` falls back to scalar instead.
+    """
+
+
 class RestartRequired(JoinError):
     """Internal signal: aggressive max-distance estimation pruned too much.
 

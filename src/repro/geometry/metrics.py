@@ -28,6 +28,38 @@ All bounds are parameterized by a Minkowski ``L_p`` metric; the three
 metrics named in the paper are provided as module constants
 :data:`MANHATTAN` (L1), :data:`EUCLIDEAN` (L2), and :data:`CHESSBOARD`
 (L-infinity).
+
+Degenerate inputs
+-----------------
+The batch kernels of :mod:`repro.kernels` mass-produce bound
+evaluations over whole entry arrays and must agree *bitwise* with the
+scalar implementations here, so the edge-case behaviour is pinned
+down explicitly:
+
+- **Zero-area rectangles** (``lo == hi`` in some or all dimensions)
+  are the normal representation of points and need no special
+  handling: every per-dimension branch below is well defined for
+  them, and ``maxdist_rect_rect`` of valid rectangles is provably
+  non-negative (``max(a_hi - b_lo, b_hi - a_lo) >= 0`` whenever
+  ``a_lo <= a_hi`` and ``b_lo <= b_hi``).
+- **Inverted rectangles** (``lo > hi``) cannot reach these functions
+  through the object API: the :class:`~repro.geometry.rectangle.Rect`
+  constructor rejects them, so float rounding in callers cannot
+  smuggle one in.  The bounds are *not* defined for inverted inputs.
+- **Infinite coordinates** are legal; where two same-signed infinities
+  meet, IEEE-754 yields ``inf - inf = nan`` and the NaN propagates
+  through :meth:`Metric.combine` exactly as Python's ``max``/``sum``
+  propagate it.  The batch kernels replicate the comparison polarity
+  (``b if b > a else a``) so even NaN outcomes match bit-for-bit.
+- **Reproducible Euclidean combine**: the L2 norm is evaluated as
+  ``sqrt`` of a left-to-right sum of squares -- multiply, add and
+  square root are correctly-rounded IEEE-754 operations, so numpy
+  reproduces the result exactly.  ``math.hypot`` is deliberately *not*
+  used: its extra-precision accumulation differs from any numpy
+  expression by 1 ulp on a small fraction of inputs.  The trade-off is
+  that per-dimension separations beyond ``sqrt(DBL_MAX) ~ 1.34e154``
+  overflow to ``inf`` (irrelevant for coordinate data, which the
+  paper's workloads keep far below that).
 """
 
 from __future__ import annotations
@@ -216,15 +248,28 @@ class MinkowskiMetric(Metric):
         if math.isinf(p):
             return max(deltas) if deltas else 0.0
         if p == 2.0:
-            return math.hypot(*deltas)
+            # Left-to-right sum of squares, not math.hypot: every step
+            # is correctly rounded, so the batch kernels reproduce the
+            # result bit-for-bit (see the module docstring).
+            total = 0.0
+            for d in deltas:
+                total += d * d
+            return math.sqrt(total)
         if p == 1.0:
             return sum(deltas)
         return sum(d**p for d in deltas) ** (1.0 / p)
 
     def distance(self, p1: Point, p2: Point) -> float:
         if self.p == 2.0:
-            # math.dist is C-implemented and checks dimensions itself.
-            return math.dist(p1.coords, p2.coords)
+            # Inline L2 in the same reproducible form as combine()
+            # (math.dist's extended-precision path would diverge from
+            # the batch point-distance kernel by 1 ulp occasionally).
+            p1.check_dim(p2.dim)
+            total = 0.0
+            for a, b in zip(p1.coords, p2.coords):
+                d = a - b
+                total += d * d
+            return math.sqrt(total)
         return super().distance(p1, p2)
 
     def __eq__(self, other: object) -> bool:

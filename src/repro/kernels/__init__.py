@@ -1,0 +1,134 @@
+"""Batch (vectorized) distance kernels over columnar node data.
+
+The scalar hot path of every join operator computes one
+MINDIST/MAXDIST/MINMAXDIST bound per Python call, walking tuple
+coordinates in interpreted code.  This package computes the same
+bounds for a whole node's entry array in one numpy call, against the
+lazily-built columnar mirror that nodes expose via ``entries_soa()``
+(see :mod:`repro.kernels.soa` and ``docs/KERNELS.md``).
+
+numpy is an *optional* dependency (the ``repro[fast]`` extra).  When
+it is missing -- or the ``REPRO_NO_NUMPY`` environment variable is set
+to a non-empty value -- every entry point here degrades to ``None``
+and the operators silently use the scalar path.  The
+``JoinSpec.kernel`` knob selects the behaviour explicitly:
+
+``"auto"`` (default)
+    Use the batch kernels whenever numpy is importable and the metric
+    is supported; otherwise fall back to the scalar path.
+``"scalar"``
+    Never use the batch kernels.
+``"vector"``
+    Require the batch kernels; :class:`~repro.errors.KernelError` is
+    raised when they are unavailable.
+
+The contract of the vector path is **bit-identical results**: the same
+result rows in the same tie order, and the same deterministic counter
+totals, as the scalar path (batch kernels charge one counter unit per
+bound computed).  That is only achievable for metrics whose scalar
+evaluation can be replicated exactly with IEEE-754 correctly-rounded
+numpy primitives, which restricts support to the Minkowski metrics the
+paper uses: L1, L2 and L-infinity.  General ``L_p`` goes through
+``libm`` ``pow`` and stays scalar.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Optional
+
+from repro.errors import KernelError
+from repro.geometry.metrics import Metric, MinkowskiMetric
+
+__all__ = [
+    "DISABLE_ENV",
+    "build_entry_soa",
+    "kernels_available",
+    "numpy_or_none",
+    "resolve_kernels",
+    "support_reason",
+]
+
+#: Setting this environment variable (to any non-empty value) makes the
+#: package behave as if numpy were not installed -- the CI leg that
+#: exercises the scalar fallback uses it, and so can users debugging a
+#: suspected kernel discrepancy.
+DISABLE_ENV = "REPRO_NO_NUMPY"
+
+_numpy = None
+_numpy_checked = False
+
+
+def numpy_or_none():
+    """The ``numpy`` module, or ``None`` when unavailable/disabled.
+
+    The import attempt is cached; the :data:`DISABLE_ENV` override is
+    re-read on every call so tests can toggle it.
+    """
+    global _numpy, _numpy_checked
+    if os.environ.get(DISABLE_ENV):
+        return None
+    if not _numpy_checked:
+        _numpy_checked = True
+        try:
+            import numpy
+        except ImportError:
+            _numpy = None
+        else:
+            _numpy = numpy
+    return _numpy
+
+
+def kernels_available() -> bool:
+    """True when the batch kernels can be used at all."""
+    return numpy_or_none() is not None
+
+
+def support_reason(metric: Metric) -> Optional[str]:
+    """``None`` when batch kernels can serve ``metric`` bit-identically;
+    otherwise a human-readable reason for falling back to scalar."""
+    if numpy_or_none() is None:
+        return (
+            "numpy is not importable (install the repro[fast] extra"
+            f" / unset {DISABLE_ENV})"
+        )
+    if not isinstance(metric, MinkowskiMetric):
+        return f"metric {metric!r} has no batch kernels"
+    p = metric.p
+    if p not in (1.0, 2.0) and not math.isinf(p):
+        return (
+            f"Minkowski order p={p:g} evaluates through libm pow, "
+            "which the kernels cannot replicate bit-identically"
+        )
+    return None
+
+
+def resolve_kernels(mode: str, metric: Metric):
+    """Resolve the ``JoinSpec.kernel`` knob to a kernel set or ``None``.
+
+    ``None`` means "use the scalar path".  ``mode="vector"`` raises
+    :class:`~repro.errors.KernelError` instead of falling back.
+    """
+    if mode == "scalar":
+        return None
+    reason = support_reason(metric)
+    if reason is not None:
+        if mode == "vector":
+            raise KernelError(f'kernel="vector" is unavailable: {reason}')
+        return None
+    from repro.kernels.batch import BatchKernels
+
+    return BatchKernels(metric)
+
+
+def build_entry_soa(entries):
+    """Columnar mirror of a node's entry list, or ``None`` without numpy.
+
+    See :class:`repro.kernels.soa.EntrySoA`.
+    """
+    if numpy_or_none() is None:
+        return None
+    from repro.kernels.soa import build
+
+    return build(entries)

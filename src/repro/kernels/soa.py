@@ -1,0 +1,84 @@
+"""The columnar (struct-of-arrays) mirror of a node's entry list.
+
+An R-tree node stores a Python list of entry objects, each holding a
+:class:`~repro.geometry.rectangle.Rect` of coordinate tuples -- ideal
+for the object API, hostile to vectorization.  :func:`build` mirrors
+one node's entries into contiguous ``float64`` arrays once; the node
+caches the result until its entry list is mutated (see
+``Node.entries_soa`` / ``Node.invalidate_soa``).
+
+Only imported when numpy is available -- gate through
+:func:`repro.kernels.build_entry_soa`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["EntrySoA", "build"]
+
+
+class EntrySoA:
+    """Columnar view of one node's entries.
+
+    Attributes
+    ----------
+    n:
+        Number of entries mirrored.
+    lo, hi:
+        ``(n, dim)`` float64 arrays of the entry rectangles' corners
+        (``None`` when ``n == 0``).
+    pts:
+        ``(n, dim)`` float64 array of the entries' point payloads, or
+        ``None`` unless *every* entry is a leaf entry whose object is a
+        :class:`~repro.geometry.point.Point` of the node's
+        dimensionality.  The object-distance kernel path requires it.
+    items:
+        Scratch cache for the vectorized expansion: child ``Item``
+        lists keyed by item kind.  Items are immutable once built, so
+        a node expanded against many partners reuses one list instead
+        of reconstructing its children per expansion; the cache lives
+        and dies with the SoA (node mutation invalidates both).
+    """
+
+    __slots__ = ("n", "lo", "hi", "pts", "items")
+
+    def __init__(self, n: int, lo, hi, pts) -> None:
+        self.n = n
+        self.lo = lo
+        self.hi = hi
+        self.pts = pts
+        self.items = {}
+
+    def __repr__(self) -> str:
+        kind = "points" if self.pts is not None else "rects"
+        return f"EntrySoA(n={self.n}, {kind})"
+
+
+_EMPTY = EntrySoA(0, None, None, None)
+
+
+def build(entries: Sequence) -> EntrySoA:
+    """Mirror ``entries`` (leaf or branch) into an :class:`EntrySoA`."""
+    n = len(entries)
+    if n == 0:
+        return _EMPTY
+    lo = np.array([e.rect.lo for e in entries], dtype=np.float64)
+    hi = np.array([e.rect.hi for e in entries], dtype=np.float64)
+    pts = _point_payloads(entries, lo.shape[1])
+    return EntrySoA(n, lo, hi, pts)
+
+
+def _point_payloads(entries: Sequence, dim: int) -> Optional[np.ndarray]:
+    coords = []
+    for e in entries:
+        point_coords = getattr(e, "point_coords", None)
+        if point_coords is None:
+            return None  # branch entries (or foreign entry types)
+        c = point_coords()
+        if c is None or len(c) != dim:
+            return None
+        coords.append(c)
+    return np.array(coords, dtype=np.float64)

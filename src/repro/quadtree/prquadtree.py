@@ -71,12 +71,28 @@ class _NodeView:
     protocol (``level`` + ``entries`` of Branch/Leaf entries) that the
     join drivers traverse."""
 
-    __slots__ = ("page_id", "level", "entries")
+    __slots__ = ("page_id", "level", "entries", "_soa")
 
     def __init__(self, page_id: int, level: int, entries: List) -> None:
         self.page_id = page_id
         self.level = level
         self.entries = entries
+        self._soa = None
+
+    def entries_soa(self):
+        """Columnar mirror of the view's entries, as on R-tree nodes.
+
+        Views are rebuilt on every ``read_node`` call, so the cache
+        lives only as long as the view and needs no invalidation hook.
+        """
+        soa = self._soa
+        if soa is None:
+            from repro.kernels import build_entry_soa
+
+            soa = build_entry_soa(self.entries)
+            if soa is not None:
+                self._soa = soa
+        return soa
 
     @property
     def is_leaf(self) -> bool:

@@ -114,6 +114,9 @@ class RTreeBase:
         return node
 
     def _write_node(self, node: Node) -> None:
+        # Every entry-list mutation funnels through here, so this is
+        # the single invalidation point for the columnar mirror.
+        node.invalidate_soa()
         self.store.write(node.page_id, node, min(
             self.store.page_size, self.node_size_bytes(node)
         ))

@@ -8,8 +8,9 @@ itself directly in the leaf.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Optional, Tuple
 
+from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 
 
@@ -38,6 +39,19 @@ class LeafEntry:
         self.rect = rect
         self.oid = oid
         self.obj = obj
+
+    def point_coords(self) -> Optional[Tuple[float, ...]]:
+        """The payload's coordinates when it is a point, else ``None``.
+
+        The columnar mirror (:mod:`repro.kernels.soa`) uses this to
+        decide whether a leaf qualifies for the batched exact
+        point-distance path; branch entries have no such method, which
+        is itself the signal that a node holds child pointers.
+        """
+        obj = self.obj
+        if isinstance(obj, Point):
+            return obj.coords
+        return None
 
     def __repr__(self) -> str:
         return f"LeafEntry(oid={self.oid}, rect={self.rect!r})"
@@ -68,6 +82,3 @@ def entry_size_bytes(dim: int) -> int:
     configurable on the tree, so either layout can be matched exactly.
     """
     return 16 * dim + 4
-
-
-_MISSING: Optional[object] = None

@@ -11,6 +11,7 @@ from typing import List, Union
 
 from repro.errors import TreeError
 from repro.geometry.rectangle import Rect
+from repro.kernels import build_entry_soa
 from repro.rtree.entry import BranchEntry, LeafEntry
 
 Entry = Union[LeafEntry, BranchEntry]
@@ -22,14 +23,23 @@ class Node:
     The node's region is not stored; it is always recomputed as the
     union of its entry rectangles (see :meth:`mbr`), which keeps parent
     keys and child regions consistent by construction.
+
+    Besides the entry list, a node lazily maintains a *columnar
+    mirror* of the entries (:meth:`entries_soa`): contiguous per-axis
+    lo/hi numpy arrays the batch distance kernels operate on.  The
+    mirror is pure cache -- built on first use, dropped whenever the
+    entry list is mutated (every mutation path goes through
+    ``RTreeBase._write_node``, which calls :meth:`invalidate_soa`) --
+    so the object API is unchanged and numpy stays optional.
     """
 
-    __slots__ = ("page_id", "level", "entries")
+    __slots__ = ("page_id", "level", "entries", "_soa")
 
     def __init__(self, page_id: int, level: int, entries=None) -> None:
         self.page_id = page_id
         self.level = level
         self.entries: List[Entry] = list(entries) if entries else []
+        self._soa = None
 
     @property
     def is_leaf(self) -> bool:
@@ -41,6 +51,23 @@ class Node:
         if not self.entries:
             raise TreeError(f"node {self.page_id} is empty, has no MBR")
         return Rect.union_of([e.rect for e in self.entries])
+
+    def entries_soa(self):
+        """The cached columnar mirror of :attr:`entries`.
+
+        Returns a :class:`repro.kernels.soa.EntrySoA`, or ``None`` when
+        numpy is unavailable (callers then use the scalar path).
+        """
+        soa = self._soa
+        if soa is None:
+            soa = build_entry_soa(self.entries)
+            if soa is not None:
+                self._soa = soa
+        return soa
+
+    def invalidate_soa(self) -> None:
+        """Drop the columnar mirror (the entry list changed)."""
+        self._soa = None
 
     def __len__(self) -> int:
         return len(self.entries)

@@ -1,0 +1,381 @@
+"""Tests for the vectorized batch kernels (repro.kernels).
+
+The load-bearing property is *bit*-identity: every batch kernel must
+equal the scalar ``Metric`` evaluation exactly (``==``, not approx),
+and a ``kernel="vector"`` join must reproduce a ``kernel="scalar"``
+join down to row order, tie-break sequence, and every counter value
+and peak.  See docs/KERNELS.md for why that is achievable.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.distance_join import IncrementalDistanceJoin
+from repro.core.semi_join import IncrementalDistanceSemiJoin
+from repro.core.spec import JoinSpec
+from repro.core.tiebreak import KeyMaker
+from repro.errors import KernelError
+from repro.geometry.metrics import (
+    CHESSBOARD,
+    EUCLIDEAN,
+    MANHATTAN,
+    MinkowskiMetric,
+)
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.kernels import (
+    DISABLE_ENV,
+    kernels_available,
+    resolve_kernels,
+    support_reason,
+)
+from repro.util.counters import CounterRegistry
+
+from tests.conftest import make_points, make_tree
+
+requires_numpy = pytest.mark.skipif(
+    not kernels_available(), reason="numpy not importable"
+)
+
+METRICS = [EUCLIDEAN, MANHATTAN, CHESSBOARD]
+
+#: Wide-range coordinates including huge magnitudes and zero-area
+#: rectangles (a == b collapses a side).
+_coord = st.floats(
+    min_value=-1e12, max_value=1e12, allow_nan=False
+)
+
+
+def _rect_pair(a, b):
+    return Rect(
+        tuple(min(x, y) for x, y in zip(a, b)),
+        tuple(max(x, y) for x, y in zip(a, b)),
+    )
+
+
+def coords(dim=2):
+    return st.tuples(*([_coord] * dim))
+
+
+def rects(dim=2):
+    return st.builds(_rect_pair, coords(dim), coords(dim))
+
+
+# ----------------------------------------------------------------------
+# elementwise bit-identity of the kernels vs the scalar Metric
+# ----------------------------------------------------------------------
+
+
+@requires_numpy
+class TestKernelBitIdentity:
+    @pytest.mark.parametrize("metric", METRICS)
+    @settings(max_examples=200, deadline=None)
+    @given(rs=st.lists(st.tuples(rects(), rects()), min_size=1,
+                       max_size=8))
+    def test_mindist_matches_scalar_exactly(self, metric, rs):
+        kern = resolve_kernels("vector", metric)
+        lo1 = [r1.lo for r1, _ in rs]
+        hi1 = [r1.hi for r1, _ in rs]
+        lo2 = [r2.lo for _, r2 in rs]
+        hi2 = [r2.hi for _, r2 in rs]
+        batch = kern.mindist(lo1, hi1, lo2, hi2).tolist()
+        scalar = [metric.mindist_rect_rect(r1, r2) for r1, r2 in rs]
+        assert batch == scalar  # exact, not approx
+
+    @pytest.mark.parametrize("metric", METRICS)
+    @settings(max_examples=200, deadline=None)
+    @given(rs=st.lists(st.tuples(rects(), rects()), min_size=1,
+                       max_size=8))
+    def test_maxdist_matches_scalar_exactly(self, metric, rs):
+        kern = resolve_kernels("vector", metric)
+        batch = kern.maxdist(
+            [r1.lo for r1, _ in rs], [r1.hi for r1, _ in rs],
+            [r2.lo for _, r2 in rs], [r2.hi for _, r2 in rs],
+        ).tolist()
+        scalar = [metric.maxdist_rect_rect(r1, r2) for r1, r2 in rs]
+        assert batch == scalar
+
+    @pytest.mark.parametrize("metric", METRICS)
+    @settings(max_examples=200, deadline=None)
+    @given(rs=st.lists(st.tuples(rects(), rects()), min_size=1,
+                       max_size=8))
+    def test_minmaxdist_matches_scalar_exactly(self, metric, rs):
+        kern = resolve_kernels("vector", metric)
+        batch = kern.minmaxdist(
+            [r1.lo for r1, _ in rs], [r1.hi for r1, _ in rs],
+            [r2.lo for _, r2 in rs], [r2.hi for _, r2 in rs],
+        ).tolist()
+        scalar = [metric.minmaxdist_rect_rect(r1, r2) for r1, r2 in rs]
+        assert batch == scalar
+
+    @pytest.mark.parametrize("metric", METRICS)
+    @settings(max_examples=200, deadline=None)
+    @given(ps=st.lists(st.tuples(coords(), coords()), min_size=1,
+                       max_size=8))
+    def test_point_distance_matches_scalar_exactly(self, metric, ps):
+        kern = resolve_kernels("vector", metric)
+        batch = kern.point_distance(
+            [a for a, _ in ps], [b for _, b in ps]
+        ).tolist()
+        scalar = [
+            metric.distance(Point(a), Point(b)) for a, b in ps
+        ]
+        assert batch == scalar
+
+    def test_single_rect_broadcasts_against_batch(self):
+        kern = resolve_kernels("vector", EUCLIDEAN)
+        query = Rect((0.0, 0.0), (1.0, 1.0))
+        others = [
+            Rect((2.0, 0.0), (3.0, 1.0)),
+            Rect((0.5, 0.5), (0.75, 0.75)),
+            Rect((-4.0, -4.0), (-3.0, -3.0)),
+        ]
+        batch = kern.mindist(
+            [r.lo for r in others], [r.hi for r in others],
+            query.lo, query.hi,
+        ).tolist()
+        scalar = [
+            EUCLIDEAN.mindist_rect_rect(r, query) for r in others
+        ]
+        assert batch == scalar
+
+    def test_degenerate_zero_area_and_infinite(self):
+        kern = resolve_kernels("vector", EUCLIDEAN)
+        inf = math.inf
+        cases = [
+            (Rect((1.0, 1.0), (1.0, 1.0)), Rect((1.0, 1.0), (1.0, 1.0))),
+            (Rect((0.0, 0.0), (0.0, 5.0)), Rect((3.0, 1.0), (3.0, 1.0))),
+            (Rect((-inf, 0.0), (0.0, 0.0)), Rect((1.0, 0.0), (inf, 0.0))),
+            (Rect((-inf, -inf), (inf, inf)), Rect((0.0, 0.0), (1.0, 1.0))),
+        ]
+        for name in ("mindist", "maxdist", "minmaxdist"):
+            batch = getattr(kern, name)(
+                [a.lo for a, _ in cases], [a.hi for a, _ in cases],
+                [b.lo for _, b in cases], [b.hi for _, b in cases],
+            ).tolist()
+            scalar = [
+                getattr(EUCLIDEAN, f"{name}_rect_rect")(a, b)
+                for a, b in cases
+            ]
+            for got, want in zip(batch, scalar):
+                assert got == want or (
+                    math.isnan(got) and math.isnan(want)
+                )
+
+
+# ----------------------------------------------------------------------
+# kernel resolution and the spec knob
+# ----------------------------------------------------------------------
+
+
+class TestResolution:
+    def test_scalar_mode_never_resolves(self):
+        assert resolve_kernels("scalar", EUCLIDEAN) is None
+
+    @requires_numpy
+    def test_auto_resolves_supported_metrics(self):
+        for metric in METRICS:
+            assert resolve_kernels("auto", metric) is not None
+
+    def test_general_p_unsupported(self):
+        metric = MinkowskiMetric(3.0)
+        assert support_reason(metric) is not None
+        assert resolve_kernels("auto", metric) is None
+        if kernels_available():
+            with pytest.raises(KernelError):
+                resolve_kernels("vector", metric)
+
+    def test_vector_without_numpy_raises(self, monkeypatch):
+        monkeypatch.setenv(DISABLE_ENV, "1")
+        assert not kernels_available()
+        with pytest.raises(KernelError):
+            resolve_kernels("vector", EUCLIDEAN)
+
+    def test_auto_without_numpy_falls_back(self, monkeypatch):
+        monkeypatch.setenv(DISABLE_ENV, "1")
+        assert resolve_kernels("auto", EUCLIDEAN) is None
+        join = IncrementalDistanceJoin(
+            make_tree(make_points(10, seed=1)),
+            make_tree(make_points(10, seed=2)),
+            JoinSpec(kernel="auto"),
+            counters=CounterRegistry(),
+        )
+        assert join._kern is None
+        assert len(list(join)) == 100
+
+    def test_vector_join_without_numpy_raises(self, monkeypatch):
+        monkeypatch.setenv(DISABLE_ENV, "1")
+        with pytest.raises(KernelError):
+            IncrementalDistanceJoin(
+                make_tree(make_points(5, seed=1)),
+                make_tree(make_points(5, seed=2)),
+                JoinSpec(kernel="vector"),
+                counters=CounterRegistry(),
+            )
+
+    def test_spec_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            JoinSpec(kernel="simd").validate()
+
+
+# ----------------------------------------------------------------------
+# the columnar mirror and its invalidation
+# ----------------------------------------------------------------------
+
+
+@requires_numpy
+class TestEntrySoA:
+    def test_mirror_matches_entries(self):
+        tree = make_tree(make_points(40, seed=7))
+        node = tree.read_node(tree.root_id)
+        soa = node.entries_soa()
+        assert soa.n == len(node.entries)
+        for i, entry in enumerate(node.entries):
+            assert tuple(soa.lo[i]) == entry.rect.lo
+            assert tuple(soa.hi[i]) == entry.rect.hi
+
+    def test_leaf_points_mirrored(self):
+        points = make_points(6, seed=3)
+        tree = make_tree(points, max_entries=8)
+        node = tree.read_node(tree.root_id)
+        if node.level == 0:
+            soa = node.entries_soa()
+            assert soa.pts is not None
+            assert soa.pts.shape == (len(points), 2)
+
+    def test_cache_reused_until_mutation(self):
+        tree = make_tree(make_points(20, seed=9))
+        node = tree.read_node(tree.root_id)
+        first = node.entries_soa()
+        assert node.entries_soa() is first
+        tree.insert(obj=Point((1.5, 2.5)))
+        root = tree.read_node(tree.root_id)
+        assert root.entries_soa() is not first
+
+    def test_delete_invalidates(self):
+        points = make_points(10, seed=13)
+        tree = make_tree(points, max_entries=16)
+        node = tree.read_node(tree.root_id)
+        before = node.entries_soa()
+        tree.delete(oid=0, rect=Rect.from_point(points[0]))
+        root = tree.read_node(tree.root_id)
+        after = root.entries_soa()
+        assert after is not before
+        assert after.n == before.n - 1
+
+
+# ----------------------------------------------------------------------
+# whole-join bit-identity (rows, tie order, counters, peaks)
+# ----------------------------------------------------------------------
+
+
+def _run(operator, knobs, kernel, limit=400):
+    # Fresh trees per run: a shared tree's buffer pool would hand the
+    # second run warm node reads and skew node_io.
+    counters = CounterRegistry()
+    tree_a = make_tree(make_points(60, seed=11), counters=counters)
+    tree_b = make_tree(make_points(80, seed=22), counters=counters)
+    join = operator(
+        tree_a, tree_b, JoinSpec(kernel=kernel, **knobs),
+        counters=counters,
+    )
+    rows = []
+    for r in join:
+        rows.append((r.distance, r.oid1, r.oid2))
+        if len(rows) >= limit:
+            break
+    snap = counters.full_snapshot()
+    return rows, dict(snap.values), dict(snap.peaks)
+
+
+JOIN_CONFIGS = [
+    ("even_depth", IncrementalDistanceJoin,
+     dict(node_policy="even", tie_break="depth_first")),
+    ("even_breadth", IncrementalDistanceJoin,
+     dict(node_policy="even", tie_break="breadth_first")),
+    ("basic", IncrementalDistanceJoin,
+     dict(node_policy="basic")),
+    ("simultaneous", IncrementalDistanceJoin,
+     dict(node_policy="simultaneous")),
+    ("ranged", IncrementalDistanceJoin,
+     dict(min_distance=5.0, max_distance=40.0)),
+    ("estimated", IncrementalDistanceJoin,
+     dict(max_pairs=150, estimate=True)),
+    ("manhattan", IncrementalDistanceJoin,
+     dict(metric=MANHATTAN)),
+    ("chessboard_sim", IncrementalDistanceJoin,
+     dict(metric=CHESSBOARD, node_policy="simultaneous")),
+    ("semi_local", IncrementalDistanceSemiJoin,
+     dict(dmax_strategy="local")),
+    ("semi_global", IncrementalDistanceSemiJoin,
+     dict(dmax_strategy="global_all")),
+]
+
+
+@requires_numpy
+class TestJoinBitIdentity:
+    @pytest.mark.parametrize(
+        "name,operator,knobs",
+        JOIN_CONFIGS,
+        ids=[c[0] for c in JOIN_CONFIGS],
+    )
+    def test_vector_equals_scalar(self, name, operator, knobs):
+        scalar = _run(operator, knobs, "scalar")
+        vector = _run(operator, knobs, "vector")
+        assert vector[0] == scalar[0]  # rows, order included
+        assert vector[1] == scalar[1]  # counter values
+        assert vector[2] == scalar[2]  # counter peaks
+
+    def test_full_result_identical(self):
+        # Drain the whole join, not just a prefix: the tail is where
+        # tie-break sequence drift would surface.
+        rows_s = _run(IncrementalDistanceJoin, {}, "scalar",
+                      limit=10_000)[0]
+        rows_v = _run(IncrementalDistanceJoin, {}, "vector",
+                      limit=10_000)[0]
+        assert len(rows_s) == 60 * 80
+        assert rows_v == rows_s
+
+
+# ----------------------------------------------------------------------
+# bulk-push plumbing
+# ----------------------------------------------------------------------
+
+
+class TestBulkPush:
+    def test_pairing_heap_push_many_matches_push(self):
+        from repro.core.heap import PairingHeap
+
+        keys = [5, 1, 3, 3, 2, 8, 1, 9, 0, 3]
+        one = PairingHeap()
+        for i, k in enumerate(keys):
+            one.push(k, i)
+        bulk = PairingHeap()
+        bulk.push_many([(k, i) for i, k in enumerate(keys)])
+        assert len(bulk) == len(one)
+        drained_one = [one.pop() for __ in range(len(keys))]
+        drained_bulk = [bulk.pop() for __ in range(len(keys))]
+        # Equal keys included: bulk insertion builds the identical
+        # heap structure, so even tie order matches.
+        assert drained_bulk == drained_one
+
+    def test_key_batch_matches_per_pair_keys(self):
+        from repro.core.pairs import NODE, Item, Pair
+
+        rect = Rect((0.0, 0.0), (1.0, 1.0))
+        for tie in ("depth_first", "breadth_first"):
+            for descending in (False, True):
+                pairs = [
+                    Pair(Item(NODE, rect, node_id=i, level=2),
+                         Item(NODE, rect, node_id=9, level=1),
+                         float(i))
+                    for i in range(5)
+                ]
+                a = KeyMaker(tie, descending=descending)
+                b = KeyMaker(tie, descending=descending)
+                singles = [a.key(p, p.distance) for p in pairs]
+                batch = b.key_batch(pairs[0], [p.distance for p in pairs])
+                assert batch == singles
+                assert a.seq == b.seq

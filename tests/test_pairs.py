@@ -118,6 +118,44 @@ class TestPairDistance:
         i2 = Item(OBJ, Rect((4, 0), (5, 1)), oid=1, obj=None)
         assert pd.object_distance(i1, i2) == 3.0
 
+    def test_counting_rule_rect_fallback_charges_bound_calcs(self):
+        # The canonical counting rule: object_distance on items that
+        # only carry rectangles evaluates a rectangle *bound*, so it
+        # must charge bound_calcs, never dist_calcs.
+        counters = CounterRegistry()
+        pd = PairDistance(EUCLIDEAN, counters)
+        i1 = Item(OBJ, Rect((0, 0), (1, 1)), oid=0, obj=None)
+        i2 = Item(OBJ, Rect((4, 0), (5, 1)), oid=1, obj=None)
+        pd.object_distance(i1, i2)
+        assert counters.value("dist_calcs") == 0
+        assert counters.value("bound_calcs") == 1
+
+    def test_counting_rule_exact_objects_charge_dist_calcs(self):
+        counters = CounterRegistry()
+        pd = PairDistance(EUCLIDEAN, counters)
+        pd.object_distance(obj_item(0, 0), obj_item(3, 4))
+        seg1 = LineSegment(P(0, 0), P(10, 0))
+        seg2 = LineSegment(P(0, 3), P(10, 3))
+        pd.object_distance(
+            Item(OBJ, seg1.mbr(), oid=0, obj=seg1),
+            Item(OBJ, seg2.mbr(), oid=1, obj=seg2),
+        )
+        assert counters.value("dist_calcs") == 2
+        assert counters.value("bound_calcs") == 0
+
+    def test_exact_shapes_disabled_charges_bound_calcs(self):
+        # With exact_shapes off, shape objects degrade to their MBRs —
+        # a bound evaluation, charged as one.
+        counters = CounterRegistry()
+        pd = PairDistance(EUCLIDEAN, counters, exact_shapes=False)
+        seg = LineSegment(P(0, 0), P(10, 0))
+        pd.object_distance(
+            Item(OBJ, seg.mbr(), oid=0, obj=seg),
+            Item(OBJ, seg.mbr(), oid=1, obj=seg),
+        )
+        assert counters.value("dist_calcs") == 0
+        assert counters.value("bound_calcs") == 1
+
 
 class TestConsistencyCheck:
     def test_violation_detected(self):
@@ -136,3 +174,27 @@ class TestConsistencyCheck:
         pd = PairDistance(EUCLIDEAN)
         parent = Pair(obj_item(0, 0), obj_item(3, 4), 5.0)
         pd.check_child(parent, 0.0)  # no exception
+
+    def test_slack_scales_with_magnitude(self):
+        # Regression: at coordinate scale ~1e12 one ULP is ~1e-4, so a
+        # fixed absolute 1e-9 slack would flag ordinary rounding noise
+        # as a consistency violation.  The slack must scale with the
+        # larger operand magnitude.
+        pd = PairDistance(EUCLIDEAN, check_consistency=True)
+        big = 1e12
+        parent = Pair(obj_item(0.0, 0.0), obj_item(big, 0.0), big)
+        # Within scaled slack (1e-9 * 1e12 = 1000): rounding noise.
+        pd.check_child(parent, big - 0.5)
+        pd.check_child(parent, big - 999.0)
+        # Beyond the scaled slack: a genuine ordering violation.
+        with pytest.raises(ConsistencyError):
+            pd.check_child(parent, big - 5000.0)
+
+    def test_small_scale_slack_still_absolute(self):
+        # Near the origin the max(1.0, ...) floor keeps the historical
+        # absolute 1e-9 slack.
+        pd = PairDistance(EUCLIDEAN, check_consistency=True)
+        parent = Pair(obj_item(0, 0), obj_item(3, 4), 5.0)
+        pd.check_child(parent, 5.0 - 5e-10)
+        with pytest.raises(ConsistencyError):
+            pd.check_child(parent, 5.0 - 1e-7)
