@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Iterable, List, Optional
 
 from repro.datasets.synthetic import gaussian_clusters, uniform_points
@@ -203,6 +204,26 @@ def _print_row(row) -> None:
     )
 
 
+def _print_progress(estimator, plan, final: bool = False) -> None:
+    """One ``-- progress`` line on stderr from the plan's signals.
+
+    The certified bound ratchets inside ``estimator``, so successive
+    lines never move backwards even if the probe does.
+    """
+    signals = plan.progress_signals() if plan is not None else None
+    if signals is None:
+        return
+    if final:
+        signals["done"] = True
+    report = estimator.report(signals)
+    print(
+        f"-- progress: phase={report.phase} "
+        f"certified>={report.lower_bound:.3f} "
+        f"estimate={report.estimate:.3f}",
+        file=sys.stderr,
+    )
+
+
 def _cmd_query_paged(args: argparse.Namespace) -> int:
     """``repro query --page K``: fetch one page, persist the cursor.
 
@@ -246,6 +267,12 @@ def _cmd_query_paged(args: argparse.Namespace) -> int:
         _print_row(row)
         printed += 1
 
+    if args.progress:
+        from repro.util.telemetry import ProgressEstimator
+
+        _print_progress(
+            ProgressEstimator(), source.plan, final=exhausted
+        )
     cursor_path = args.cursor or args.resume
     print(f"-- {printed} row(s)", file=sys.stderr)
     if exhausted:
@@ -309,19 +336,40 @@ def cmd_query(args: argparse.Namespace) -> int:
     join_kwargs = {"observer": obs} if obs is not None else {}
     if args.kernel != "auto":
         join_kwargs["kernel"] = args.kernel
-    profiler = _start_profiler(args.profile)
-    try:
-        rows = db.execute_query(
+    plan = None
+    estimator = None
+    if args.progress:
+        from repro.util.telemetry import ProgressEstimator
+
+        plan = db.physical_plan(
             query, strategy=args.strategy, **join_kwargs
         )
+        estimator = ProgressEstimator()
+    profiler = _start_profiler(args.profile)
+    try:
+        if plan is not None:
+            rows = plan.rows()
+        else:
+            rows = db.execute_query(
+                query, strategy=args.strategy, **join_kwargs
+            )
         printed = 0
+        last_report = time.monotonic() if args.progress else 0.0
         for row in rows:
             _print_row(row)
             printed += 1
             if args.limit is not None and printed >= args.limit:
                 break
+            if (
+                estimator is not None
+                and time.monotonic() - last_report >= 0.5
+            ):
+                _print_progress(estimator, plan)
+                last_report = time.monotonic()
     finally:
         _stop_profiler(profiler, args.profile)
+    if estimator is not None:
+        _print_progress(estimator, plan, final=True)
     print(f"-- {printed} row(s)", file=sys.stderr)
     if args.metrics:
         delta = db.counters.full_snapshot().delta_from(before)
@@ -377,6 +425,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_sessions=args.max_sessions,
         spool_dir=args.spool_dir,
         idle_evict_seconds=args.idle_evict_seconds,
+        telemetry=not args.no_telemetry,
+        latency_budget_seconds=args.latency_budget,
+        dump_dir=args.dump_dir,
+        log_json=args.log_json,
     )
     return 0
 
@@ -518,6 +570,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run under cProfile and dump pstats to FILE",
     )
     query.add_argument(
+        "--progress", action="store_true",
+        help="report certified progress on stderr while the query "
+             "runs (phase, certified lower bound, estimate)",
+    )
+    query.add_argument(
         "--page", type=_positive_int, default=None, metavar="K",
         help="interactive paging: print K rows, persist the suspended "
              "cursor to --cursor, and exit",
@@ -587,6 +644,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--idle-evict-seconds", type=float, default=30.0,
         help="idle threshold before a session is spooled to disk",
+    )
+    serve.add_argument(
+        "--log-json", action="store_true",
+        help="log every request as one structured JSON line (method, "
+             "path, status, duration, session, trace id) on stdout",
+    )
+    serve.add_argument(
+        "--latency-budget", type=float, default=None,
+        metavar="SECONDS",
+        help="flag scheduler quanta that exceed this wall-clock "
+             "budget (service_slow_quanta counter + flight-recorder "
+             "dump when --dump-dir is set)",
+    )
+    serve.add_argument(
+        "--dump-dir", default=None, metavar="DIR",
+        help="where slow-quantum trace dumps are written "
+             "(requires --latency-budget)",
+    )
+    serve.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable request-scoped tracing and progress estimation "
+             "(the /debug and /progress endpoints report errors)",
     )
     serve.set_defaults(func=cmd_serve)
 

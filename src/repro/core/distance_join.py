@@ -32,7 +32,7 @@ All of the paper's algorithmic knobs are exposed:
 from __future__ import annotations
 
 import pickle
-from typing import Any, List, NamedTuple, Optional, Tuple
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.core.estimate import JoinEstimator, make_join_estimator
 from repro.core.pairs import (
@@ -1053,6 +1053,49 @@ class IncrementalDistanceJoin:
         self.estimate = False
         with self.obs.span("join.init"):
             self._init_state()
+
+    # ------------------------------------------------------------------
+    # progress introspection
+    # ------------------------------------------------------------------
+
+    def progress_signals(self) -> Dict[str, Any]:
+        """Raw progress facts for :class:`repro.util.telemetry
+        .ProgressEstimator`.
+
+        A pure probe, safe to call between ``next()`` calls at any
+        frequency: it never pops, promotes queue tiers, reads disk
+        pages, or charges counters, so the counter bit-identity and
+        bench gates are untouched.  ``head_distance`` is the actual
+        (unsigned) queue-head distance when the head is in memory, a
+        band lower bound otherwise, ``None`` when unknown;
+        ``max_distance`` is the *effective* ``dmax`` (the estimator's
+        trimmed bound when active).
+        """
+        queue = self._queue
+        head = queue.head_distance() if queue is not None else None
+        if head is not None and self.descending:
+            head = -head
+        queue_len = len(queue) if queue is not None else 0
+        done = (
+            (self.max_pairs is not None
+             and self._produced >= self.max_pairs)
+            or self._complete()
+            or (queue_len == 0 and not self._should_restart())
+        )
+        return {
+            "operator": type(self).__name__,
+            "produced": self._produced,
+            "max_pairs": self.max_pairs,
+            "head_distance": head,
+            "min_distance": self.min_distance,
+            "max_distance": self._effective_dmax(),
+            "descending": self.descending,
+            "queue_len": queue_len,
+            "occupancy": (
+                queue.occupancy() if queue is not None else {}
+            ),
+            "done": done,
+        }
 
     # ------------------------------------------------------------------
     # suspendable cursor: save / load

@@ -73,6 +73,26 @@ class PairQueue(ABC):
     def __bool__(self) -> bool:
         return len(self) > 0
 
+    def head_distance(self) -> Optional[float]:
+        """The distance component of the smallest queued key, or a
+        certified lower bound on it; ``None`` when empty.
+
+        Unlike :meth:`peek` this is a pure *probe*: it never promotes
+        tiers, reads disk pages, or charges counters, so progress
+        reporters can call it every quantum without perturbing the
+        join's bit-identity counter contract.  When the true head
+        lives on the disk tier only its band is known, hence "lower
+        bound".  Keys carry signed distances (negated in descending
+        mode); callers undo the sign themselves.
+        """
+        raise NotImplementedError
+
+    def occupancy(self) -> Dict[str, int]:
+        """Element counts per tier (``total`` / ``memory`` / ``disk``,
+        plus implementation-specific detail).  Pure probe: no tier
+        mutation, no counters."""
+        return {"total": len(self), "memory": len(self), "disk": 0}
+
 
 class MemoryPairQueue(PairQueue):
     """A single in-memory heap; the paper's "Memory" configuration.
@@ -107,6 +127,11 @@ class MemoryPairQueue(PairQueue):
 
     def __len__(self) -> int:
         return len(self._heap)
+
+    def head_distance(self) -> Optional[float]:
+        if not self._heap:
+            return None
+        return self._heap.peek()[0][0]
 
     # ------------------------------------------------------------------
     # suspendable-cursor support
@@ -323,6 +348,30 @@ class HybridPairQueue(PairQueue):
         """Number of elements currently on the disk tier."""
         return self._disk_records
 
+    def head_distance(self) -> Optional[float]:
+        if self._heap:
+            return self._heap.peek()[0][0]
+        if self._list:
+            # The unorganized list is exactly the cursor band; scanning
+            # it is bounded by the band population and touches no disk.
+            return min(key[0] for key, _value in self._list)
+        if self._disk_records:
+            # Only the head's band is known without reading pages:
+            # every key in band b satisfies b*DT <= key[0] < (b+1)*DT,
+            # so the band floor is a certified lower bound.
+            return min(self._bands) * self.dt
+        return None
+
+    def occupancy(self) -> Dict[str, int]:
+        return {
+            "total": len(self),
+            "memory": self.memory_size(),
+            "disk": self._disk_records,
+            "heap": len(self._heap),
+            "list": len(self._list),
+            "bands": len(self._bands),
+        }
+
     def __repr__(self) -> str:
         return (
             f"HybridPairQueue(heap={len(self._heap)}, list={len(self._list)},"
@@ -528,6 +577,22 @@ class AdaptiveHybridPairQueue(PairQueue):
         if self._inner is not None:
             return self._inner.disk_size()
         return 0
+
+    def head_distance(self) -> Optional[float]:
+        if self._inner is not None:
+            return self._inner.head_distance()
+        if not self._warmup:
+            return None
+        return self._warmup.peek()[0][0]
+
+    def occupancy(self) -> Dict[str, int]:
+        if self._inner is not None:
+            return self._inner.occupancy()
+        size = len(self._warmup)
+        return {
+            "total": size, "memory": size, "disk": 0,
+            "heap": size, "list": 0, "bands": 0,
+        }
 
     def __repr__(self) -> str:
         if self._inner is None:

@@ -334,6 +334,30 @@ class ParallelDistanceJoin:
         except Exception:
             pass
 
+    def progress_signals(self) -> Dict[str, Any]:
+        """Raw progress facts, mirroring
+        :meth:`~repro.core.distance_join.IncrementalDistanceJoin
+        .progress_signals`.
+
+        A parallel join has no single queue head to probe (each worker
+        owns a tile-local queue), so only the certified pair count and
+        completion flag are reported; batch arrivals ride along as
+        detail for the flight recorder.
+        """
+        return {
+            "operator": type(self).__name__,
+            "produced": self._produced,
+            "max_pairs": self.max_pairs,
+            "head_distance": None,
+            "min_distance": self.spec.min_distance,
+            "max_distance": self.spec.max_distance,
+            "descending": self.spec.descending,
+            "queue_len": 0,
+            "done": self._closed or not self.tasks,
+            "batches_received": self.batches_received,
+            "tasks": len(self.tasks),
+        }
+
     def task_counter_snapshots(self) -> Dict[int, CounterSnapshot]:
         """Latest per-task worker counter snapshots (task id keyed)."""
         return dict(self._task_snapshots)

@@ -54,6 +54,7 @@ from repro.rtree.bulk import bulk_load_str
 from repro.rtree.rstar import RStarTree
 from repro.util.counters import CounterRegistry, CounterSnapshot
 from repro.util.obs import ObsSnapshot, Observer, metrics_records
+from repro.util.telemetry import ProgressEstimator
 from repro.util.validation import require
 
 _INF = float("inf")
@@ -74,6 +75,10 @@ class AnalyzedPlan(NamedTuple):
     counters: CounterSnapshot
     obs: ObsSnapshot
     stages: Optional[Dict[str, float]]  # parallel queries only
+    #: Final certified progress report (a dict view of
+    #: :class:`repro.util.telemetry.ProgressReport`); None when the
+    #: operator exposes no progress signals.
+    progress: Optional[Dict[str, Any]] = None
 
     def metrics(self, labels: Optional[Dict[str, Any]] = None) -> list:
         """The execution's metrics in the shared export schema
@@ -87,6 +92,12 @@ class AnalyzedPlan(NamedTuple):
             f"  actual: rows={self.rows:,}, "
             f"time={self.elapsed_s:.4f}s"
         )
+        if self.progress is not None:
+            lines.append(
+                f"  progress: phase={self.progress['phase']}, "
+                f"certified>={self.progress['lower_bound']:.2f}, "
+                f"estimate={self.progress['estimate']:.2f}"
+            )
         if self.stages is not None:
             lines.append("  actual stages (wall seconds):")
             for name in _STAGE_ORDER:
@@ -409,6 +420,13 @@ class Database:
             join.stage_breakdown()
             if isinstance(join, ParallelDistanceJoin) else None
         )
+        signals = plan.progress_signals()
+        progress = None
+        if signals is not None:
+            estimator = ProgressEstimator(
+                total_hint=explanation.estimated_result_pairs
+            )
+            progress = estimator.report(signals).as_dict()
         return AnalyzedPlan(
             plan=explanation,
             rows=rows,
@@ -416,4 +434,5 @@ class Database:
             counters=counters,
             obs=obs.snapshot(),
             stages=stages,
+            progress=progress,
         )

@@ -504,6 +504,14 @@ class DistanceJoinOp(PhysicalNode):
     def results(self) -> Iterator[JoinResult]:
         return iter(self.open())
 
+    def progress_signals(self) -> Optional[Dict[str, Any]]:
+        """The live join's raw progress facts (None before open)."""
+        join = self._join
+        if join is None:
+            return None
+        probe = getattr(join, "progress_signals", None)
+        return probe() if probe is not None else None
+
     def _state_payload(self) -> Any:
         return {
             "strategy": self.strategy,
@@ -681,6 +689,32 @@ class PhysicalPlan:
         root = self.root
         assert isinstance(root, (Limit, RowProject))
         return root.rows()
+
+    def progress_signals(self) -> Optional[Dict[str, Any]]:
+        """Raw progress facts for the whole plan (None before open).
+
+        Delegates to the join operator, then overlays the plan-level
+        emission bound: a ``Limit`` root knows how many rows actually
+        left the plan (``produced`` at the join can run ahead of
+        emission by one pulled-but-unreturned row, and replays after a
+        semi-join restart).  When the plan was already priced (its
+        explanation computed -- never forced here, pricing walks both
+        relations), the cost model's cardinality rides along as
+        ``total_hint``.
+        """
+        signals = self.join_op.progress_signals()
+        if signals is None:
+            return None
+        root = self.root
+        if isinstance(root, Limit):
+            signals["emitted"] = root.emitted
+            if root.count and root.emitted >= root.count:
+                signals["done"] = True
+        if self._explanation is not None:
+            signals["total_hint"] = (
+                self._explanation.estimated_result_pairs
+            )
+        return signals
 
     def save(self) -> OperatorState:
         """Snapshot the whole operator tree as a picklable cursor."""

@@ -38,6 +38,7 @@ class ServiceClient:
         method: str,
         path: str,
         body: Optional[Dict[str, Any]] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Any:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
@@ -45,9 +46,14 @@ class ServiceClient:
         try:
             payload = json.dumps(body).encode("utf-8") \
                 if body is not None else None
-            headers = {"Content-Type": "application/json"} \
-                if payload is not None else {}
-            conn.request(method, path, body=payload, headers=headers)
+            send_headers = dict(headers or {})
+            if payload is not None:
+                send_headers.setdefault(
+                    "Content-Type", "application/json"
+                )
+            conn.request(
+                method, path, body=payload, headers=send_headers
+            )
             response = conn.getresponse()
             raw = response.read()
             content_type = response.getheader("Content-Type", "")
@@ -69,12 +75,39 @@ class ServiceClient:
     # API surface
     # ------------------------------------------------------------------
 
-    def query(self, sql: str, strategy: str = "auto") -> str:
-        """Admit a query; returns the new session id."""
+    def query(
+        self,
+        sql: str,
+        strategy: str = "auto",
+        traceparent: Optional[str] = None,
+    ) -> str:
+        """Admit a query; returns the new session id.
+
+        ``traceparent`` (a W3C trace header value) makes the server
+        join an existing client trace instead of minting one.
+        """
+        headers = {"traceparent": traceparent} \
+            if traceparent is not None else None
         reply = self._request(
-            "POST", "/query", {"sql": sql, "strategy": strategy}
+            "POST", "/query", {"sql": sql, "strategy": strategy},
+            headers=headers,
         )
         return reply["session"]
+
+    def admit(
+        self,
+        sql: str,
+        strategy: str = "auto",
+        traceparent: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Like :meth:`query` but returns the full admission payload
+        (session id, status snapshot, and trace identity)."""
+        headers = {"traceparent": traceparent} \
+            if traceparent is not None else None
+        return self._request(
+            "POST", "/query", {"sql": sql, "strategy": strategy},
+            headers=headers,
+        )
 
     def next(self, session_id: str, k: int = 16) -> Dict[str, Any]:
         """Fetch the next page: ``{"rows", "done", ...}``."""
@@ -110,6 +143,26 @@ class ServiceClient:
     def metrics_text(self) -> str:
         """The Prometheus-style ``/metrics`` exposition."""
         return self._request("GET", "/metrics")
+
+    def progress(
+        self, session_id: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Certified progress for one session (or all of them)."""
+        path = f"/progress?session={session_id}" \
+            if session_id is not None else "/progress"
+        return self._request("GET", path)
+
+    def debug_sessions(self) -> List[Dict[str, Any]]:
+        """The live ``/debug/sessions`` diagnostics."""
+        return self._request("GET", "/debug/sessions")["sessions"]
+
+    def debug_trace(
+        self, session_id: str, fmt: str = "json"
+    ) -> Dict[str, Any]:
+        """A session's stitched span tree (or Chrome trace dict)."""
+        return self._request(
+            "GET", f"/debug/trace?session={session_id}&format={fmt}"
+        )
 
     def delete(self, session_id: str) -> None:
         """Cancel a session."""

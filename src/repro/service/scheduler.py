@@ -27,6 +27,8 @@ Per-session observers record ``service.quantum`` / ``service.suspend``
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -35,7 +37,15 @@ from repro.query.physical import Row
 from repro.service.cursor import CursorStore
 from repro.service.session import QuerySource, Session
 from repro.util.counters import CounterRegistry
-from repro.util.obs import Observer, metrics_records
+from repro.util.obs import KEEP_LAST, Observer, metrics_records
+from repro.util.telemetry import (
+    RequestTelemetry,
+    TraceContext,
+    chrome_trace_events,
+    span_tree,
+    stitched_records,
+)
+from repro.util.tracing import chrome_trace
 from repro.util.validation import require_positive
 
 
@@ -59,6 +69,19 @@ class JoinScheduler:
     cursor_store:
         Spool for idle-session eviction (eviction is disabled when
         omitted).
+    telemetry:
+        Record request-scoped traces, per-quantum flight-recorder
+        samples, and certified progress per session.  Off by default:
+        embedded/synchronous users (and the benchmarks) keep the
+        allocation-free path; the HTTP service turns it on.
+    latency_budget_seconds:
+        Quanta exceeding this wall-time budget count as *slow*
+        (``service_slow_quanta``) and auto-dump their session's span
+        tree plus flight-recorder ring to ``dump_dir``.  None disables
+        the budget entirely (no counter exists, no timing comparison).
+    dump_dir:
+        Directory receiving slow-quantum dumps (created on first use;
+        dumps are skipped when omitted).
     """
 
     def __init__(
@@ -68,15 +91,25 @@ class JoinScheduler:
         max_sessions: int = 256,
         counters: Optional[CounterRegistry] = None,
         cursor_store: Optional[CursorStore] = None,
+        telemetry: bool = False,
+        latency_budget_seconds: Optional[float] = None,
+        dump_dir: Optional[str] = None,
     ) -> None:
         require_positive(quantum_pairs, "quantum_pairs")
         require_positive(quantum_seconds, "quantum_seconds")
         require_positive(max_sessions, "max_sessions")
+        if latency_budget_seconds is not None:
+            require_positive(
+                latency_budget_seconds, "latency_budget_seconds"
+            )
         self.quantum_pairs = quantum_pairs
         self.quantum_seconds = quantum_seconds
         self.max_sessions = max_sessions
         self.counters = counters if counters is not None else CounterRegistry()
         self.store = cursor_store
+        self.telemetry = telemetry
+        self.latency_budget_seconds = latency_budget_seconds
+        self.dump_dir = dump_dir
         self._sessions: Dict[str, Session] = {}
         self._session_seq = 0
 
@@ -88,8 +121,19 @@ class JoinScheduler:
         self,
         source: QuerySource,
         session_id: Optional[str] = None,
+        trace_ctx: Optional[TraceContext] = None,
     ) -> Session:
-        """Register a new session for ``source``; returns it."""
+        """Register a new session for ``source``; returns it.
+
+        With :attr:`telemetry` on, ``trace_ctx`` (parsed from the
+        client's ``traceparent`` header, or minted here) becomes the
+        session's trace identity, and the per-session observer is
+        upgraded to a flight recorder: per-occurrence span events on a
+        ring buffer, injected into the source's join kwargs so the
+        operator's own ``join.*``/``pq.*`` spans land in the same
+        trace.  Observers never touch counters, so the join's counter
+        bit-identity (and the bench gates) are unaffected.
+        """
         if len(self._sessions) >= self.max_sessions:
             raise ServiceError(
                 f"service full: {self.max_sessions} concurrent "
@@ -100,9 +144,25 @@ class JoinScheduler:
             session_id = f"s{self._session_seq:06d}"
         if session_id in self._sessions:
             raise ServiceError(f"session {session_id!r} already exists")
-        session = Session(session_id, source, observer=Observer(
-            max_events=64
-        ))
+        if self.telemetry:
+            tel = RequestTelemetry(
+                ctx=trace_ctx if trace_ctx is not None
+                else TraceContext.mint()
+            )
+            observer = Observer(
+                max_events=256, event_policy=KEEP_LAST,
+                trace_spans=True,
+            )
+            observer.trace_ctx = tel.ctx
+            source.join_kwargs.setdefault("observer", observer)
+            session = Session(
+                session_id, source, observer=observer, telemetry=tel
+            )
+            session.obs_anchor = tel.now()
+        else:
+            session = Session(session_id, source, observer=Observer(
+                max_events=64
+            ))
         self._sessions[session_id] = session
         self.counters.observe("service_sessions", len(self._sessions))
         return session
@@ -167,31 +227,44 @@ class JoinScheduler:
         rows = session.rows()
         live = self._live_join(session)
         batch_mark = getattr(live, "batches_received", None)
-        with session.obs.span("service.quantum"):
-            while (
-                produced < self.quantum_pairs
-                and len(session.buffer) < session.demand
-            ):
-                try:
-                    row = next(rows)
-                except StopIteration:
-                    session.done = True
-                    break
-                session.buffer.append(row)
-                produced += 1
-                if time.monotonic() >= deadline:
-                    break
-                if batch_mark is not None:
-                    # Parallel sources preempt between tile batches:
-                    # a batch arrival is the natural yield point.
-                    current = getattr(live, "batches_received", 0)
-                    if current > batch_mark:
+        tel = session.tel
+        quantum_start = tel.now() if tel.enabled else 0.0
+        with tel.span(
+            "service.quantum", session=session.id,
+            quantum=session.quanta,
+        ):
+            with session.obs.span("service.quantum"):
+                while (
+                    produced < self.quantum_pairs
+                    and len(session.buffer) < session.demand
+                ):
+                    try:
+                        row = next(rows)
+                    except StopIteration:
+                        session.done = True
                         break
+                    session.buffer.append(row)
+                    produced += 1
+                    if time.monotonic() >= deadline:
+                        break
+                    if batch_mark is not None:
+                        # Parallel sources preempt between tile
+                        # batches: a batch arrival is the natural
+                        # yield point.
+                        current = getattr(live, "batches_received", 0)
+                        if current > batch_mark:
+                            break
         session.quanta += 1
         session.obs.gauge("service.quantum_pairs", float(produced))
         self.counters.add("service_quanta")
         if produced:
             self.counters.add("service_rows", produced)
+        if tel.enabled:
+            self._record_flight(session, produced)
+            if self.latency_budget_seconds is not None:
+                elapsed = tel.now() - quantum_start
+                if elapsed > self.latency_budget_seconds:
+                    self._on_slow_quantum(session, elapsed)
         return produced
 
     def run_round(self) -> int:
@@ -262,9 +335,13 @@ class JoinScheduler:
             try:
                 with session.obs.span("service.suspend"):
                     state = session.suspend_to_state()
-                    self.store.save(session.id, state)
+                    path = self.store.save(session.id, state)
             except CursorError:
                 continue
+            try:
+                session.spooled_bytes = os.path.getsize(path)
+            except OSError:
+                session.spooled_bytes = 0
             evicted.append(session.id)
             self.counters.add("service_evictions")
         return evicted
@@ -288,8 +365,147 @@ class JoinScheduler:
         return getattr(plan.join_op, "_join", None)
 
     # ------------------------------------------------------------------
+    # flight recorder / slow-quantum dumps
+    # ------------------------------------------------------------------
+
+    def _record_flight(self, session: Session, produced: int) -> None:
+        """One flight-recorder sample at the end of a quantum.
+
+        Queue depth, head distance, and band occupancy land both as
+        bounded gauge timelines and as one ring event, and the
+        certified progress ratchet advances.  Everything here is a
+        pure probe: no disk reads, no counters.
+        """
+        obs = session.obs
+        report = session.progress_report()
+        detail = report.get("detail", {})
+        queue_len = detail.get("queue_len")
+        if queue_len is not None:
+            obs.gauge("service.queue_len", float(queue_len))
+        head = detail.get("head_distance")
+        if head is not None:
+            obs.gauge("service.head_distance", float(head))
+        occupancy = detail.get("occupancy") or {}
+        disk = occupancy.get("disk")
+        if disk is not None:
+            obs.gauge("service.pq_disk", float(disk))
+            obs.gauge(
+                "service.pq_bands", float(occupancy.get("bands", 0))
+            )
+        obs.event(
+            "flight",
+            label=(
+                f"pairs={produced} queue={queue_len} head={head} "
+                f"disk={occupancy.get('disk', 0)} "
+                f"progress>={report['lower_bound']:.3f}"
+            ),
+            value=float(produced),
+        )
+
+    def _on_slow_quantum(
+        self, session: Session, elapsed: float
+    ) -> None:
+        """A quantum blew the latency budget: count it and dump the
+        session's stitched span tree plus flight-recorder ring."""
+        self.counters.add("service_slow_quanta")
+        session.obs.event(
+            "slow_quantum", label=f"elapsed={elapsed:.4f}s",
+            value=elapsed,
+        )
+        if self.dump_dir is None:
+            return
+        os.makedirs(self.dump_dir, exist_ok=True)
+        path = os.path.join(
+            self.dump_dir,
+            f"slow-{session.id}-q{session.quanta:05d}.json",
+        )
+        dump = {
+            "session": session.id,
+            "trace_id": session.tel.ctx.trace_id,
+            "quantum": session.quanta,
+            "elapsed_s": elapsed,
+            "budget_s": self.latency_budget_seconds,
+            "trace": self.trace_dump(session.id),
+            "ring": [
+                {
+                    "seq": event.seq, "t": event.t,
+                    "kind": event.kind, "label": event.label,
+                    "value": event.value,
+                }
+                for event in session.obs.events
+            ],
+        }
+        with open(path, "w") as handle:
+            json.dump(dump, handle)
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+
+    def progress(self) -> Dict[str, Any]:
+        """Certified progress per session (session id keyed)."""
+        return {
+            session.id: session.progress_report()
+            for session in self._sessions.values()
+        }
+
+    def debug_sessions(self) -> List[Dict[str, Any]]:
+        """One diagnostic record per session: status, cursor size,
+        quantum count, and the certified progress report."""
+        records = []
+        for session in self._sessions.values():
+            record = session.stats()
+            record["spooled_bytes"] = session.spooled_bytes
+            record["progress"] = session.progress_report()
+            record["trace_spans"] = len(session.tel.spans)
+            records.append(record)
+        return records
+
+    def _stitched(self, session: Session) -> List[Any]:
+        """The session's stitched span records: telemetry spans plus
+        grafted operator span events and parallel-worker tracks."""
+        observers = []
+        if session.obs.enabled and session.obs.trace_spans:
+            observers.append((session.obs, session.obs_anchor, ""))
+        worker_tracks = []
+        live = self._live_join(session)
+        snapshots = getattr(live, "task_span_snapshots", None)
+        if snapshots is not None:
+            worker_tracks.append((
+                snapshots(),
+                getattr(live, "_task_workers", {}),
+                session.obs_anchor,
+                None,
+            ))
+        return stitched_records(
+            session.tel,
+            observers=observers,
+            worker_tracks=worker_tracks,
+            exclude_prefixes=("service.",),
+        )
+
+    def trace_dump(
+        self, session_id: str, fmt: str = "json"
+    ) -> Dict[str, Any]:
+        """The session's single connected trace, as a nested JSON span
+        tree (``fmt="json"``) or a Chrome trace-event container
+        (``fmt="chrome"``)."""
+        session = self.session(session_id)
+        if not session.tel.enabled:
+            raise ServiceError(
+                f"session {session_id!r} has no telemetry (the "
+                "scheduler was built with telemetry=False)"
+            )
+        records = self._stitched(session)
+        if fmt == "chrome":
+            return chrome_trace(
+                chrome_trace_events(session.tel, records)
+            )
+        if fmt != "json":
+            raise ServiceError(
+                f"unknown trace format {fmt!r} (json or chrome)"
+            )
+        return span_tree(session.tel, records)
 
     def status(self) -> Dict[str, Any]:
         """A JSON-friendly snapshot of the whole scheduler."""

@@ -10,7 +10,19 @@ examples in ``docs/SERVICE.md``):
   -- interleaving with every other pending session's quanta;
 - ``GET /status`` and ``GET /metrics`` expose the scheduler snapshot
   and a Prometheus-style rendering of the service metrics;
+- ``GET /progress`` reports each session's certified progress (or one
+  session's with ``?session=ID``);
+- ``GET /debug/sessions`` and ``GET /debug/trace?session=ID`` expose
+  live per-session diagnostics and the request's stitched span tree
+  (``&format=chrome`` for a Perfetto-loadable trace);
 - ``DELETE /session?session=ID`` cancels a session.
+
+Requests may carry a W3C ``traceparent`` header; ``POST /query``
+adopts it as the session's trace identity (minting one otherwise) and
+returns the trace id, so one client trace follows the query through
+every quantum, suspend, and resume.  With ``log_json=True`` every
+request is also logged as one structured JSON line carrying the trace
+id.
 
 A background task periodically evicts idle sessions to the cursor
 spool; the next ``/next`` transparently resumes them.  Everything is
@@ -22,6 +34,8 @@ from __future__ import annotations
 
 import asyncio
 import json
+import sys
+import time
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
@@ -33,6 +47,7 @@ from repro.service.scheduler import JoinScheduler
 from repro.service.session import QuerySource
 from repro.util.counters import CounterRegistry
 from repro.util.obs import prometheus_text
+from repro.util.telemetry import TraceContext
 
 #: Strategies a client may request; anything else is a 400.
 ALLOWED_STRATEGIES = STRATEGIES
@@ -70,6 +85,17 @@ class JoinService:
         eviction); ignored when ``scheduler`` is supplied.
     idle_evict_seconds / evict_interval:
         Idle threshold and sweep period of the background evictor.
+    telemetry:
+        Request-scoped tracing and progress estimation (on by default
+        for the HTTP service; the embedded scheduler default is off).
+        Ignored when a prebuilt ``scheduler`` is supplied.
+    latency_budget_seconds / dump_dir:
+        Slow-quantum budget and dump directory, forwarded to the
+        scheduler (see :class:`~repro.service.scheduler
+        .JoinScheduler`); ignored when ``scheduler`` is supplied.
+    log_json:
+        Log every request as one structured JSON line (method, path,
+        status, duration, session, trace id) on stdout.
     """
 
     def __init__(
@@ -83,6 +109,11 @@ class JoinService:
         quantum_pairs: int = 64,
         quantum_seconds: float = 0.05,
         max_sessions: int = 256,
+        telemetry: bool = True,
+        latency_budget_seconds: Optional[float] = None,
+        dump_dir: Optional[str] = None,
+        log_json: bool = False,
+        log_stream: Any = None,
     ) -> None:
         self.db = db
         if scheduler is None:
@@ -94,10 +125,16 @@ class JoinService:
                 max_sessions=max_sessions,
                 counters=counters,
                 cursor_store=store,
+                telemetry=telemetry,
+                latency_budget_seconds=latency_budget_seconds,
+                dump_dir=dump_dir,
             )
         self.scheduler = scheduler
         self.idle_evict_seconds = idle_evict_seconds
         self.evict_interval = evict_interval
+        self.log_json = log_json
+        self._log_stream = log_stream if log_stream is not None \
+            else sys.stdout
         self._server: Optional[asyncio.AbstractServer] = None
         self._evictor: Optional[asyncio.Task] = None
 
@@ -105,7 +142,11 @@ class JoinService:
     # request handlers (route → JSON)
     # ------------------------------------------------------------------
 
-    def _post_query(self, body: Dict[str, Any]) -> Tuple[int, Any]:
+    def _post_query(
+        self,
+        body: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Any]:
         sql = body.get("sql")
         if not isinstance(sql, str) or not sql.strip():
             return 400, {"error": "body must carry a 'sql' string"}
@@ -118,9 +159,18 @@ class JoinService:
         # Planning is lazy (the first quantum builds it), but a syntax
         # error should be a 400 at admission, not a late surprise.
         parse(sql)
+        # A malformed traceparent is ignored (a fresh trace is minted
+        # at admission), per the W3C propagation contract.
+        trace_ctx = TraceContext.from_traceparent(
+            (headers or {}).get("traceparent")
+        )
         source = QuerySource(self.db, sql, strategy=strategy)
-        session = self.scheduler.admit(source)
-        return 200, {"session": session.id, "status": session.stats()}
+        session = self.scheduler.admit(source, trace_ctx=trace_ctx)
+        payload = {"session": session.id, "status": session.stats()}
+        if session.tel.enabled:
+            payload["trace_id"] = session.tel.ctx.trace_id
+            payload["traceparent"] = session.tel.ctx.to_traceparent()
+        return 200, payload
 
     async def _get_next(self, params: Dict[str, Any]) -> Tuple[int, Any]:
         session_id = params.get("session")
@@ -166,8 +216,34 @@ class JoinService:
     def _get_metrics(self) -> Tuple[int, str]:
         return 200, prometheus_text(self.scheduler.metrics())
 
+    def _get_progress(self, params: Dict[str, Any]) -> Tuple[int, Any]:
+        session_id = params.get("session")
+        if session_id:
+            session = self.scheduler.session(session_id)
+            return 200, {
+                "session": session_id,
+                "progress": session.progress_report(),
+            }
+        return 200, {"sessions": self.scheduler.progress()}
+
+    def _get_debug_sessions(self) -> Tuple[int, Any]:
+        return 200, {"sessions": self.scheduler.debug_sessions()}
+
+    def _get_debug_trace(
+        self, params: Dict[str, Any]
+    ) -> Tuple[int, Any]:
+        session_id = params.get("session")
+        if not session_id:
+            return 400, {"error": "missing 'session' parameter"}
+        fmt = params.get("format", "json")
+        return 200, self.scheduler.trace_dump(session_id, fmt=fmt)
+
     async def _dispatch(
-        self, method: str, path: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Any, str]:
         parts = urlsplit(path)
         params = {
@@ -185,7 +261,7 @@ class JoinService:
                 if not isinstance(parsed, dict):
                     return 400, {"error": "body must be a JSON object"}, \
                         "application/json"
-                status, payload = self._post_query(parsed)
+                status, payload = self._post_query(parsed, headers)
             elif route == ("GET", "/next"):
                 status, payload = await self._get_next(params)
             elif route == ("GET", "/status"):
@@ -193,6 +269,12 @@ class JoinService:
             elif route == ("GET", "/metrics"):
                 status, text = self._get_metrics()
                 return status, text, "text/plain; version=0.0.4"
+            elif route == ("GET", "/progress"):
+                status, payload = self._get_progress(params)
+            elif route == ("GET", "/debug/sessions"):
+                status, payload = self._get_debug_sessions()
+            elif route == ("GET", "/debug/trace"):
+                status, payload = self._get_debug_trace(params)
             elif route == ("DELETE", "/session"):
                 status, payload = self._delete_session(params)
             else:
@@ -213,6 +295,61 @@ class JoinService:
     # HTTP plumbing
     # ------------------------------------------------------------------
 
+    def _log_request(
+        self,
+        method: str,
+        path: str,
+        status: int,
+        payload: Any,
+        headers: Dict[str, str],
+        duration: float,
+    ) -> None:
+        """One structured JSON log line per request.
+
+        The trace id comes from the response payload when the route
+        produced one (``POST /query``) and falls back to the session's
+        recorded trace otherwise, so every line about a traced query
+        carries the same id the client saw.
+        """
+        parts = urlsplit(path)
+        params = {
+            key: values[-1]
+            for key, values in parse_qs(parts.query).items()
+        }
+        session_id = None
+        trace_id = None
+        if isinstance(payload, dict):
+            session_id = payload.get("session")
+            trace_id = payload.get("trace_id")
+        if session_id is None:
+            session_id = params.get("session")
+        if trace_id is None and session_id is not None:
+            try:
+                session = self.scheduler.session(session_id)
+            except ReproError:
+                session = None
+            if session is not None and session.tel.enabled:
+                trace_id = session.tel.ctx.trace_id
+        if trace_id is None:
+            header = TraceContext.from_traceparent(
+                headers.get("traceparent")
+            )
+            trace_id = header.trace_id if header is not None else None
+        line = json.dumps({
+            "ts": round(time.time(), 6),
+            "method": method,
+            "path": parts.path,
+            "status": status,
+            "dur_ms": round(duration * 1000.0, 3),
+            "session": session_id,
+            "trace_id": trace_id,
+        })
+        try:
+            self._log_stream.write(line + "\n")
+            self._log_stream.flush()
+        except (OSError, ValueError):
+            pass
+
     async def _handle(
         self,
         reader: asyncio.StreamReader,
@@ -224,22 +361,28 @@ class JoinService:
             if len(pieces) < 2:
                 return
             method, path = pieces[0].upper(), pieces[1]
-            content_length = 0
+            headers: Dict[str, str] = {}
             while True:
                 line = await reader.readline()
                 if line in (b"\r\n", b"\n", b""):
                     break
                 name, __, value = line.decode("latin-1").partition(":")
-                if name.strip().lower() == "content-length":
-                    try:
-                        content_length = int(value.strip())
-                    except ValueError:
-                        content_length = 0
+                headers[name.strip().lower()] = value.strip()
+            try:
+                content_length = int(headers.get("content-length", "0"))
+            except ValueError:
+                content_length = 0
             body = await reader.readexactly(content_length) \
                 if content_length else b""
+            started = time.perf_counter()
             status, payload, ctype = await self._dispatch(
-                method, path, body
+                method, path, body, headers
             )
+            if self.log_json:
+                self._log_request(
+                    method, path, status, payload, headers,
+                    time.perf_counter() - started,
+                )
             if isinstance(payload, str):
                 data = payload.encode("utf-8")
             else:

@@ -23,6 +23,11 @@ from typing import Any, Deque, Dict, Iterator, Optional
 from repro.errors import CursorError
 from repro.query.physical import PhysicalPlan, Row
 from repro.util.obs import Observer
+from repro.util.telemetry import (
+    NULL_TELEMETRY,
+    ProgressEstimator,
+    RequestTelemetry,
+)
 
 #: Envelope marker for saved query sources.
 SOURCE_FORMAT = "repro-service-session"
@@ -145,12 +150,25 @@ class Session:
         session_id: str,
         source: QuerySource,
         observer: Optional[Observer] = None,
+        telemetry: Optional[RequestTelemetry] = None,
     ) -> None:
         self.id = session_id
         self.source = source
         self.obs = observer if observer is not None else Observer(
             max_events=64
         )
+        #: Request-scoped trace recorder; :data:`NULL_TELEMETRY` keeps
+        #: every hook a single attribute read when tracing is off.
+        self.tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        #: Telemetry-clock time at which :attr:`obs` started (its t=0);
+        #: trace stitching aligns observer span events with it.
+        self.obs_anchor = 0.0
+        #: Certified progress ratchet; survives suspend/resume via the
+        #: cursor envelope.
+        self.progress_est = ProgressEstimator()
+        self.last_progress: Optional[Dict[str, Any]] = None
+        #: Size of the spooled cursor while evicted (0 when live).
+        self.spooled_bytes = 0
         self.buffer: Deque[Row] = deque()
         self.demand = 0
         self.emitted_total = 0
@@ -186,20 +204,71 @@ class Session:
     def suspend_to_state(self) -> Dict[str, Any]:
         """Serialize for eviction and drop the in-memory plan.
 
+        The trace context and the progress ratchet ride in the cursor
+        envelope (extra keys; :meth:`QuerySource.load` ignores them),
+        so a session resumed in a *different* process keeps its trace
+        identity, its span history, and its certified floor.
+
         Raises :class:`~repro.errors.CursorError` for operators that
         only support in-memory suspension (parallel joins).
         """
+        # Pin the latest certified reading before the plan goes away.
+        self.progress_report()
         state = self.source.save()
+        if self.tel.enabled:
+            state["telemetry"] = self.tel.state()
+        state["progress"] = self.progress_est.state()
         self.source.release()
         self._rows = None
         self.evicted = True
         return state
 
     def resume_from_state(self, state: Dict[str, Any]) -> None:
-        """Rebuild the plan from an eviction cursor."""
+        """Rebuild the plan from an eviction cursor.
+
+        An in-process resume keeps the live telemetry and estimator
+        objects (they never went away and their clocks are newer than
+        the snapshot); a fresh process restores both from the
+        envelope, ratcheting the progress floor so it can only move
+        forward.
+        """
         self.source.load(state)
+        if not self.tel.enabled and "telemetry" in state:
+            self.tel = RequestTelemetry.restore(state["telemetry"])
+        saved_progress = state.get("progress")
+        if saved_progress is not None:
+            restored = ProgressEstimator.restore(saved_progress)
+            if restored.lower_bound > self.progress_est.lower_bound:
+                self.progress_est = restored
         self._rows = self.source.open()
         self.evicted = False
+        self.spooled_bytes = 0
+
+    def progress_report(self) -> Dict[str, Any]:
+        """The session's certified progress (a dict view of
+        :class:`~repro.util.telemetry.ProgressReport`).
+
+        Probes the live plan when one is open; an evicted session
+        reports its last reading (the floor cannot move while the
+        plan is spooled).  Session completion forces ``done`` -- the
+        stream is exhausted even if the operator would still report a
+        non-empty queue (e.g. ``STOP AFTER`` met at the plan root).
+        """
+        plan = self.source.plan
+        signals = plan.progress_signals() if plan is not None else None
+        if signals is None:
+            if self.last_progress is not None and not self.done:
+                return self.last_progress
+            signals = {
+                "produced": self.emitted_total,
+                "max_pairs": None,
+            }
+        signals["emitted_total"] = self.emitted_total
+        if self.done:
+            signals["done"] = True
+        report = self.progress_est.report(signals).as_dict()
+        self.last_progress = report
+        return report
 
     def stats(self) -> Dict[str, Any]:
         """A JSON-friendly status snapshot."""
@@ -214,4 +283,7 @@ class Session:
             "done": self.done,
             "evicted": self.evicted,
             "idle_seconds": round(self.idle_seconds(), 3),
+            "trace_id": (
+                self.tel.ctx.trace_id if self.tel.enabled else None
+            ),
         }

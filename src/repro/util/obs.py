@@ -388,12 +388,26 @@ class Observer:
         self.enabled = enabled
         self.sample_every = sample_every
         self.trace_spans = trace_spans
+        #: Optional trace identity (a ``repro.util.telemetry
+        #: .TraceContext``) stamped by request-scoped owners (the
+        #: service scheduler) so exporters can tag this observer's
+        #: spans with the owning trace.  Untyped on purpose: obs must
+        #: not import telemetry.
+        self.trace_ctx: Optional[Any] = None
         self._max_samples = max_samples
         self._spans: Dict[str, SpanStats] = {}
         self._gauges: Dict[str, GaugeTimeline] = {}
         self._gauge_ticks: Dict[str, int] = {}
         self.events = EventLog(max_events=max_events, policy=event_policy)
         self._t0 = time.perf_counter()
+
+    @property
+    def t0(self) -> float:
+        """The ``time.perf_counter`` reading at which this observer's
+        clock started (event/gauge ``t`` offsets are relative to it).
+        Exposed so trace stitchers can align observer timelines with a
+        request-scoped clock."""
+        return self._t0
 
     # -- spans ---------------------------------------------------------
 

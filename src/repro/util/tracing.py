@@ -37,6 +37,7 @@ __all__ = [
     "observer_trace",
     "snapshot_summary_events",
     "sort_events",
+    "span_record_events",
     "worker_track_events",
     "write_chrome_trace",
 ]
@@ -90,6 +91,40 @@ def span_complete_events(
             "name": event.label, "cat": cat, "ph": "X",
             "ts": _us(start), "dur": _us(event.value),
             "pid": pid, "tid": tid,
+        })
+    return events
+
+
+def span_record_events(
+    records: Iterable[Any],
+    pid: int = DRIVER_PID,
+    tid: int = 1,
+    cat: str = "telemetry",
+    trace_id: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """``X`` events for request-scoped telemetry span records.
+
+    ``records`` is anything shaped like
+    :class:`repro.util.telemetry.SpanRecord` (``name`` / ``span_id`` /
+    ``parent_id`` / ``t0`` / ``dur`` / ``attrs``) -- duck-typed so this
+    module keeps its single dependency on :mod:`repro.util.obs`.  Span
+    and parent ids ride in ``args`` (plus the owning ``trace_id`` when
+    given), which is how Perfetto reconstructs the request tree.
+    """
+    events: List[Dict[str, Any]] = []
+    for record in records:
+        args: Dict[str, Any] = {
+            "span_id": record.span_id,
+            "parent_id": record.parent_id,
+        }
+        if trace_id:
+            args["trace_id"] = trace_id
+        if record.attrs:
+            args.update(record.attrs)
+        events.append({
+            "name": record.name, "cat": cat, "ph": "X",
+            "ts": _us(record.t0), "dur": _us(record.dur),
+            "pid": pid, "tid": tid, "args": args,
         })
     return events
 

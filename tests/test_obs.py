@@ -304,3 +304,99 @@ class TestMetricsExport:
         # The .prom dump is rewritten whole and covers both runs.
         prom = open(path + ".prom").read()
         assert 'run="1"' in prom and 'run="2"' in prom
+
+
+class TestTraceAnnotatedMerge:
+    """Observer.merge / ObsSnapshot.delta_from with trace-recording
+    observers: aggregates fold correctly while each observer's trace
+    identity and span-event timeline stay its own."""
+
+    def _traced(self, ctx_tag, spans):
+        obs = Observer(trace_spans=True, event_policy=KEEP_LAST,
+                       max_events=8)
+        obs.trace_ctx = ctx_tag
+        for name, seconds in spans:
+            obs.record_span(name, seconds)
+        return obs
+
+    def test_merge_adds_aggregates_not_events(self):
+        left = self._traced("trace-a", [("join.expand", 0.2)])
+        right = self._traced("trace-b", [("join.expand", 0.3),
+                                         ("pq.refill", 0.1)])
+        events_before = left.events.total
+        left.merge(right)
+        assert left.span_count("join.expand") == 2
+        assert left.span_seconds("join.expand") == pytest.approx(0.5)
+        assert left.span_seconds("pq.refill") == pytest.approx(0.1)
+        # Merging folds aggregates only: the span-event timeline and
+        # the trace identity belong to the recording observer.
+        assert left.events.total == events_before
+        assert left.trace_ctx == "trace-a"
+        assert right.trace_ctx == "trace-b"
+
+    def test_merge_accepts_snapshots_from_traced_observers(self):
+        worker = self._traced("trace-w", [("worker.join", 0.4)])
+        parent = Observer(max_events=0)
+        parent.merge(worker.snapshot())
+        parent.merge(worker.snapshot())
+        assert parent.span_count("worker.join") == 2
+        assert parent.span_seconds("worker.join") == pytest.approx(0.8)
+
+    def test_delta_from_between_traced_snapshots(self):
+        obs = self._traced("trace-d", [("join.expand", 0.2)])
+        first = obs.snapshot()
+        obs.record_span("join.expand", 0.3)
+        obs.gauge("queue_len", 7.0)
+        delta = obs.snapshot().delta_from(first)
+        assert delta.span_count("join.expand") == 1
+        assert delta.span_seconds("join.expand") == pytest.approx(0.3)
+        assert delta.gauge_last("queue_len") == 7.0
+        # Unchanged phases drop out of the delta entirely.
+        obs.record_span("pq.refill", 0.0, count=0)
+        assert "pq.refill" not in obs.snapshot().delta_from(
+            obs.snapshot()
+        ).spans
+
+    def test_span_events_ride_the_ring_policy(self):
+        obs = self._traced("trace-r", [])
+        for i in range(20):
+            obs.record_span("join.expand", 0.01)
+        assert len(obs.events) == 8  # ring keeps the last 8
+        assert obs.events.total == 20
+        kept = [e.seq for e in obs.events]
+        assert kept == list(range(12, 20))
+        assert all(e.kind == "span" for e in obs.events)
+
+
+class TestLongRunBoundedness:
+    """Ring EventLog and GaugeTimeline over service-shaped long runs:
+    memory stays bounded, totals and extrema stay exact."""
+
+    def test_event_ring_over_many_quanta(self):
+        log = EventLog(max_events=64, policy=KEEP_LAST)
+        for quantum in range(5000):
+            log.append(quantum * 0.01, "flight", f"q{quantum}", 1.0)
+        assert len(log) == 64
+        assert log.total == 5000
+        assert [e.seq for e in log] == list(range(4936, 5000))
+        assert log[0].label == "q4936"
+
+    def test_keep_first_log_over_many_quanta(self):
+        log = EventLog(max_events=64, policy=KEEP_FIRST)
+        for quantum in range(5000):
+            log.append(quantum * 0.01, "flight", f"q{quantum}", 1.0)
+        assert len(log) == 64
+        assert log.total == 5000
+        assert [e.seq for e in log] == list(range(64))
+
+    def test_gauge_timeline_bounded_with_exact_extrema(self):
+        obs = Observer(max_samples=32)
+        for quantum in range(4000):
+            obs.gauge("service.queue_len", float(quantum % 977))
+        timeline = obs.gauge_timeline("service.queue_len")
+        assert len(timeline) == 32
+        snapshot = obs.snapshot()
+        count, last, mn, mx = snapshot.gauges["service.queue_len"]
+        assert count == 4000
+        assert mn == 0.0 and mx == 976.0
+        assert last == float(3999 % 977)
