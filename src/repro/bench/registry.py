@@ -58,7 +58,7 @@ SMOKE = "smoke"
 FULL = "full"
 
 #: Operator families a case can exercise.
-OPERATORS = ("join", "semi", "parallel", "service")
+OPERATORS = ("join", "semi", "parallel", "service", "shard")
 
 #: A case's join configuration: a spec, or a factory deriving one
 #: from the workload and the tier's result budget.
@@ -139,6 +139,18 @@ class BenchCase:
             return ParallelDistanceJoin(
                 load.tree1, load.tree2, spec,
                 **common, **dict(self.engine),
+            )
+        if self.operator == "shard":
+            from repro.shard import ShardRouterJoin, clear_caches
+
+            # Fresh catalogs and plans per repetition: measured
+            # counters include the routing work and stay identical
+            # run to run.
+            clear_caches()
+            return ShardRouterJoin(
+                load.tree1, load.tree2, spec, **common,
+                catalog_cache=False, result_cache=False,
+                **dict(self.engine),
             )
         if self.operator == "service":
             from repro.service.overhead import resumed_join
@@ -294,6 +306,25 @@ register(BenchCase(
     spec=_vector_or_scalar,
     pairs={SMOKE: 100, FULL: 10_000},
     deterministic=False,
+))
+
+def _shard_spec(load: JoinWorkload, pairs: Optional[int]) -> JoinSpec:
+    """A Fig 6-style STOP AFTER workload: ask for a sliver of the
+    result set, so lazy admission routes only the near shard pairs
+    and provably prunes the rest.  The cap lives in the spec (not the
+    consume budget) so the router stops -- and finalizes its pruning
+    counters -- by itself."""
+    return JoinSpec(max_pairs=max(32, len(load.tree1) // 4))
+
+
+register(BenchCase(
+    name="shard.router_pruning",
+    description="Shard router: MINDIST-ordered shard pairs, lazy "
+                "admission, STOP AFTER pruning (4x4 shard catalog)",
+    spec=_shard_spec,
+    pairs={SMOKE: None, FULL: None},
+    operator="shard",
+    engine={"shards": 4},
 ))
 
 register(BenchCase(

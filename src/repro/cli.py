@@ -24,6 +24,11 @@ Commands
 ``serve``
     Serve queries over HTTP with the preemptable join scheduler
     (``POST /query`` then ``GET /next`` pages -- see docs/SERVICE.md).
+``shard``
+    Build and inspect persistent shard catalogs (``shard build``,
+    ``shard list``, ``shard stats``); route a query through shards
+    with ``query --shards N`` or a ``SHARDS N`` hint in the SQL
+    (see docs/SHARDING.md).
 
 ``query --page K`` prints K rows and persists the suspended cursor to
 ``--cursor FILE``; ``query --resume FILE`` continues it later without
@@ -311,6 +316,8 @@ def cmd_query(args: argparse.Namespace) -> int:
     if args.workers is not None:
         # CLI flag and SQL hint are equivalent; the flag wins.
         query.parallel = args.workers
+    if args.shards is not None:
+        query.shards = args.shards
 
     if query.explain:
         if not query.analyze:
@@ -420,6 +427,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         db,
         host=args.host,
         port=args.port,
+        # Share the database's registry so the join's own counters
+        # (dist_calcs, node_io, shard_pairs_*) surface on /metrics
+        # next to the scheduler's.
+        counters=db.counters,
         quantum_pairs=args.quantum_pairs,
         quantum_seconds=args.quantum_seconds,
         max_sessions=args.max_sessions,
@@ -430,6 +441,64 @@ def cmd_serve(args: argparse.Namespace) -> int:
         dump_dir=args.dump_dir,
         log_json=args.log_json,
     )
+    return 0
+
+
+def cmd_shard_build(args: argparse.Namespace) -> int:
+    """``repro shard build``: partition a relation into a persisted
+    shard catalog (one R-tree snapshot per shard + a manifest)."""
+    from repro.shard.catalog import ShardCatalog
+
+    tree = _load_relation(args.source)
+    catalog = ShardCatalog.build(
+        tree, shards=args.shards, method=args.method
+    )
+    path = catalog.save(args.out)
+    print(f"catalog:     {args.out}")
+    print(f"manifest:    {path}")
+    print(f"shards:      {len(catalog)} (requested {args.shards}, "
+          f"method {catalog.method})")
+    print(f"objects:     {sum(i.count for i in catalog.infos)}")
+    print(f"fingerprint: {catalog.fingerprint}")
+    return 0
+
+
+def cmd_shard_list(args: argparse.Namespace) -> int:
+    """``repro shard list``: summarize a persisted catalog."""
+    from repro.shard.catalog import ShardCatalog
+
+    catalog = ShardCatalog.open(args.catalog)
+    print(f"catalog:     {len(catalog)} shards "
+          f"({catalog.method}, dim {catalog.dim})")
+    print(f"fingerprint: {catalog.fingerprint}")
+    for info in catalog.infos:
+        print(
+            f"  shard {info.shard_id:4d}  tile {info.tile_index:4d}  "
+            f"{info.count:7,d} objects  "
+            f"mbr {info.mbr!r}  {info.fingerprint[:12]}"
+        )
+    return 0
+
+
+def cmd_shard_stats(args: argparse.Namespace) -> int:
+    """``repro shard stats``: per-shard cost-model summaries."""
+    from repro.shard.catalog import ShardCatalog
+
+    catalog = ShardCatalog.open(args.catalog)
+    shard_ids = (
+        [args.shard] if args.shard is not None else catalog.shard_ids
+    )
+    for shard_id in shard_ids:
+        info = catalog.info(shard_id)
+        stats = catalog.stats(shard_id)
+        nodes = sum(level.nodes for level in stats.levels)
+        leaf = stats.levels[0]
+        fill = stats.size / max(1, leaf.nodes)
+        print(
+            f"shard {shard_id}: {info.count:,} objects, "
+            f"height {stats.height}, {nodes} nodes, "
+            f"avg leaf fill {fill:.2f}"
+        )
     return 0
 
 
@@ -541,6 +610,11 @@ def build_parser() -> argparse.ArgumentParser:
              "N workers (same as a PARALLEL N hint in the SQL)",
     )
     query.add_argument(
+        "--shards", type=_positive_int, default=None, metavar="N",
+        help="route the join through N-shard catalogs per relation "
+             "(same as a SHARDS N hint in the SQL)",
+    )
+    query.add_argument(
         "--metrics", default=None, metavar="FILE",
         help="write the execution's counters and timings to FILE as "
              "JSON-lines, plus a Prometheus-style dump to FILE.prom",
@@ -610,6 +684,46 @@ def build_parser() -> argparse.ArgumentParser:
              "materialization, or the cost model's choice (default)",
     )
     explain.set_defaults(func=cmd_explain)
+
+    shard = commands.add_parser(
+        "shard",
+        help="build and inspect persistent shard catalogs",
+    )
+    shard_commands = shard.add_subparsers(
+        dest="shard_command", required=True
+    )
+    shard_build = shard_commands.add_parser(
+        "build",
+        help="partition a relation into a persisted shard catalog",
+    )
+    shard_build.add_argument(
+        "source", help="a .csv point file or tree snapshot"
+    )
+    shard_build.add_argument("--out", required=True, metavar="DIR")
+    shard_build.add_argument(
+        "--shards", type=_positive_int, default=4, metavar="N",
+        help="requested shard count (empty tiles are dropped)",
+    )
+    shard_build.add_argument(
+        "--method", choices=("str", "grid"), default="str",
+        help="partitioner: STR leaf-packing tiles (default) or a "
+             "uniform grid",
+    )
+    shard_build.set_defaults(func=cmd_shard_build)
+    shard_list = shard_commands.add_parser(
+        "list", help="summarize a persisted shard catalog"
+    )
+    shard_list.add_argument("catalog", metavar="DIR")
+    shard_list.set_defaults(func=cmd_shard_list)
+    shard_stats = shard_commands.add_parser(
+        "stats", help="per-shard cost-model summaries"
+    )
+    shard_stats.add_argument("catalog", metavar="DIR")
+    shard_stats.add_argument(
+        "--shard", type=int, default=None, metavar="ID",
+        help="one shard id (default: all)",
+    )
+    shard_stats.set_defaults(func=cmd_shard_stats)
 
     serve = commands.add_parser(
         "serve",

@@ -24,6 +24,18 @@ The merge is fully incremental: pulling ``K`` results consumes at most
 ``K`` pairs plus one watermark element from each stream, so ``stop
 after K`` costs the same incremental work as the sequential join,
 divided across workers.
+
+Lazy admission (the shard router's pruning rule) generalizes the
+watermark condition to streams that have not been *opened* yet: a
+pending stream with a known lower bound ``L`` on every distance it can
+produce (MINDIST of its shard-pair MBRs) behaves exactly like a live
+stream whose watermark is ``L``.  It must be opened -- *admitted* --
+before any tie group at distance ``d >= L`` may be emitted
+(non-strict, because MINDIST is attainable), and it stays closed while
+``L`` exceeds the admitted frontier.  When the consumer stops early,
+never-admitted streams were proven unable to contribute: they are
+pruned without doing any join work, and the output is still
+bit-identical to the fully sequential join.
 """
 
 from __future__ import annotations
@@ -38,12 +50,15 @@ from repro.parallel.executor import StreamExecutor, TaskBatch
 class _Stream:
     """Parent-side buffer over one task's ordered result stream."""
 
-    __slots__ = ("task_id", "buffer", "done")
+    __slots__ = ("task_id", "buffer", "done", "admitted")
 
-    def __init__(self, task_id: int) -> None:
+    def __init__(self, task_id: int, admitted: bool = True) -> None:
         self.task_id = task_id
         self.buffer: Deque[JoinResult] = deque()
         self.done = False
+        # Pending (not yet admitted) streams are never polled; their
+        # lower bound stands in for a buffered head as the watermark.
+        self.admitted = admitted
 
     @property
     def exhausted(self) -> bool:
@@ -74,6 +89,16 @@ class OrderedStreamMerge:
     expected_outer:
         With ``dedup_outer``, the number of distinct outer objects;
         the merge finishes early once all of them have been reported.
+    lower_bounds:
+        Optional map ``task_id -> lower bound`` on every distance the
+        task can produce.  Tasks listed here start *pending*: they are
+        lazily admitted (opened) only once the admitted frontier
+        reaches their bound, and are never touched otherwise.  Tasks
+        absent from the map are admitted immediately.
+    on_admit:
+        Callback invoked with the task id each time a pending stream
+        is admitted (routing counters hook in here).  Not re-invoked
+        by :meth:`restore`.
     """
 
     def __init__(
@@ -84,10 +109,17 @@ class OrderedStreamMerge:
         on_batch: Optional[Callable[[TaskBatch], None]] = None,
         dedup_outer: bool = False,
         expected_outer: Optional[int] = None,
+        lower_bounds: Optional[Dict[int, float]] = None,
+        on_admit: Optional[Callable[[int], None]] = None,
     ) -> None:
         self._executor = executor
+        self._lower_bounds = dict(lower_bounds or {})
+        self._on_admit = on_admit
         self._streams: Dict[int, _Stream] = {
-            task_id: _Stream(task_id) for task_id in task_ids
+            task_id: _Stream(
+                task_id, admitted=task_id not in self._lower_bounds
+            )
+            for task_id in task_ids
         }
         self._batch_size = batch_size
         self._on_batch = on_batch
@@ -117,17 +149,90 @@ class OrderedStreamMerge:
             self._absorb(self._executor.next_batch(self._batch_size))
 
     def _fill_all_live(self) -> bool:
-        """Ensure every live stream is buffered; False when all
-        streams are exhausted."""
+        """Ensure every live admitted stream is buffered; False when
+        all admitted streams are exhausted."""
         while True:
             needy = [
-                s for s in self._streams.values() if s.needs_data
+                s for s in self._streams.values()
+                if s.admitted and s.needs_data
             ]
             if not needy:
                 break
             self._fill(needy)
         return any(
-            not s.exhausted for s in self._streams.values()
+            not s.exhausted
+            for s in self._streams.values() if s.admitted
+        )
+
+    # ------------------------------------------------------------------
+    # lazy admission
+    # ------------------------------------------------------------------
+
+    def _admit(self, stream: _Stream) -> None:
+        stream.admitted = True
+        if self._on_admit is not None:
+            self._on_admit(stream.task_id)
+
+    def _admit_due(self) -> None:
+        """Open every pending stream the watermark condition requires.
+
+        A pending stream's bound ``L`` must be admitted before a tie
+        group at ``d >= L`` can form, i.e. once ``L`` is at or below
+        the admitted frontier (the minimum admitted buffered head).
+        When no admitted stream has anything left, only the pending
+        streams at the *minimum* bound are opened -- opening more
+        would do work the consumer may never ask for.  Loops until
+        stable, since a newly admitted stream can lower the frontier.
+        """
+        while True:
+            heads = [
+                s.buffer[0].distance
+                for s in self._streams.values()
+                if s.admitted and s.buffer
+            ]
+            pending = [
+                s for s in self._streams.values() if not s.admitted
+            ]
+            if not pending:
+                return
+            if heads:
+                frontier = min(heads)
+                due = [
+                    s for s in pending
+                    if self._lower_bounds[s.task_id] <= frontier
+                ]
+                if not due:
+                    return
+            else:
+                low = min(
+                    self._lower_bounds[s.task_id] for s in pending
+                )
+                due = [
+                    s for s in pending
+                    if self._lower_bounds[s.task_id] == low
+                ]
+            for stream in due:
+                self._admit(stream)
+            self._fill_all_live()
+
+    def watermark(self) -> Optional[float]:
+        """Frontier distance: nothing the merge will ever emit can be
+        closer than this (None once everything is exhausted)."""
+        values = [
+            s.buffer[0].distance
+            for s in self._streams.values()
+            if s.admitted and s.buffer
+        ]
+        values.extend(
+            self._lower_bounds[s.task_id]
+            for s in self._streams.values() if not s.admitted
+        )
+        return min(values, default=None)
+
+    def admitted_ids(self) -> List[int]:
+        """Task ids opened so far (construction-time or lazily)."""
+        return sorted(
+            s.task_id for s in self._streams.values() if s.admitted
         )
 
     # ------------------------------------------------------------------
@@ -137,10 +242,14 @@ class OrderedStreamMerge:
     def _collect_tie_group(self) -> List[JoinResult]:
         """Pop the full group of pairs at the global minimum distance.
 
-        Precondition: every live stream has a buffered head.  A stream
-        contributes its leading run of pairs at the minimum distance;
-        the run is only complete once the stream's watermark (next
-        buffered element) moves strictly past it or the stream ends.
+        Precondition: every live admitted stream has a buffered head
+        and no pending stream's lower bound is at or below the
+        frontier (:meth:`_admit_due` ran).  A stream contributes its
+        leading run of pairs at the minimum distance; the run is only
+        complete once the stream's watermark (next buffered element)
+        moves strictly past it or the stream ends.  Pending streams
+        need no draining: their bound exceeds the tie distance, so
+        their watermark is already past it.
         """
         d = min(
             s.buffer[0].distance
@@ -148,6 +257,8 @@ class OrderedStreamMerge:
         )
         group: List[JoinResult] = []
         for stream in self._streams.values():
+            if not stream.admitted:
+                continue
             while True:
                 while stream.buffer and stream.buffer[0].distance == d:
                     group.append(stream.buffer.popleft())
@@ -185,7 +296,48 @@ class OrderedStreamMerge:
         while not self._ready:
             if self._semi_join_complete():
                 raise StopIteration
-            if not self._fill_all_live():
+            self._fill_all_live()
+            self._admit_due()
+            if not any(s.buffer for s in self._streams.values()):
                 raise StopIteration
             self._emit_group(self._collect_tie_group())
         return self._ready.popleft()
+
+    # ------------------------------------------------------------------
+    # suspend / resume
+    # ------------------------------------------------------------------
+
+    def state(self) -> Dict:
+        """Picklable snapshot of the merge: per-stream buffers, done
+        and admission flags, the semi-join bitset, and emitted-but-
+        unconsumed results.  The executor's own task state is saved
+        separately by the owning operator."""
+        return {
+            "streams": [
+                {
+                    "task": s.task_id,
+                    "buffer": [tuple(r) for r in s.buffer],
+                    "done": s.done,
+                    "admitted": s.admitted,
+                }
+                for s in self._streams.values()
+            ],
+            "seen_outer": sorted(self._seen_outer),
+            "ready": [tuple(r) for r in self._ready],
+        }
+
+    def restore(self, state: Dict) -> None:
+        """Restore a :meth:`state` snapshot in place.
+
+        Admission flags are replayed silently (``on_admit`` does not
+        refire; the owner's counters carry that history).
+        """
+        for record in state["streams"]:
+            stream = self._streams[record["task"]]
+            stream.buffer = deque(
+                JoinResult(*r) for r in record["buffer"]
+            )
+            stream.done = record["done"]
+            stream.admitted = record["admitted"]
+        self._seen_outer = set(state["seen_outer"])
+        self._ready = deque(JoinResult(*r) for r in state["ready"])

@@ -69,6 +69,10 @@ class Query:
         The ``STOP AFTER n`` bound, or None.
     parallel:
         The ``PARALLEL n`` worker-count hint, or None (sequential).
+    shards:
+        The ``SHARDS n`` hint, or None.  Routes the join through
+        per-shard R-tree partitions with MINDIST-ordered shard pairs
+        (the shard router); mutually exclusive with ``parallel``.
     explain, analyze:
         An ``EXPLAIN`` prefix asks for the plan instead of rows;
         ``EXPLAIN ANALYZE`` additionally executes the query and
@@ -89,6 +93,7 @@ class Query:
     descending: bool = False
     stop_after: Optional[int] = None
     parallel: Optional[int] = None
+    shards: Optional[int] = None
     explain: bool = False
     analyze: bool = False
 

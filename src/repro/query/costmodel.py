@@ -53,8 +53,41 @@ class TreeStats:
         return volume
 
 
+def stats_fingerprint(tree: RTreeBase) -> Optional[tuple]:
+    """Cache key for a tree's :class:`TreeStats` (None = uncacheable).
+
+    Any structural change moves at least one component: inserts and
+    deletes bump the tree's mutation counter, bulk loading replaces the
+    root page and the size.
+    """
+    mutations = getattr(tree, "_mutations", None)
+    if mutations is None:
+        return None
+    return (len(tree), tree.root_id, mutations)
+
+
 def collect_stats(tree: RTreeBase) -> TreeStats:
-    """Walk the tree once and summarize it for the cost model."""
+    """Summarize a tree for the cost model (one full walk, cached).
+
+    The walk touches every node, so repeated EXPLAIN / routing calls
+    against an unchanged tree would dominate planning cost; the result
+    is memoized on the tree keyed by :func:`stats_fingerprint` and
+    recomputed after any insert, delete, or bulk (re)load.  Only the
+    first walk charges ``node_reads``/``node_io``.  Callers must treat
+    the returned object as immutable (it is shared between calls).
+    """
+    key = stats_fingerprint(tree)
+    if key is not None:
+        cached = getattr(tree, "_stats_cache", None)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+    stats = _walk_stats(tree)
+    if key is not None:
+        tree._stats_cache = (key, stats)
+    return stats
+
+
+def _walk_stats(tree: RTreeBase) -> TreeStats:
     bounds = tree.bounds()
     if bounds is None:
         return TreeStats(0, 1, [1.0], [LevelStats(0, 1, 0.0)])

@@ -133,6 +133,15 @@ class _Parser:
                     f"{number.text}", number.position,
                 )
             query.parallel = int(value)
+        if self._accept(KEYWORD, "SHARDS"):
+            number = self._expect(NUMBER)
+            value = float(number.text)
+            if value != int(value) or value < 1:
+                raise QuerySyntaxError(
+                    f"SHARDS needs a positive integer, got "
+                    f"{number.text}", number.position,
+                )
+            query.shards = int(value)
         self._expect(EOF)
         self._validate(query)
         return query
@@ -270,6 +279,15 @@ class _Parser:
             raise QuerySyntaxError(
                 "PARALLEL does not support ORDER BY ... DESC "
                 "(the parallel engine's merge is nearest-first)"
+            )
+        if query.shards is not None and query.descending:
+            raise QuerySyntaxError(
+                "SHARDS does not support ORDER BY ... DESC "
+                "(the shard router's merge is nearest-first)"
+            )
+        if query.shards is not None and query.parallel is not None:
+            raise QuerySyntaxError(
+                "SHARDS and PARALLEL are mutually exclusive hints"
             )
 
 

@@ -56,6 +56,10 @@ from repro.query.costmodel import JoinCostModel, estimate_build_cost
 from repro.query.logical import LogicalPlan, build_logical_plan
 from repro.rtree.base import DEFAULT_MAX_ENTRIES
 from repro.rtree.bulk import bulk_load_str
+
+# NOTE: repro.shard depends on this package (its catalogs carry
+# cost-model stats), so the shard operators are imported lazily inside
+# the functions that need them.
 from repro.util.validation import require
 
 _INF = float("inf")
@@ -113,6 +117,8 @@ class PlanExplanation(NamedTuple):
     prefilter_cost: float
     parallel: Optional[int] = None
     tree: Optional[str] = None
+    shards: Optional[int] = None
+    shard_route: Optional[Dict[str, Any]] = None
 
     def pretty(self) -> str:
         """A human-readable plan description."""
@@ -129,6 +135,15 @@ class PlanExplanation(NamedTuple):
         ]
         if self.parallel is not None:
             lines.append(f"  parallel workers: {self.parallel}")
+        if self.shards is not None:
+            lines.append(f"  shards: {self.shards} per relation")
+        if self.shard_route is not None:
+            route = self.shard_route
+            lines.append(
+                f"  shard route ({route['method']}): "
+                f"{route['pairs_planned']}/{route['pairs_total']} "
+                f"pairs planned, {route['range_pruned']} range-pruned"
+            )
         if self.selectivity1 < 1.0 or self.selectivity2 < 1.0:
             lines.append(
                 f"  predicate selectivity: "
@@ -756,6 +771,25 @@ def _matcher(
 
 def _operator_for(query: Query) -> type:
     """Map the logical join kind onto an operator class."""
+    if query.shards is not None:
+        from repro.shard.router import (
+            ShardRouterJoin,
+            ShardRouterSemiJoin,
+        )
+
+        if query.parallel is not None:
+            raise QueryError(
+                "SHARDS and PARALLEL are mutually exclusive hints"
+            )
+        if query.descending:
+            raise QueryError(
+                "SHARDS does not support ORDER BY ... DESC "
+                "(the shard router's merge is nearest-first)"
+            )
+        return (
+            ShardRouterSemiJoin if query.is_semi_join
+            else ShardRouterJoin
+        )
     if query.parallel is not None:
         if query.descending:
             raise QueryError(
@@ -883,6 +917,8 @@ def build_physical_plan(
     kwargs.update(join_kwargs or {})
     if query.parallel is not None:
         kwargs.setdefault("workers", query.parallel)
+    if query.shards is not None:
+        kwargs.setdefault("shards", query.shards)
 
     def side(
         relation: str,
@@ -911,6 +947,40 @@ def build_physical_plan(
         Limit(project, query.stop_after)
         if query.stop_after is not None else project
     )
+
+    def shard_route_info() -> Optional[Dict[str, Any]]:
+        """Describe the shard router's plan without constructing the
+        operator (no counters charged beyond catalog/stat builds)."""
+        if query.shards is None:
+            return None
+        from repro.shard.catalog import catalog_for
+        from repro.shard.router import plan_shard_pairs
+
+        catalogs = kwargs.get("catalogs")
+        method = kwargs.get("partition_method", "str")
+        shards = kwargs.get("shards", query.shards)
+        if catalogs is not None:
+            cat1, cat2 = catalogs
+        else:
+            cat1 = catalog_for(
+                tree1, shards, method, counters=db.counters
+            )
+            cat2 = catalog_for(
+                tree2, shards, method, counters=db.counters
+            )
+        pairs, range_pruned, __ = plan_shard_pairs(
+            cat1, cat2, db.metric, dmin, dmax
+        )
+        return {
+            "shards": (len(cat1), len(cat2)),
+            "method": method,
+            "pairs_total": len(cat1) * len(cat2),
+            "pairs_planned": len(pairs),
+            "range_pruned": range_pruned,
+            "order": [
+                (pair.sid1, pair.sid2, pair.bound) for pair in pairs
+            ],
+        }
 
     def explanation_factory() -> PlanExplanation:
         if join_op.pipeline_cost is None:
@@ -949,6 +1019,8 @@ def build_physical_plan(
             prefilter_cost=join_op.prefilter_cost,
             parallel=query.parallel,
             tree=root.pretty(),
+            shards=query.shards,
+            shard_route=shard_route_info(),
         )
 
     return PhysicalPlan(

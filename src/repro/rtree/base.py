@@ -76,6 +76,10 @@ class RTreeBase:
         )
         self.size = 0
         self._next_oid = 0
+        # Monotone structural-version counter: bumped by every insert
+        # and delete.  Derived summaries (cost-model stats, shard
+        # catalogs) key their caches on it to detect staleness.
+        self._mutations = 0
         root = self._new_node(level=0)
         self.root_id = root.page_id
         # Transient state for one insert/delete operation.
@@ -156,6 +160,7 @@ class RTreeBase:
             pending_entry, level = self._pending.pop()
             self._insert_at_level(pending_entry, level)
         self.size += 1
+        self._mutations += 1
         return oid
 
     def insert_point(self, coords) -> int:
@@ -248,6 +253,7 @@ class RTreeBase:
         if not found:
             return False
         self.size -= 1
+        self._mutations += 1
         root = self.read_node(self.root_id)
         if not root.is_leaf and len(root.entries) == 1:
             only_child = root.entries[0].child_id

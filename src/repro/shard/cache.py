@@ -1,0 +1,95 @@
+"""Plan and result caches for the shard router.
+
+Both caches key on *content fingerprints*
+(:attr:`repro.shard.catalog.ShardCatalog.fingerprint` is a SHA-1 over
+shard membership), so a hit is valid by construction: any insert,
+delete, or re-partitioning changes the fingerprint and silently
+misses.  Two caches exist:
+
+- the **route cache** memoizes the ordered shard-pair plan -- a pure
+  function of (catalog fingerprints, metric, distance range);
+- the **result cache** memoizes the complete result rows of a
+  finished query keyed additionally by the full
+  :class:`~repro.core.spec.JoinSpec` (minus the ``pair_filter``;
+  filtered queries are never cached, since an arbitrary callable is
+  not part of any key).
+
+Both are small process-wide LRUs.  They serve the repeated-identical-
+query pattern of a long-lived service; the benchmark harness bypasses
+them so measured counters stay build-inclusive.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional, Tuple
+
+from repro.core.spec import JoinSpec
+
+#: Default entry bounds (results can be large; plans are tiny).
+RESULT_CACHE_ENTRIES = 32
+ROUTE_CACHE_ENTRIES = 128
+
+
+class LRUCache:
+    """A bounded mapping evicting the least recently used entry."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_RESULT_CACHE = LRUCache(RESULT_CACHE_ENTRIES)
+_ROUTE_CACHE = LRUCache(ROUTE_CACHE_ENTRIES)
+
+
+def result_cache() -> LRUCache:
+    """The process-wide result cache."""
+    return _RESULT_CACHE
+
+
+def route_cache() -> LRUCache:
+    """The process-wide shard-pair plan cache."""
+    return _ROUTE_CACHE
+
+
+def clear_caches() -> None:
+    """Drop all cached plans and results (tests, benchmarks)."""
+    _RESULT_CACHE.clear()
+    _ROUTE_CACHE.clear()
+
+
+def spec_cache_key(spec: JoinSpec) -> Tuple:
+    """A hashable key covering every result-affecting spec knob.
+
+    The ``pair_filter`` is excluded by construction (callers refuse to
+    cache filtered queries); the frozen dataclass with the filter
+    nulled is itself hashable and equality-comparable, so the whole
+    spec participates -- a conservative key that can only under-share,
+    never alias two different queries.
+    """
+    return (spec.evolve(pair_filter=None),)

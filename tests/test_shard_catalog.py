@@ -1,0 +1,179 @@
+"""Tests for the persistent shard catalog and the stats cache."""
+
+import json
+
+import pytest
+
+from repro.errors import StorageError
+from repro.geometry.point import Point
+from repro.query.costmodel import collect_stats, stats_fingerprint
+from repro.rtree.bulk import bulk_load_str
+from repro.rtree.rstar import RStarTree
+from repro.shard.catalog import ShardCatalog, catalog_for
+
+
+def grid_points(n, stride=7):
+    return [
+        Point((float(i % stride) * 3.0, float(i // stride) * 2.0))
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def tree():
+    return bulk_load_str(grid_points(90))
+
+
+class TestBuild:
+    def test_membership_partitions_the_relation(self, tree):
+        catalog = ShardCatalog.build(tree, shards=4)
+        assert sum(info.count for info in catalog.infos) == len(tree)
+        seen = set()
+        for shard_id in catalog.shard_ids:
+            oids = {item.oid for item in catalog.table(shard_id)}
+            assert not (oids & seen)
+            seen |= oids
+        assert seen == {entry.oid for entry in tree.items()}
+
+    def test_mbrs_are_exact(self, tree):
+        catalog = ShardCatalog.build(tree, shards=4)
+        for shard_id in catalog.shard_ids:
+            info = catalog.info(shard_id)
+            for item in catalog.table(shard_id):
+                assert info.mbr.contains_rect(item.rect)
+
+    def test_build_is_deterministic(self, tree):
+        first = ShardCatalog.build(tree, shards=3)
+        second = ShardCatalog.build(tree, shards=3)
+        assert first.fingerprint == second.fingerprint
+        assert [i.fingerprint for i in first.infos] == [
+            i.fingerprint for i in second.infos
+        ]
+
+    def test_shard_count_changes_fingerprint(self, tree):
+        assert (
+            ShardCatalog.build(tree, shards=2).fingerprint
+            != ShardCatalog.build(tree, shards=4).fingerprint
+        )
+
+    def test_grid_method(self, tree):
+        catalog = ShardCatalog.build(tree, shards=4, method="grid")
+        assert catalog.method == "grid"
+        assert sum(info.count for info in catalog.infos) == len(tree)
+
+    def test_empty_tree(self):
+        catalog = ShardCatalog.build(RStarTree(dim=2), shards=4)
+        assert len(catalog) == 0
+
+    def test_shard_trees_hold_the_members(self, tree):
+        catalog = ShardCatalog.build(tree, shards=4)
+        for shard_id in catalog.shard_ids:
+            assert len(catalog.tree(shard_id)) == \
+                catalog.info(shard_id).count
+
+    def test_stats_summary(self, tree):
+        catalog = ShardCatalog.build(tree, shards=4)
+        stats = catalog.stats(0)
+        assert stats.size == catalog.info(0).count
+
+
+class TestPersistence:
+    def test_round_trip(self, tree, tmp_path):
+        built = ShardCatalog.build(tree, shards=4)
+        built.save(str(tmp_path / "cat"))
+        opened = ShardCatalog.open(str(tmp_path / "cat"))
+        assert opened.fingerprint == built.fingerprint
+        assert len(opened) == len(built)
+        for shard_id in built.shard_ids:
+            assert opened.info(shard_id).count == \
+                built.info(shard_id).count
+            assert sorted(
+                (t.oid, t.rect) for t in opened.table(shard_id)
+            ) == sorted(
+                (t.oid, t.rect) for t in built.table(shard_id)
+            )
+
+    def test_opened_stats_come_from_manifest(self, tree, tmp_path):
+        built = ShardCatalog.build(tree, shards=2)
+        built.stats(0)
+        built.save(str(tmp_path / "cat"))
+        opened = ShardCatalog.open(str(tmp_path / "cat"))
+        # No shard tree was loaded to answer this.
+        assert opened.stats(0).size == built.stats(0).size
+        assert not opened._trees
+
+    def test_bad_format_rejected(self, tree, tmp_path):
+        built = ShardCatalog.build(tree, shards=2)
+        path = built.save(str(tmp_path / "cat"))
+        manifest = json.load(open(path))
+        manifest["format"] = "something-else"
+        json.dump(manifest, open(path, "w"))
+        with pytest.raises(StorageError):
+            ShardCatalog.open(str(tmp_path / "cat"))
+
+    def test_tampered_manifest_rejected(self, tree, tmp_path):
+        built = ShardCatalog.build(tree, shards=2)
+        path = built.save(str(tmp_path / "cat"))
+        manifest = json.load(open(path))
+        manifest["entries"][0]["fingerprint"] = "0" * 40
+        json.dump(manifest, open(path, "w"))
+        with pytest.raises(StorageError):
+            ShardCatalog.open(str(tmp_path / "cat"))
+
+
+class TestCatalogMemo:
+    def test_same_tree_same_catalog(self, tree):
+        assert catalog_for(tree, 3) is catalog_for(tree, 3)
+
+    def test_different_knobs_different_catalogs(self, tree):
+        assert catalog_for(tree, 3) is not catalog_for(tree, 4)
+
+    def test_insert_invalidates(self):
+        tree = RStarTree(dim=2)
+        for point in grid_points(40):
+            tree.insert(point)
+        before = catalog_for(tree, 3)
+        tree.insert(Point((500.0, 500.0)))
+        after = catalog_for(tree, 3)
+        assert after is not before
+        assert sum(i.count for i in after.infos) == len(tree)
+
+    def test_cache_false_bypasses(self, tree):
+        memoized = catalog_for(tree, 3)
+        fresh = catalog_for(tree, 3, cache=False)
+        assert fresh is not memoized
+        assert fresh.fingerprint == memoized.fingerprint
+
+
+class TestStatsCache:
+    def test_collect_stats_is_cached(self, tree):
+        assert collect_stats(tree) is collect_stats(tree)
+
+    def test_insert_invalidates(self):
+        tree = RStarTree(dim=2)
+        for point in grid_points(30):
+            tree.insert(point)
+        before = collect_stats(tree)
+        tree.insert(Point((999.0, 999.0)))
+        after = collect_stats(tree)
+        assert after is not before
+        assert after.size == before.size + 1
+
+    def test_delete_invalidates(self):
+        tree = RStarTree(dim=2)
+        for point in grid_points(30):
+            tree.insert(point)
+        before = collect_stats(tree)
+        victim = next(iter(tree.items()))
+        assert tree.delete(victim.oid, victim.rect)
+        assert collect_stats(tree).size == before.size - 1
+
+    def test_fingerprint_requires_mutation_counter(self, tree):
+        assert stats_fingerprint(tree) is not None
+        assert stats_fingerprint(object()) is None
+
+    def test_cached_walk_charges_no_reads(self, tree):
+        collect_stats(tree)
+        before = tree.counters.snapshot().get("node_reads", 0)
+        collect_stats(tree)
+        assert tree.counters.snapshot().get("node_reads", 0) == before
