@@ -58,7 +58,7 @@ SMOKE = "smoke"
 FULL = "full"
 
 #: Operator families a case can exercise.
-OPERATORS = ("join", "semi", "parallel", "service", "shard")
+OPERATORS = ("join", "semi", "parallel", "service", "shard", "live")
 
 #: A case's join configuration: a spec, or a factory deriving one
 #: from the workload and the tier's result budget.
@@ -151,6 +151,12 @@ class BenchCase:
                 load.tree1, load.tree2, spec, **common,
                 catalog_cache=False, result_cache=False,
                 **dict(self.engine),
+            )
+        if self.operator == "live":
+            from repro.bench.live import update_repair_stream
+
+            return update_repair_stream(
+                load, spec, **common, **dict(self.engine),
             )
         if self.operator == "service":
             from repro.service.overhead import resumed_join
@@ -325,6 +331,16 @@ register(BenchCase(
     pairs={SMOKE: None, FULL: None},
     operator="shard",
     engine={"shards": 4},
+))
+
+register(BenchCase(
+    name="live.update_repair",
+    description="Standing join: top-16 repair deltas across a "
+                "scripted insert/delete schedule (private trees)",
+    spec=JoinSpec(max_pairs=16),
+    pairs={SMOKE: None, FULL: None},
+    operator="live",
+    engine={"updates": 32},
 ))
 
 register(BenchCase(

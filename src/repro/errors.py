@@ -121,6 +121,17 @@ class ServiceError(ReproError):
     """
 
 
+class LiveError(ReproError):
+    """Errors raised by the standing-query (``repro.live``) layer.
+
+    Covers specs a :class:`~repro.live.StandingJoin` cannot maintain
+    incrementally (descending order, external pair filters, self
+    joins, ...), updates against unknown or duplicate object ids, and
+    out-of-band tree mutations that invalidate the maintained result
+    (detected through ``RTreeBase._mutations``).
+    """
+
+
 class ConsistencyError(JoinError):
     """The supplied distance functions violate the consistency contract.
 

@@ -57,14 +57,17 @@ class EntrySoA:
         return f"EntrySoA(n={self.n}, {kind})"
 
 
-_EMPTY = EntrySoA(0, None, None, None)
-
-
 def build(entries: Sequence) -> EntrySoA:
     """Mirror ``entries`` (leaf or branch) into an :class:`EntrySoA`."""
     n = len(entries)
     if n == 0:
-        return _EMPTY
+        # A fresh instance per call, never a shared singleton: the
+        # ``items`` scratch cache must live and die with *this*
+        # node's SoA.  A process-global empty SoA would share one
+        # items dict across every empty node of every tree, leaking
+        # child Items between unrelated trees once a consumer caches
+        # into it (delete-then-reinsert leaves nodes empty routinely).
+        return EntrySoA(0, None, None, None)
     lo = np.array([e.rect.lo for e in entries], dtype=np.float64)
     hi = np.array([e.rect.hi for e in entries], dtype=np.float64)
     pts = _point_payloads(entries, lo.shape[1])

@@ -1,0 +1,62 @@
+"""Delta events of a standing distance join.
+
+A :class:`~repro.live.standing.StandingJoin` repairs its reported
+result after every update and publishes the repair as a short,
+deterministic stream of *delta* events: ``-`` events retract pairs
+that left the reported set, ``+`` events announce pairs that entered
+it.  Within one repair the retractions come first, and each group is
+ordered by the canonical pair key ``(distance, oid1, oid2)`` -- a
+total order over pairs (the oid pair is unique), so two consumers
+that apply the same stream always hold bit-identical result sets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, NamedTuple, Tuple
+
+from repro.core.distance_join import JoinResult
+
+__all__ = ["ADD", "REMOVE", "Delta", "pair_key"]
+
+#: Delta operations.
+ADD = "+"
+REMOVE = "-"
+
+
+def pair_key(result: JoinResult) -> Tuple[float, int, int]:
+    """Canonical total order over reported pairs.
+
+    Distance first (the join's reporting order), then the two object
+    ids.  No two pairs share all three components, so sorting by this
+    key is deterministic regardless of how distance ties were broken
+    by the operator that produced the pairs.
+    """
+    return (result.distance, result.oid1, result.oid2)
+
+
+class Delta(NamedTuple):
+    """One repair event of a standing join.
+
+    Mirrors :class:`~repro.core.distance_join.JoinResult` plus the
+    operation and a subscription-wide monotone sequence number, so a
+    consumer can detect gaps after a suspend/resume cycle.
+    """
+
+    op: str
+    seq: int
+    distance: float
+    oid1: int
+    obj1: Any
+    oid2: int
+    obj2: Any
+
+    @property
+    def result(self) -> JoinResult:
+        """The pair this event adds or retracts."""
+        return JoinResult(
+            self.distance, self.oid1, self.obj1, self.oid2, self.obj2
+        )
+
+    @property
+    def key(self) -> Tuple[float, int, int]:
+        return (self.distance, self.oid1, self.oid2)

@@ -1,0 +1,134 @@
+"""The maintained candidate frontier of a standing join.
+
+:class:`ResultStore` keeps the best pairs of the current data in
+canonical ``(distance, oid1, oid2)`` order.  For a top-K standing
+query it holds up to ``capacity = K + F`` pairs: the first K are the
+*reported* result, the F pairs behind them are the Eppstein-style
+frontier that absorbs deletions -- a retraction inside the top K is
+repaired by promoting the next frontier pair, no tree work needed.
+A range query (no K) stores every qualifying pair, so the store is
+always complete and deletions never need a refill.
+
+Keys and entries live in two parallel sorted lists: binary searches
+run on the key tuples alone, so object payloads (which need not be
+orderable) never participate in comparisons.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.distance_join import JoinResult
+from repro.live.delta import pair_key
+
+__all__ = ["ResultStore"]
+
+Key = Tuple[float, int, int]
+
+
+class ResultStore:
+    """Sorted pair store with an optional capacity.
+
+    ``complete`` is maintained by the owning
+    :class:`~repro.live.standing.StandingJoin`: True when the store
+    holds *every* qualifying pair of the current data, False when it
+    holds only the ``len(self)`` best ones.
+    """
+
+    __slots__ = ("capacity", "complete", "_keys", "_entries")
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self.capacity = capacity
+        self.complete = True
+        self._keys: List[Key] = []
+        self._entries: List[JoinResult] = []
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __iter__(self) -> Iterator[JoinResult]:
+        return iter(self._entries)
+
+    def add(self, entry: JoinResult) -> bool:
+        """Insert ``entry`` at its canonical position.
+
+        Returns False (and changes nothing) when the pair is already
+        present -- updates are idempotent per (distance, oid, oid).
+        """
+        key = pair_key(entry)
+        pos = bisect_left(self._keys, key)
+        if pos < len(self._keys) and self._keys[pos] == key:
+            return False
+        self._keys.insert(pos, key)
+        self._entries.insert(pos, entry)
+        return True
+
+    def trim(self) -> int:
+        """Drop pairs beyond ``capacity``; returns how many fell off."""
+        if self.capacity is None or len(self._keys) <= self.capacity:
+            return 0
+        dropped = len(self._keys) - self.capacity
+        del self._keys[self.capacity:]
+        del self._entries[self.capacity:]
+        return dropped
+
+    def remove_oid(self, side: int, oid: int) -> int:
+        """Retract every pair whose ``side`` object is ``oid``."""
+        if side == 1:
+            keep = [i for i, e in enumerate(self._entries)
+                    if e.oid1 != oid]
+        else:
+            keep = [i for i, e in enumerate(self._entries)
+                    if e.oid2 != oid]
+        removed = len(self._keys) - len(keep)
+        if removed:
+            self._keys = [self._keys[i] for i in keep]
+            self._entries = [self._entries[i] for i in keep]
+        return removed
+
+    def tail_key(self) -> Key:
+        """Key of the worst stored pair (store must be non-empty)."""
+        return self._keys[-1]
+
+    def top(self, k: Optional[int]) -> List[JoinResult]:
+        """The reported result: best ``k`` pairs (all when ``k`` is
+        None)."""
+        if k is None:
+            return list(self._entries)
+        return self._entries[:k]
+
+    def top_keys(self, k: Optional[int]) -> List[Key]:
+        if k is None:
+            return list(self._keys)
+        return self._keys[:k]
+
+    def replace(self, entries: List[JoinResult]) -> None:
+        """Reset the store to ``entries`` (sorted, then trimmed)."""
+        ranked = sorted(entries, key=pair_key)
+        self._keys = [pair_key(e) for e in ranked]
+        self._entries = ranked
+        self.trim()
+
+    # ------------------------------------------------------------------
+    # cursor support
+    # ------------------------------------------------------------------
+
+    def state(self) -> dict:
+        """Picklable snapshot -- keys only; payloads are reattached at
+        load time from the (fingerprint-checked) trees."""
+        return {
+            "capacity": self.capacity,
+            "complete": self.complete,
+            "keys": list(self._keys),
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, entries: List[JoinResult]
+    ) -> "ResultStore":
+        store = cls(state["capacity"])
+        store.complete = state["complete"]
+        store._keys = [tuple(k) for k in state["keys"]]
+        store._entries = entries
+        return store

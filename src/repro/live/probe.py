@@ -1,0 +1,95 @@
+"""Bounded incremental distance scan against a partner tree.
+
+When a standing join sees an insertion, the only new candidate pairs
+are the inserted object against the partner relation.  The probe
+walks the partner tree pruning every subtree whose MINDIST to the new
+object exceeds the repair bound (the current K-th/watermark
+distance), so its cost tracks the local pair density around the new
+object rather than the relation size -- this is what makes per-update
+repair asymptotically cheaper than re-running the join.
+
+Every node bound is charged through
+:class:`~repro.core.pairs.PairDistance` (``bound_calcs``), every
+exact object distance likewise (``dist_calcs``), and each evaluated
+partner object bumps ``live_probe_pairs``; the set of nodes expanded
+is exactly *all* nodes within the bound, so the charged counters are
+deterministic regardless of traversal order.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Tuple
+
+from repro.core.pairs import Item, NODE, OBJ, PairDistance
+from repro.rtree.base import RTreeBase
+from repro.rtree.entry import LeafEntry
+from repro.util.counters import CounterRegistry
+
+__all__ = ["ProbeResult", "probe_partner"]
+
+
+class ProbeResult(NamedTuple):
+    """Outcome of one bounded partner scan.
+
+    ``found`` holds every partner leaf entry within ``bound`` of the
+    probe object, with its exact distance.  ``exhaustive`` is True
+    when the bound excluded nothing -- no subtree was pruned and no
+    evaluated object fell beyond the bound -- i.e. the scan saw the
+    complete partner relation.
+    """
+
+    found: List[Tuple[float, LeafEntry]]
+    exhaustive: bool
+
+
+def probe_partner(
+    tree: RTreeBase,
+    distance: PairDistance,
+    probe_item: Item,
+    bound: float,
+    counters: CounterRegistry,
+) -> ProbeResult:
+    """All partner objects within ``bound`` of ``probe_item``.
+
+    The traversal visits exactly the nodes whose MINDIST to the probe
+    object is ``<= bound`` (stack order is irrelevant to the visited
+    set), computing the exact object distance at every reached leaf
+    entry.  Node I/O is charged to the tree's registry and, when that
+    differs from ``counters``, mirrored there -- the same accounting
+    rule the join operators use.
+    """
+    found: List[Tuple[float, LeafEntry]] = []
+    exhaustive = True
+    shared = tree.counters is counters
+    stack = [tree.root_id]
+    while stack:
+        node_id = stack.pop()
+        hit = tree.pool.contains(node_id)
+        node = tree.read_node(node_id)
+        if not shared:
+            counters.add("node_reads")
+            if not hit:
+                counters.add("node_io")
+        if node.is_leaf:
+            for entry in node.entries:
+                other = Item(
+                    OBJ, entry.rect, oid=entry.oid, obj=entry.obj
+                )
+                d = distance.object_distance(probe_item, other)
+                counters.add("live_probe_pairs")
+                if d <= bound:
+                    found.append((d, entry))
+                else:
+                    exhaustive = False
+        else:
+            child_level = node.level - 1
+            for entry in node.entries:
+                child = Item(
+                    NODE, entry.rect,
+                    node_id=entry.child_id, level=child_level,
+                )
+                if distance.mindist(probe_item, child) <= bound:
+                    stack.append(entry.child_id)
+                else:
+                    exhaustive = False
+    return ProbeResult(found, exhaustive)

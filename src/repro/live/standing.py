@@ -1,0 +1,583 @@
+"""Standing distance-join queries with incremental result repair.
+
+A :class:`StandingJoin` registers a :class:`~repro.core.spec.JoinSpec`
+over two mutable R-trees and keeps the reported result -- the best K
+pairs, or every pair within a distance range -- continuously correct
+under ``insert`` / ``delete``, emitting the repair as a deterministic
+delta stream (:mod:`repro.live.delta`) instead of re-running the
+join.
+
+The maintained state is a :class:`~repro.live.frontier.ResultStore`
+holding ``capacity = K + F`` pairs: the reported top K plus an
+Eppstein-style candidate frontier of F runners-up.
+
+*Insertion* only creates pairs between the new object and the partner
+relation, so the repair is a bounded incremental distance scan
+(:func:`~repro.live.probe.probe_partner`) against the current
+watermark -- the K-th/worst stored distance -- pruning every partner
+subtree that provably cannot beat it.
+
+*Deletion* retracts the stored pairs containing the object; a hole in
+the reported top K is refilled by promoting frontier pairs.  Only
+when the frontier itself is exhausted (``len(store) < K`` while the
+store is known incomplete) does the join fall back to one bounded
+re-enumeration (a *refill*, counted in ``live_refills``), which also
+rebuilds the frontier so subsequent deletions are cheap again.
+
+The store invariant at every rest point: the store holds exactly the
+``len(store)`` smallest qualifying pairs of the current data under
+the canonical ``(distance, oid1, oid2)`` key, and ``store.complete``
+marks when it holds *all* of them.  Range-mode stores (no K) are
+always complete, so they never refill.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.core.distance_join import (
+    IncrementalDistanceJoin,
+    JoinResult,
+)
+from repro.core.pairs import Item, OBJ, PairDistance
+from repro.core.spec import JoinSpec
+from repro.errors import CursorError, LiveError
+from repro.geometry.rectangle import Rect
+from repro.live.delta import ADD, REMOVE, Delta, pair_key
+from repro.live.frontier import ResultStore
+from repro.live.probe import probe_partner
+from repro.rtree.base import RTreeBase
+from repro.util.counters import CounterRegistry
+from repro.util.obs import NULL_OBSERVER, Observer
+
+__all__ = [
+    "LIVE_CURSOR_FORMAT",
+    "LIVE_CURSOR_VERSION",
+    "StandingJoin",
+    "validate_live_spec",
+]
+
+LIVE_CURSOR_FORMAT = "repro-live-cursor"
+LIVE_CURSOR_VERSION = 1
+
+_INF = float("inf")
+
+
+def validate_live_spec(spec: JoinSpec) -> JoinSpec:
+    """The subset of join specs a standing query can maintain.
+
+    Incremental repair relies on the canonical ascending pair order
+    and on every stored pair staying re-derivable from the trees
+    alone, which rules out the farthest-first direction, external pair
+    filters (not re-checkable against retractions), obr leaves (the
+    payload would need re-resolution on refill), and the disk-backed
+    queue tiers (the standing state is the store, not a queue).
+    """
+    spec.validate()
+    if spec.descending:
+        raise LiveError(
+            "standing joins maintain the ascending (closest-first) "
+            "result; descending is not supported"
+        )
+    if spec.pair_filter is not None:
+        raise LiveError(
+            "standing joins cannot maintain a pair_filter; filter "
+            "the delta stream instead"
+        )
+    if spec.leaf_mode != "direct":
+        raise LiveError(
+            'standing joins require leaf_mode="direct" (obr payloads '
+            "cannot be re-resolved during repair)"
+        )
+    if spec.queue != "memory":
+        raise LiveError(
+            "standing joins keep their state in the result store; "
+            "queue tiers do not apply"
+        )
+    if spec.max_pairs is None and spec.max_distance == _INF:
+        raise LiveError(
+            "a standing join needs a finite result: give max_pairs "
+            "(top-K) and/or max_distance (range)"
+        )
+    return spec
+
+
+class StandingJoin:
+    """One standing distance-join query over two mutable trees.
+
+    Parameters
+    ----------
+    tree1, tree2:
+        The two (distinct) input trees.  Updates are addressed by
+        side: ``insert(oid, obj, side=1)`` mutates ``tree1``.
+    spec:
+        The join configuration (or the equivalent keyword knobs);
+        see :func:`validate_live_spec` for the supported subset.
+        ``spec.max_pairs`` selects top-K mode; ``None`` with a finite
+        ``max_distance`` selects range mode.
+    frontier:
+        Candidate-frontier size F for top-K mode (default
+        ``max(8, K)``); the store keeps ``K + F`` pairs.
+    counters:
+        Shared :class:`~repro.util.counters.CounterRegistry`; repairs
+        charge ``dist_calcs`` / ``bound_calcs`` exactly like the
+        static operators, plus ``live_repairs`` (updates processed),
+        ``live_probe_pairs`` (partner objects evaluated by insert
+        probes) and ``live_refills`` (frontier-exhausted rescans).
+    """
+
+    def __init__(
+        self,
+        tree1: RTreeBase,
+        tree2: RTreeBase,
+        spec: Optional[JoinSpec] = None,
+        *,
+        counters: Optional[CounterRegistry] = None,
+        observer: Optional[Observer] = None,
+        frontier: Optional[int] = None,
+        **knobs: Any,
+    ) -> None:
+        spec = JoinSpec.coalesce(spec, knobs)
+        validate_live_spec(spec)
+        if tree1 is tree2:
+            raise LiveError(
+                "standing self joins are not supported: one update "
+                "would change both sides at once"
+            )
+        for tree in (tree1, tree2):
+            if not hasattr(tree, "_mutations"):
+                raise LiveError(
+                    "standing joins need mutation-versioned trees "
+                    f"(no _mutations on {type(tree).__name__})"
+                )
+        if frontier is not None and frontier < 1:
+            raise LiveError("frontier must be at least 1")
+        self.tree1 = tree1
+        self.tree2 = tree2
+        self.spec = spec
+        self.max_pairs = spec.max_pairs
+        if spec.max_pairs is None:
+            self._frontier = 0
+            self._capacity: Optional[int] = None
+        else:
+            self._frontier = (
+                frontier if frontier is not None
+                else max(8, spec.max_pairs)
+            )
+            self._capacity = spec.max_pairs + self._frontier
+        self.counters = (
+            counters if counters is not None else tree1.counters
+        )
+        self.obs = observer if observer is not None else NULL_OBSERVER
+        self.distance = PairDistance(spec.metric, self.counters)
+        self._store = ResultStore(self._capacity)
+        self._objects: Dict[int, Dict[int, Tuple[Any, Rect]]] = {
+            1: {}, 2: {},
+        }
+        self._outbox: Deque[Delta] = deque()
+        self._seq = 0
+        self._updates = 0
+        self._expected = [tree1._mutations, tree2._mutations]
+        if getattr(self, "_suspended_init", False):
+            return
+        self._load_objects()
+        self._rescan()
+        # The registration itself publishes the initial result: a
+        # subscriber pages these ADD deltas first, then the repairs.
+        self._emit({})
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def updates(self) -> int:
+        """Updates processed since registration."""
+        return self._updates
+
+    @property
+    def seq(self) -> int:
+        """Sequence number of the most recent delta."""
+        return self._seq
+
+    @property
+    def complete(self) -> bool:
+        """True when the store holds every qualifying pair."""
+        return self._store.complete
+
+    def result(self) -> List[JoinResult]:
+        """The currently reported pairs, canonical order."""
+        return self._store.top(self.max_pairs)
+
+    def pending(self) -> int:
+        """Deltas emitted but not yet polled."""
+        return len(self._outbox)
+
+    def poll(self, limit: Optional[int] = None) -> List[Delta]:
+        """Drain up to ``limit`` deltas (all when ``None``)."""
+        if limit is None:
+            limit = len(self._outbox)
+        out: List[Delta] = []
+        while self._outbox and len(out) < limit:
+            out.append(self._outbox.popleft())
+        return out
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+
+    def insert(
+        self,
+        oid: int,
+        obj: Any,
+        rect: Optional[Rect] = None,
+        side: int = 1,
+    ) -> List[Delta]:
+        """Insert ``obj`` into side ``side`` and repair the result.
+
+        Returns the deltas this repair emitted (they are also queued
+        for :meth:`poll`).
+        """
+        return self._insert(oid, obj, rect, side, mutate=True)
+
+    def observe_insert(
+        self,
+        oid: int,
+        obj: Any,
+        rect: Optional[Rect] = None,
+        side: int = 1,
+    ) -> List[Delta]:
+        """Repair after an insert already applied to the tree.
+
+        For fan-out: when several standing joins watch the same
+        trees, one of them (or the caller) applies the mutation and
+        the rest observe it.
+        """
+        return self._insert(oid, obj, rect, side, mutate=False)
+
+    def delete(self, oid: int, side: int = 1) -> List[Delta]:
+        """Delete object ``oid`` from side ``side`` and repair."""
+        return self._delete(oid, side, mutate=True)
+
+    def observe_delete(self, oid: int, side: int = 1) -> List[Delta]:
+        """Repair after a delete already applied to the tree."""
+        return self._delete(oid, side, mutate=False)
+
+    def _insert(
+        self,
+        oid: int,
+        obj: Any,
+        rect: Optional[Rect],
+        side: int,
+        mutate: bool,
+    ) -> List[Delta]:
+        tree = self._tree(side)
+        if rect is None:
+            rect = RTreeBase._rect_of(obj)
+        if oid in self._objects[side]:
+            raise LiveError(
+                f"oid {oid} already present on side {side}"
+            )
+        if mutate:
+            self._check_sync()
+            tree.insert(obj=obj, rect=rect, oid=oid)
+            self._expected[side - 1] = tree._mutations
+        else:
+            self._expected[side - 1] = tree._mutations
+            self._check_sync()
+        self._objects[side][oid] = (obj, rect)
+        before = self._published()
+        self._repair_insert(oid, obj, rect, side)
+        self._updates += 1
+        self.counters.add("live_repairs")
+        if self.obs.enabled:
+            self.obs.event("live.insert", value=float(oid))
+        return self._emit(before)
+
+    def _delete(
+        self, oid: int, side: int, mutate: bool
+    ) -> List[Delta]:
+        tree = self._tree(side)
+        entry = self._objects[side].get(oid)
+        if entry is None:
+            raise LiveError(f"unknown oid {oid} on side {side}")
+        obj, rect = entry
+        if mutate:
+            self._check_sync()
+            if not tree.delete(oid, rect):
+                raise LiveError(
+                    f"oid {oid} vanished from side {side} out of band"
+                )
+            self._expected[side - 1] = tree._mutations
+        else:
+            self._expected[side - 1] = tree._mutations
+            self._check_sync()
+        del self._objects[side][oid]
+        before = self._published()
+        self._store.remove_oid(side, oid)
+        if (
+            self.max_pairs is not None
+            and len(self._store) < self.max_pairs
+            and not self._store.complete
+        ):
+            self.counters.add("live_refills")
+            if self.obs.enabled:
+                self.obs.event("live.refill")
+            self._rescan()
+        self._updates += 1
+        self.counters.add("live_repairs")
+        if self.obs.enabled:
+            self.obs.event("live.delete", value=float(oid))
+        return self._emit(before)
+
+    # ------------------------------------------------------------------
+    # repair machinery
+    # ------------------------------------------------------------------
+
+    def _tree(self, side: int) -> RTreeBase:
+        if side == 1:
+            return self.tree1
+        if side == 2:
+            return self.tree2
+        raise LiveError(f"side must be 1 or 2, got {side!r}")
+
+    def _check_sync(self) -> None:
+        actual = [self.tree1._mutations, self.tree2._mutations]
+        if actual != self._expected:
+            raise LiveError(
+                "tree mutated outside the standing join (expected "
+                f"mutation counters {self._expected}, found {actual});"
+                " route updates through insert()/delete() or "
+                "observe_insert()/observe_delete()"
+            )
+
+    def _published(self) -> Dict[Tuple[float, int, int], JoinResult]:
+        return {
+            pair_key(e): e for e in self._store.top(self.max_pairs)
+        }
+
+    def _repair_insert(
+        self, oid: int, obj: Any, rect: Rect, side: int
+    ) -> None:
+        """Probe the partner tree and merge the new object's pairs."""
+        store = self._store
+        spec = self.spec
+        full_bound = self._capacity is None or (
+            store.complete and len(store) < self._capacity
+        )
+        if full_bound:
+            bound = spec.max_distance
+            tail = None
+        else:
+            tail = store.tail_key()
+            bound = tail[0]
+        partner = self.tree2 if side == 1 else self.tree1
+        probe_item = Item(OBJ, rect, oid=oid, obj=obj)
+        found, exhaustive = probe_partner(
+            partner, self.distance, probe_item, bound, self.counters
+        )
+        excluded = False
+        for d, leaf in found:
+            if d < spec.min_distance or d > spec.max_distance:
+                continue
+            if side == 1:
+                result = JoinResult(d, oid, obj, leaf.oid, leaf.obj)
+            else:
+                result = JoinResult(d, leaf.oid, leaf.obj, oid, obj)
+            if full_bound or pair_key(result) < tail:
+                store.add(result)
+            else:
+                excluded = True
+        if store.trim():
+            store.complete = False
+        if not full_bound and (excluded or not exhaustive):
+            store.complete = False
+
+    def _rescan(self) -> None:
+        """Rebuild the store by one bounded re-enumeration.
+
+        Consumes the ascending join until ``capacity`` pairs are in
+        hand *and* the next distance strictly exceeds the capacity-th
+        one -- distances arrive nondecreasing, so every pair tied with
+        the boundary is captured before the cut and the store stays a
+        deterministic function of the data, never of tie order.
+        """
+        spec = self.spec.evolve(max_pairs=None, estimate=False)
+        join = IncrementalDistanceJoin(
+            self.tree1, self.tree2, spec,
+            counters=self.counters,
+            observer=self.obs if self.obs.enabled else None,
+        )
+        cap = self._capacity
+        results: List[JoinResult] = []
+        exhausted = False
+        while True:
+            try:
+                r = next(join)
+            except StopIteration:
+                exhausted = True
+                break
+            if (
+                cap is not None
+                and len(results) >= cap
+                and r.distance > results[cap - 1].distance
+            ):
+                break
+            results.append(r)
+        close = getattr(join, "close", None)
+        if callable(close):
+            close()
+        self._store.replace(results)
+        self._store.complete = exhausted and (
+            cap is None or len(results) <= cap
+        )
+
+    def _emit(
+        self, before: Dict[Tuple[float, int, int], JoinResult]
+    ) -> List[Delta]:
+        after = self._published()
+        deltas: List[Delta] = []
+        for key in sorted(k for k in before if k not in after):
+            self._seq += 1
+            deltas.append(Delta(REMOVE, self._seq, *before[key]))
+        for key in sorted(k for k in after if k not in before):
+            self._seq += 1
+            deltas.append(Delta(ADD, self._seq, *after[key]))
+        self._outbox.extend(deltas)
+        return deltas
+
+    def _load_objects(self) -> None:
+        """Index both relations' payloads by (side, oid)."""
+        for side, tree in ((1, self.tree1), (2, self.tree2)):
+            objects = self._objects[side]
+            objects.clear()
+            for entry in tree.items():
+                if entry.oid in objects:
+                    raise LiveError(
+                        f"duplicate oid {entry.oid} on side {side}; "
+                        "standing joins address objects by oid"
+                    )
+                objects[entry.oid] = (entry.obj, entry.rect)
+
+    # ------------------------------------------------------------------
+    # suspendable cursor: save / load
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _tree_fingerprint(tree: RTreeBase) -> Tuple:
+        """Like the join cursor's fingerprint, plus the mutation
+        counter: a standing cursor is only valid against the exact
+        tree *version* its store was maintained for."""
+        return (
+            type(tree).__name__, tree.dim, len(tree), tree.root_id,
+            tree._mutations,
+        )
+
+    def save(self) -> dict:
+        """Snapshot the standing state as a picklable cursor.
+
+        Stores pair keys, not payloads -- :meth:`load` reattaches the
+        objects from the (fingerprint-checked) trees, so the cursor
+        stays small and never duplicates the relations.  Only valid
+        between updates.
+        """
+        pickle.dumps(self.spec, pickle.HIGHEST_PROTOCOL)
+        return {
+            "format": LIVE_CURSOR_FORMAT,
+            "version": LIVE_CURSOR_VERSION,
+            "class": type(self).__name__,
+            "spec": self.spec,
+            "frontier": self._frontier,
+            "trees": (
+                self._tree_fingerprint(self.tree1),
+                self._tree_fingerprint(self.tree2),
+            ),
+            "store": self._store.state(),
+            "outbox": [tuple(d) for d in self._outbox],
+            "seq": self._seq,
+            "updates": self._updates,
+            "counters": self.counters.full_snapshot(),
+        }
+
+    @classmethod
+    def load(
+        cls,
+        state: dict,
+        tree1: RTreeBase,
+        tree2: RTreeBase,
+        *,
+        counters: Optional[CounterRegistry] = None,
+        observer: Optional[Observer] = None,
+    ) -> "StandingJoin":
+        """Rebuild a standing join from a :meth:`save` cursor.
+
+        The trees must be at the exact version the cursor was taken
+        against (class, dim, size, root id, *and* mutation counter).
+        With ``counters`` omitted a fresh registry is primed with the
+        cursor's totals, so resumed counter trajectories equal an
+        uninterrupted run's.
+        """
+        if not isinstance(state, dict) or state.get("format") != \
+                LIVE_CURSOR_FORMAT:
+            raise CursorError("not a standing-join cursor")
+        if state.get("version") != LIVE_CURSOR_VERSION:
+            raise CursorError(
+                f"unsupported cursor version {state.get('version')!r} "
+                f"(this build reads version {LIVE_CURSOR_VERSION})"
+            )
+        expected = (
+            cls._tree_fingerprint(tree1), cls._tree_fingerprint(tree2)
+        )
+        if tuple(map(tuple, state["trees"])) != expected:
+            raise CursorError(
+                "cursor does not match the supplied trees: saved "
+                f"{state['trees']!r}, got {expected!r}"
+            )
+        registry = (
+            counters if counters is not None else CounterRegistry()
+        )
+        join = cls.__new__(cls)
+        join._suspended_init = True
+        try:
+            join.__init__(
+                tree1, tree2, state["spec"],
+                counters=registry,
+                observer=observer,
+                frontier=state["frontier"] or None,
+            )
+        finally:
+            join.__dict__.pop("_suspended_init", None)
+        join._load_objects()
+        entries = [
+            join._reattach(tuple(key)) for key in state["store"]["keys"]
+        ]
+        join._store = ResultStore.from_state(state["store"], entries)
+        join._outbox = deque(
+            Delta(*delta) for delta in state["outbox"]
+        )
+        join._seq = state["seq"]
+        join._updates = state["updates"]
+        join._expected = [tree1._mutations, tree2._mutations]
+        if counters is None:
+            snap = state["counters"]
+            for name, value in snap.values.items():
+                registry.counter(name).value = value
+            for name, peak in snap.peaks.items():
+                counter = registry.counter(name)
+                if peak > counter.peak:
+                    counter.peak = peak
+        return join
+
+    def _reattach(self, key: Tuple[float, int, int]) -> JoinResult:
+        d, oid1, oid2 = key
+        try:
+            obj1, _ = self._objects[1][oid1]
+            obj2, _ = self._objects[2][oid2]
+        except KeyError:
+            raise CursorError(
+                f"stored pair ({oid1}, {oid2}) is missing from the "
+                "supplied trees"
+            ) from None
+        return JoinResult(d, oid1, obj1, oid2, obj2)

@@ -77,6 +77,12 @@ class Query:
         An ``EXPLAIN`` prefix asks for the plan instead of rows;
         ``EXPLAIN ANALYZE`` additionally executes the query and
         annotates the plan with actual counters and stage timings.
+    watch:
+        A ``WATCH`` prefix registers the query as a standing join
+        whose result is maintained under updates and published as a
+        delta stream (see docs/LIVE.md).  The optional trailing
+        ``NOTIFY`` is declarative emphasis -- standing queries always
+        notify -- and is only legal together with ``WATCH``.
     """
 
     relation1: str = ""
@@ -96,6 +102,7 @@ class Query:
     shards: Optional[int] = None
     explain: bool = False
     analyze: bool = False
+    watch: bool = False
 
     @property
     def is_semi_join(self) -> bool:

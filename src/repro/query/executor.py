@@ -47,6 +47,7 @@ from repro.query.physical import (  # noqa: F401  (re-exported)
     PlanExplanation,
     Row,
     build_physical_plan,
+    build_standing_join,
     materialize_filtered,
 )
 from repro.rtree.base import RTreeBase
@@ -353,6 +354,29 @@ class Database:
             self, query, strategy=strategy, join_kwargs=join_kwargs
         )
         return plan.rows()
+
+    # ------------------------------------------------------------------
+    # standing queries (WATCH ... NOTIFY; repro.live)
+    # ------------------------------------------------------------------
+
+    def watch(
+        self, sql: Union[str, Query], **join_kwargs: Any
+    ) -> Any:
+        """Register a ``WATCH`` query as a standing join.
+
+        Returns a bootstrapped
+        :class:`~repro.live.StandingJoin` whose initial result is
+        already queued as ADD deltas; route updates through its
+        ``insert`` / ``delete`` (or ``observe_*``) methods and drain
+        repairs with ``poll()``.  See docs/LIVE.md.
+        """
+        query = parse(sql) if isinstance(sql, str) else sql
+        if not query.watch:
+            raise QueryError(
+                "Database.watch() needs a WATCH query; use execute() "
+                "for pull queries"
+            )
+        return build_standing_join(self, query, **join_kwargs)
 
     # ------------------------------------------------------------------
     # EXPLAIN (cost model; the paper's Section 5 future work)

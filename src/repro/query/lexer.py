@@ -17,7 +17,7 @@ EOF = "EOF"
 KEYWORDS = frozenset({
     "SELECT", "FROM", "WHERE", "ORDER", "BY", "GROUP", "STOP", "AFTER",
     "AND", "AS", "ASC", "DESC", "MIN", "DISTANCE", "BETWEEN", "NOT",
-    "PARALLEL", "SHARDS", "EXPLAIN", "ANALYZE",
+    "PARALLEL", "SHARDS", "EXPLAIN", "ANALYZE", "WATCH", "NOTIFY",
 })
 
 _PUNCT_CHARS = {",", "(", ")", "*", "."}

@@ -28,6 +28,7 @@ __all__ = [
     "LogicalJoin",
     "LogicalLimit",
     "LogicalProject",
+    "LogicalWatch",
     "LogicalPlan",
     "build_logical_plan",
 ]
@@ -146,6 +147,24 @@ class LogicalProject(LogicalNode):
 
 
 @dataclass(frozen=True)
+class LogicalWatch(LogicalNode):
+    """A standing registration of the subtree's result.
+
+    Wraps the whole query shape: the result below is not pulled once
+    but *maintained* -- the node's output is the delta stream that
+    keeps a subscriber's copy of the result current (docs/LIVE.md).
+    """
+
+    child: LogicalNode
+
+    def children(self) -> Tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return "Watch(+pair/-pair deltas)"
+
+
+@dataclass(frozen=True)
 class LogicalPlan:
     """The logical tree plus the query it was derived from."""
 
@@ -188,4 +207,7 @@ def build_logical_plan(query: Query) -> LogicalPlan:
     )
     if query.stop_after is not None:
         node = LogicalLimit(node, query.stop_after)
-    return LogicalPlan(root=LogicalProject(node), query=query)
+    root: LogicalNode = LogicalProject(node)
+    if query.watch:
+        root = LogicalWatch(root)
+    return LogicalPlan(root=root, query=query)

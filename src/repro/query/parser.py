@@ -2,13 +2,14 @@
 
 Grammar (terminals in caps, ``[]`` optional, ``{}`` repetition)::
 
-    query      := [EXPLAIN [ANALYZE]] SELECT select_list
+    query      := [EXPLAIN [ANALYZE] | WATCH] SELECT select_list
                   FROM ident "," ident "," distance_term
                   [WHERE predicate {AND predicate}]
                   [GROUP BY qualified]
                   [ORDER BY ident [ASC | DESC]]
                   [STOP AFTER NUMBER]
                   [PARALLEL NUMBER]
+                  [NOTIFY]
     select_list := "*" ["," MIN "(" ident ")"]
                  | MIN "(" ident ")" ["," "*"]
     distance_term := DISTANCE "(" qualified "," qualified ")" [AS ident]
@@ -24,7 +25,10 @@ ORDER BY d (DESC for the reverse variant), the STOP AFTER extension,
 and a PARALLEL worker-count hint routing the query to the partitioned
 parallel engine (:mod:`repro.parallel`).  An ``EXPLAIN [ANALYZE]``
 prefix asks for the plan (estimated, or measured by actually running
-the query) instead of rows.
+the query) instead of rows.  A ``WATCH`` prefix (optionally closed by
+``NOTIFY``) registers the query as a *standing* join whose result is
+maintained incrementally under updates (:mod:`repro.live`, see
+docs/LIVE.md).
 """
 
 from __future__ import annotations
@@ -89,6 +93,8 @@ class _Parser:
             query.explain = True
             if self._accept(KEYWORD, "ANALYZE"):
                 query.analyze = True
+        if self._accept(KEYWORD, "WATCH"):
+            query.watch = True
         self._expect(KEYWORD, "SELECT")
         self._select_list(query)
         self._expect(KEYWORD, "FROM")
@@ -142,6 +148,13 @@ class _Parser:
                     f"{number.text}", number.position,
                 )
             query.shards = int(value)
+        if self._peek().type == KEYWORD and self._peek().text == "NOTIFY":
+            token = self._advance()
+            if not query.watch:
+                raise QuerySyntaxError(
+                    "NOTIFY is only valid on a WATCH query",
+                    token.position,
+                )
         self._expect(EOF)
         self._validate(query)
         return query
@@ -289,6 +302,42 @@ class _Parser:
             raise QuerySyntaxError(
                 "SHARDS and PARALLEL are mutually exclusive hints"
             )
+        if query.watch:
+            # The standing-join repair machinery maintains the
+            # ascending one-result-per-pair stream; everything else
+            # is a different (unsupported) maintenance problem.
+            if query.explain:
+                raise QuerySyntaxError(
+                    "EXPLAIN and WATCH are mutually exclusive"
+                )
+            if query.descending:
+                raise QuerySyntaxError(
+                    "WATCH maintains the nearest-first result; "
+                    "ORDER BY ... DESC is not supported"
+                )
+            if query.is_semi_join or query.select_min:
+                raise QuerySyntaxError(
+                    "WATCH does not support the distance semi-join "
+                    "(GROUP BY / MIN(d))"
+                )
+            if query.parallel is not None or query.shards is not None:
+                raise QuerySyntaxError(
+                    "WATCH runs on the standing-join engine; "
+                    "PARALLEL and SHARDS hints do not apply"
+                )
+            if query.attribute_predicates:
+                raise QuerySyntaxError(
+                    "WATCH cannot maintain attribute predicates; "
+                    "filter the delta stream instead"
+                )
+            if (
+                query.stop_after is None
+                and query.distance_bounds()[1] == float("inf")
+            ):
+                raise QuerySyntaxError(
+                    "WATCH needs a finite result: give STOP AFTER k "
+                    "(top-K) and/or a d <= bound (range)"
+                )
 
 
 def parse(sql: str) -> Query:

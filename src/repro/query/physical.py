@@ -81,6 +81,7 @@ __all__ = [
     "Limit",
     "PhysicalPlan",
     "build_physical_plan",
+    "build_standing_join",
     "materialize_filtered",
 ]
 
@@ -873,6 +874,11 @@ def build_physical_plan(
     """
     require(strategy in STRATEGIES,
             f"strategy must be one of {STRATEGIES}")
+    if query.watch:
+        raise QueryError(
+            "WATCH queries are standing registrations, not pull "
+            "plans; use Database.watch() (or build_standing_join)"
+        )
     logical = build_logical_plan(query)
     tree1 = db.relation(query.relation1)
     tree2 = db.relation(query.relation2)
@@ -1028,4 +1034,48 @@ def build_physical_plan(
         join_op=join_op,
         logical=logical,
         explanation_factory=explanation_factory,
+    )
+
+
+def build_standing_join(
+    db: Any,
+    query: Query,
+    *,
+    counters: Optional[Any] = None,
+    observer: Optional[Any] = None,
+    frontier: Optional[int] = None,
+    **join_kwargs: Any,
+) -> Any:
+    """Lower a ``WATCH`` query into a registered standing join.
+
+    The standing counterpart of :func:`build_physical_plan`: resolves
+    the relations, folds the WHERE distance range and ``STOP AFTER``
+    into a :class:`~repro.core.spec.JoinSpec`, and bootstraps a
+    :class:`~repro.live.StandingJoin` whose initial result is already
+    queued as ADD deltas.  ``join_kwargs`` override individual spec
+    knobs (``node_policy``, ``tie_break``, ...).
+    """
+    from repro.core.spec import JoinSpec
+    from repro.live import StandingJoin
+
+    if not query.watch:
+        raise QueryError(
+            "build_standing_join needs a WATCH query; use "
+            "build_physical_plan for pull queries"
+        )
+    tree1 = db.relation(query.relation1)
+    tree2 = db.relation(query.relation2)
+    dmin, dmax = query.distance_bounds()
+    knobs: Dict[str, Any] = dict(
+        metric=db.metric,
+        min_distance=dmin,
+        max_distance=dmax,
+        max_pairs=query.stop_after,
+    )
+    knobs.update(join_kwargs)
+    return StandingJoin(
+        tree1, tree2, JoinSpec(**knobs),
+        counters=counters if counters is not None else db.counters,
+        observer=observer,
+        frontier=frontier,
     )

@@ -12,6 +12,9 @@ engine):
   on-disk spool used for idle-session eviction;
 - :mod:`repro.service.session` -- rebuildable query sources and the
   per-client session state;
+- :mod:`repro.service.live` -- standing ``WATCH`` subscription
+  sources whose pages are incremental repair deltas
+  (:mod:`repro.live`, ``docs/LIVE.md``);
 - :mod:`repro.service.scheduler` -- the quantum scheduler
   round-robining hundreds of concurrent ``STOP AFTER k`` sessions;
 - :mod:`repro.service.server` -- a stdlib-only asyncio HTTP server
@@ -27,6 +30,7 @@ the HTTP API.
 
 from repro.service.client import ServiceClient
 from repro.service.cursor import CursorStore, dumps, loads
+from repro.service.live import LiveSource
 from repro.service.overhead import resumed_join
 from repro.service.scheduler import JoinScheduler
 from repro.service.server import JoinService
@@ -36,6 +40,7 @@ __all__ = [
     "CursorStore",
     "JoinScheduler",
     "JoinService",
+    "LiveSource",
     "QuerySource",
     "ServiceClient",
     "Session",

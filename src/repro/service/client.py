@@ -136,6 +136,46 @@ class ServiceClient:
             out.extend(page)
         return out
 
+    def watch(self, sql: str) -> str:
+        """Register a standing ``WATCH`` subscription; returns its
+        session id.  Page its delta stream with :meth:`deltas`."""
+        reply = self._request("POST", "/query", {"sql": sql})
+        return reply["session"]
+
+    def deltas(self, session_id: str, k: int = 16) -> List[Dict[str, Any]]:
+        """The next page of a subscription's pending repair deltas
+        (possibly empty; a subscription never reports ``done``)."""
+        return self.next(session_id, k=k)["rows"]
+
+    def update(
+        self,
+        relation: str,
+        op: str,
+        oid: int,
+        point: List[float],
+    ) -> Dict[str, Any]:
+        """Apply one insert/delete to a relation on the server.
+
+        Returns the update receipt (watchers notified, deltas
+        queued).  ``point`` locates the object for both ops.
+        """
+        return self._request("POST", "/update", {
+            "relation": relation, "op": op, "oid": oid,
+            "point": list(point),
+        })
+
+    def insert(
+        self, relation: str, oid: int, point: List[float]
+    ) -> Dict[str, Any]:
+        """Insert ``oid`` at ``point`` into ``relation``."""
+        return self.update(relation, "insert", oid, point)
+
+    def remove(
+        self, relation: str, oid: int, point: List[float]
+    ) -> Dict[str, Any]:
+        """Delete ``oid`` (stored at ``point``) from ``relation``."""
+        return self.update(relation, "delete", oid, point)
+
     def status(self) -> Dict[str, Any]:
         """The scheduler's ``/status`` snapshot."""
         return self._request("GET", "/status")

@@ -1,0 +1,142 @@
+"""Standing-query subscription sources for the join service.
+
+A :class:`LiveSource` is the subscription-shaped sibling of
+:class:`~repro.service.session.QuerySource`: instead of a rebuildable
+row stream it wraps a registered :class:`~repro.live.StandingJoin`
+whose delta outbox the scheduler pages into the session buffer
+(``GET /next`` returns delta events, not rows).  A subscription never
+exhausts -- an empty page just means no repairs are pending.
+
+Suspension works through the same pickled-cursor protocol as query
+sessions: :meth:`LiveSource.save` wraps the standing cursor
+(``repro-live-cursor``) in a source envelope, :meth:`LiveSource.load`
+re-registers it against the database's trees, and the cursor's tree
+fingerprints (which include the mutation counters) guarantee a spooled
+subscription can only resume against the exact tree versions it was
+maintaining -- the service resumes evicted subscriptions *before*
+applying updates for exactly this reason.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.errors import CursorError
+from repro.live.delta import Delta
+from repro.live.standing import StandingJoin
+from repro.query.parser import parse
+
+#: Envelope marker for saved live sources.
+LIVE_SOURCE_FORMAT = "repro-live-session"
+LIVE_SOURCE_VERSION = 1
+
+__all__ = [
+    "LIVE_SOURCE_FORMAT",
+    "LIVE_SOURCE_VERSION",
+    "LiveSource",
+]
+
+
+class LiveSource:
+    """A standing ``WATCH`` subscription bound to a database.
+
+    Mirrors the :class:`~repro.service.session.QuerySource` surface
+    the scheduler and sessions expect (``sql`` / ``strategy`` /
+    ``join_kwargs`` / ``plan`` / ``open`` / ``release`` / ``save`` /
+    ``load``), plus the live-only :meth:`poll`, :meth:`notify_insert`
+    and :meth:`notify_delete`.
+    """
+
+    def __init__(
+        self,
+        db: Any,
+        sql: str,
+        join_kwargs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.db = db
+        self.sql = sql
+        self.strategy = "live"
+        self.join_kwargs = dict(join_kwargs or {})
+        self._standing: Optional[StandingJoin] = None
+
+    @property
+    def plan(self) -> None:
+        """Subscriptions have no pull plan; always None."""
+        return None
+
+    @property
+    def query(self):
+        """The parsed WATCH query (relations drive update routing)."""
+        return parse(self.sql)
+
+    def open(self) -> StandingJoin:
+        """Register the standing join (once) and return it."""
+        if self._standing is None:
+            self._standing = self.db.watch(self.sql, **self.join_kwargs)
+        return self._standing
+
+    @property
+    def standing(self) -> StandingJoin:
+        """The registered standing join (registering on first use)."""
+        return self.open()
+
+    def poll(self, limit: Optional[int] = None) -> List[Delta]:
+        """Drain up to ``limit`` pending deltas from the outbox."""
+        return self.open().poll(limit)
+
+    def pending(self) -> int:
+        return self.open().pending()
+
+    def notify_insert(
+        self, oid: int, obj: Any, side: int
+    ) -> List[Delta]:
+        """Repair after an insert already applied to the tree."""
+        return self.open().observe_insert(oid, obj, side=side)
+
+    def notify_delete(self, oid: int, side: int) -> List[Delta]:
+        """Repair after a delete already applied to the tree."""
+        return self.open().observe_delete(oid, side=side)
+
+    def release(self) -> None:
+        """Drop the in-memory standing join (after :meth:`save`)."""
+        self._standing = None
+
+    def save(self) -> Dict[str, Any]:
+        """Snapshot the subscription as a picklable cursor state."""
+        return {
+            "format": LIVE_SOURCE_FORMAT,
+            "version": LIVE_SOURCE_VERSION,
+            "sql": self.sql,
+            "standing": self.open().save(),
+        }
+
+    def load(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`save` snapshot in place.
+
+        The standing cursor's tree fingerprints (including the
+        mutation counters) are checked by
+        :meth:`~repro.live.StandingJoin.load`: a subscription spooled
+        before an unobserved tree mutation refuses to resume.
+        """
+        if (
+            not isinstance(state, dict)
+            or state.get("format") != LIVE_SOURCE_FORMAT
+        ):
+            raise CursorError("not a live-source cursor")
+        if state.get("version") != LIVE_SOURCE_VERSION:
+            raise CursorError(
+                f"unsupported live cursor version "
+                f"{state.get('version')!r} (this build reads "
+                f"{LIVE_SOURCE_VERSION})"
+            )
+        self.sql = state["sql"]
+        query = parse(self.sql)
+        tree1 = self.db.relation(query.relation1)
+        tree2 = self.db.relation(query.relation2)
+        self._standing = StandingJoin.load(
+            state["standing"], tree1, tree2,
+            counters=self.join_kwargs.get(
+                "counters", self.db.counters
+            ),
+            observer=self.join_kwargs.get("observer"),
+        )

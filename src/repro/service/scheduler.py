@@ -220,6 +220,11 @@ class JoinScheduler:
         """
         if session.done:
             return 0
+        if hasattr(session.source, "poll"):
+            # A standing WATCH subscription: its "rows" are repair
+            # deltas paged from the StandingJoin outbox, and it never
+            # exhausts.
+            return self._run_live_quantum(session)
         if session.evicted:
             self._resume(session)
         produced = 0
@@ -265,6 +270,36 @@ class JoinScheduler:
                 elapsed = tel.now() - quantum_start
                 if elapsed > self.latency_budget_seconds:
                     self._on_slow_quantum(session, elapsed)
+        return produced
+
+    def _run_live_quantum(self, session: Session) -> int:
+        """One quantum of a standing subscription.
+
+        Pages pending deltas from the subscription's outbox into the
+        session buffer, up to the pair budget.  An empty quantum means
+        no repairs are pending -- the session is never marked done
+        (subscriptions end only by ``DELETE /session``).
+        """
+        if session.evicted:
+            self._resume(session)
+        budget = min(
+            self.quantum_pairs,
+            max(0, session.demand - len(session.buffer)),
+        )
+        tel = session.tel
+        with tel.span(
+            "service.quantum", session=session.id,
+            quantum=session.quanta,
+        ):
+            with session.obs.span("service.quantum"):
+                deltas = session.source.poll(budget) if budget else []
+                session.buffer.extend(deltas)
+        produced = len(deltas)
+        session.quanta += 1
+        session.obs.gauge("service.quantum_pairs", float(produced))
+        self.counters.add("service_quanta")
+        if produced:
+            self.counters.add("service_rows", produced)
         return produced
 
     def run_round(self) -> int:

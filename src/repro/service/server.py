@@ -4,7 +4,12 @@ The server speaks a deliberately small JSON API (documented with curl
 examples in ``docs/SERVICE.md``):
 
 - ``POST /query`` with ``{"sql": ..., "strategy": ...}`` admits a
-  session and returns its id;
+  session and returns its id; a ``WATCH ...`` statement admits a
+  *standing* subscription instead, whose ``/next`` pages are
+  ``+pair``/``-pair`` repair deltas (see ``docs/LIVE.md``);
+- ``POST /update`` with ``{"relation", "op", "oid", "point"}``
+  applies one insert/delete to a relation and queues repair deltas on
+  every subscription watching it;
 - ``GET /next?session=ID&k=N`` runs fair scheduler rounds until the
   session has ``N`` rows (or its stream ends) and returns them as JSON
   -- interleaving with every other pending session's quanta;
@@ -39,10 +44,13 @@ import time
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
-from repro.errors import QueryError, ReproError, ServiceError
+from repro.errors import LiveError, QueryError, ReproError, ServiceError
+from repro.geometry.point import Point
 from repro.query.parser import parse
-from repro.query.physical import STRATEGIES, Row
+from repro.query.physical import STRATEGIES
+from repro.rtree.base import RTreeBase
 from repro.service.cursor import CursorStore
+from repro.service.live import LiveSource
 from repro.service.scheduler import JoinScheduler
 from repro.service.session import QuerySource
 from repro.util.counters import CounterRegistry
@@ -56,12 +64,26 @@ ALLOWED_STRATEGIES = STRATEGIES
 MAX_PAGE = 4096
 
 
-def row_to_json(row: Row) -> Dict[str, Any]:
-    """A :class:`~repro.query.physical.Row` as JSON-friendly data."""
+def row_to_json(row: Any) -> Dict[str, Any]:
+    """A :class:`~repro.query.physical.Row` -- or a standing join's
+    :class:`~repro.live.Delta` event -- as JSON-friendly data."""
     def geom(value: Any) -> Any:
         coords = getattr(value, "coords", None)
         return list(coords) if coords is not None else None
 
+    op = getattr(row, "op", None)
+    if op is not None:
+        # A WATCH session's delta event: +pair / -pair with the
+        # subscription-wide sequence number.
+        return {
+            "op": op,
+            "seq": row.seq,
+            "d": row.distance,
+            "oid1": row.oid1,
+            "geom1": geom(row.obj1),
+            "oid2": row.oid2,
+            "geom2": geom(row.obj2),
+        }
     return {
         "d": row.d,
         "oid1": row.oid1,
@@ -158,15 +180,37 @@ class JoinService:
             }
         # Planning is lazy (the first quantum builds it), but a syntax
         # error should be a 400 at admission, not a late surprise.
-        parse(sql)
+        query = parse(sql)
         # A malformed traceparent is ignored (a fresh trace is minted
         # at admission), per the W3C propagation contract.
         trace_ctx = TraceContext.from_traceparent(
             (headers or {}).get("traceparent")
         )
-        source = QuerySource(self.db, sql, strategy=strategy)
+        if query.watch:
+            # A WATCH registration: the session is a standing
+            # subscription whose /next pages are repair deltas.  The
+            # scheduler's registry takes the live_* counters so they
+            # surface on /metrics next to the service_* family.
+            source: Any = LiveSource(
+                self.db, sql,
+                join_kwargs={"counters": self.scheduler.counters},
+            )
+        else:
+            source = QuerySource(self.db, sql, strategy=strategy)
         session = self.scheduler.admit(source, trace_ctx=trace_ctx)
+        if query.watch:
+            # Register eagerly (after admit, so the telemetry observer
+            # injected by the scheduler reaches the standing join): a
+            # bad registration surfaces now, and the bootstrap ADD
+            # deltas are already queued for the first /next.
+            try:
+                source.open()
+            except ReproError:
+                self.scheduler.remove(session.id)
+                raise
         payload = {"session": session.id, "status": session.stats()}
+        if query.watch:
+            payload["watch"] = True
         if session.tel.enabled:
             payload["trace_id"] = session.tel.ctx.trace_id
             payload["traceparent"] = session.tel.ctx.to_traceparent()
@@ -191,6 +235,11 @@ class JoinService:
             if produced == 0 and session.pending:
                 break
         rows, exhausted = self.scheduler.take(session_id, k)
+        if hasattr(session.source, "poll"):
+            # A subscription page is best-effort: leftover demand must
+            # not accumulate (it would pin the session as pending
+            # forever and block idle eviction).
+            session.demand = 0
         payload = {
             "session": session_id,
             "rows": [row_to_json(r) for r in rows],
@@ -202,6 +251,83 @@ class JoinService:
             # A finished STOP AFTER k stream frees its slot at once.
             self.scheduler.remove(session_id)
         return 200, payload
+
+    def _post_update(self, body: Dict[str, Any]) -> Tuple[int, Any]:
+        """Apply one insert/delete to a relation and repair watchers.
+
+        Body: ``{"relation": name, "op": "insert"|"delete",
+        "oid": int, "point": [coords]}`` -- ``point`` locates the
+        object (its stored rect) and is required for both ops.  The
+        tree mutation is applied exactly once; every standing WATCH
+        session over the relation then observes it and queues its
+        repair deltas for the next ``GET /next``.  Evicted
+        subscriptions are resumed first so their cursors' tree
+        fingerprints stay in sync with the mutation counter.
+        """
+        relation = body.get("relation")
+        if not isinstance(relation, str) or not relation:
+            return 400, {"error": "body must carry a 'relation' string"}
+        op = body.get("op")
+        if op not in ("insert", "delete"):
+            return 400, {"error": "'op' must be 'insert' or 'delete'"}
+        oid = body.get("oid")
+        if not isinstance(oid, int) or isinstance(oid, bool):
+            return 400, {"error": "'oid' must be an integer"}
+        coords = body.get("point")
+        if (
+            not isinstance(coords, (list, tuple))
+            or not coords
+            or not all(isinstance(c, (int, float)) for c in coords)
+        ):
+            return 400, {"error": "'point' must be a coordinate list"}
+        tree = self.db.relation(relation)
+        obj = Point(coords)
+        rect = RTreeBase._rect_of(obj)
+
+        # Watching subscriptions, with the side(s) on which they see
+        # this relation (a self-join-like WATCH may see both).
+        watchers = []
+        for session in self.scheduler.sessions():
+            source = session.source
+            if not hasattr(source, "poll"):
+                continue
+            query = source.query
+            sides = [
+                side for side, rel in
+                ((1, query.relation1), (2, query.relation2))
+                if rel == relation
+            ]
+            if sides:
+                watchers.append((session, sides))
+        # Resume evicted watchers before touching the tree: a spooled
+        # live cursor pins the tree's mutation counter and would
+        # refuse to load after an unobserved update.
+        for session, __ in watchers:
+            if session.evicted:
+                self.scheduler._resume(session)
+
+        if op == "insert":
+            tree.insert(obj=obj, rect=rect, oid=oid)
+        else:
+            tree.delete(oid, rect)
+        deltas = 0
+        for session, sides in watchers:
+            for side in sides:
+                if op == "insert":
+                    emitted = session.source.notify_insert(
+                        oid, obj, side
+                    )
+                else:
+                    emitted = session.source.notify_delete(oid, side)
+                deltas += len(emitted)
+            session.touch()
+        return 200, {
+            "relation": relation,
+            "op": op,
+            "oid": oid,
+            "watchers": len(watchers),
+            "deltas": deltas,
+        }
 
     def _get_status(self) -> Tuple[int, Any]:
         return 200, self.scheduler.status()
@@ -262,6 +388,16 @@ class JoinService:
                     return 400, {"error": "body must be a JSON object"}, \
                         "application/json"
                 status, payload = self._post_query(parsed, headers)
+            elif route == ("POST", "/update"):
+                try:
+                    parsed = json.loads(body.decode("utf-8") or "{}")
+                except ValueError:
+                    return 400, {"error": "body is not valid JSON"}, \
+                        "application/json"
+                if not isinstance(parsed, dict):
+                    return 400, {"error": "body must be a JSON object"}, \
+                        "application/json"
+                status, payload = self._post_update(parsed)
             elif route == ("GET", "/next"):
                 status, payload = await self._get_next(params)
             elif route == ("GET", "/status"):
@@ -285,7 +421,7 @@ class JoinService:
             message = str(exc)
             status = 409 if "full" in message else 404
             payload = {"error": message}
-        except QueryError as exc:
+        except (LiveError, QueryError) as exc:
             status, payload = 400, {"error": str(exc)}
         except ReproError as exc:
             status, payload = 500, {"error": str(exc)}

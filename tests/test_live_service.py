@@ -1,0 +1,314 @@
+"""The standing-subscription path through the service layers.
+
+Bottom-up: :class:`~repro.service.live.LiveSource` as a unit, the
+scheduler paging a subscription through live quanta, and the full
+HTTP lifecycle over a real socket -- ``WATCH`` admission, delta
+paging, ``POST /update`` fan-out, eviction/resume of a spooled
+subscription, and the ``live_*`` counters on ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.errors import CursorError, ServiceError
+from repro.geometry.point import Point
+from repro.live import ADD, StandingJoin
+from repro.query.executor import Database
+from repro.service import JoinService, LiveSource, ServiceClient
+from repro.service.live import (
+    LIVE_SOURCE_FORMAT,
+    LIVE_SOURCE_VERSION,
+)
+from repro.service.scheduler import JoinScheduler
+from repro.util.counters import CounterRegistry
+from tests.conftest import make_points
+
+WATCH_SQL = (
+    "WATCH SELECT * FROM a, b, DISTANCE(a.geom, b.geom) AS d "
+    "ORDER BY d STOP AFTER 6 NOTIFY"
+)
+PULL_SQL = (
+    "SELECT * FROM a, b, DISTANCE(a.geom, b.geom) AS d "
+    "ORDER BY d STOP AFTER 6"
+)
+
+
+def build_db():
+    db = Database(counters=CounterRegistry())
+    db.create_relation("a", make_points(60, seed=11))
+    db.create_relation("b", make_points(70, seed=12))
+    return db
+
+
+def apply_deltas(held, rows):
+    """Replay JSON delta rows into a subscriber's result copy."""
+    for row in rows:
+        key = (row["oid1"], row["oid2"])
+        if row["op"] == "+":
+            assert key not in held
+            held[key] = row["d"]
+        else:
+            del held[key]
+    return held
+
+
+def recompute(db):
+    return {
+        (r.oid1, r.oid2): r.d
+        for r in db.physical_plan(PULL_SQL).rows()
+    }
+
+
+class TestLiveSource:
+    def test_source_shape(self):
+        db = build_db()
+        source = LiveSource(db, WATCH_SQL)
+        assert source.strategy == "live"
+        assert source.plan is None
+        assert source.query.relation1 == "a"
+        assert source.query.relation2 == "b"
+        standing = source.open()
+        assert isinstance(standing, StandingJoin)
+        assert source.open() is standing  # registered once
+        assert source.pending() == 6
+        assert len(source.poll(2)) == 2
+        assert source.pending() == 4
+
+    def test_notify_routes_by_side(self):
+        db = build_db()
+        source = LiveSource(db, WATCH_SQL)
+        source.poll(None)
+        point = Point((1.0, 2.0))
+        db.relation("b").insert(obj=point, oid=9000)
+        deltas = source.notify_insert(9000, point, side=2)
+        assert all(d.op in "+-" for d in deltas)
+        db.relation("b").delete(9000, db.relation("b")._rect_of(point))
+        source.notify_delete(9000, side=2)
+        assert source.standing.updates == 2
+
+    def test_save_load_round_trip(self):
+        db = build_db()
+        source = LiveSource(db, WATCH_SQL)
+        source.open()
+        source.poll(3)
+        state = source.save()
+        assert state["format"] == LIVE_SOURCE_FORMAT
+        assert state["version"] == LIVE_SOURCE_VERSION
+        remaining = [d.key for d in source.poll(None)]
+        source.release()
+        assert source._standing is None
+        clone = LiveSource(db, WATCH_SQL)
+        clone.load(state)
+        assert clone.pending() == 3
+        assert [d.key for d in clone.poll(None)] == remaining
+
+    def test_load_rejects_bad_envelopes(self):
+        db = build_db()
+        source = LiveSource(db, WATCH_SQL)
+        with pytest.raises(CursorError, match="not a live"):
+            source.load({"format": "repro-service-session"})
+        state = LiveSource(db, WATCH_SQL).save()
+        with pytest.raises(CursorError, match="version"):
+            source.load(dict(state, version=99))
+
+    def test_load_rejects_mutated_trees(self):
+        db = build_db()
+        source = LiveSource(db, WATCH_SQL)
+        state = source.save()
+        db.relation("a").insert(obj=Point((5.0, 5.0)), oid=9100)
+        with pytest.raises(CursorError, match="does not match"):
+            LiveSource(db, WATCH_SQL).load(state)
+
+
+class TestSchedulerLiveQuanta:
+    def test_subscription_pages_and_never_finishes(self):
+        db = build_db()
+        scheduler = JoinScheduler(
+            quantum_pairs=4, counters=CounterRegistry()
+        )
+        session = scheduler.admit(LiveSource(db, WATCH_SQL))
+        session.source.open()
+        rows, done = scheduler.fetch(session.id, k=4)
+        assert len(rows) == 4 and not done
+        assert all(d.op == ADD for d in rows)
+        rows, done = scheduler.fetch(session.id, k=4)
+        assert len(rows) == 2 and not done  # outbox drained
+        assert not session.done
+        # No pending repairs: an empty fetch, still not done.
+        session.demand = 0
+        rows, done = scheduler.fetch(session.id, k=4)
+        assert rows == [] and not done
+        assert session.quanta >= 3
+
+    def test_update_between_quanta_pages_repairs(self):
+        db = build_db()
+        scheduler = JoinScheduler(
+            quantum_pairs=16, counters=CounterRegistry()
+        )
+        session = scheduler.admit(LiveSource(db, WATCH_SQL))
+        session.source.open()
+        scheduler.fetch(session.id, k=16)
+        session.demand = 0
+        dup = make_points(60, seed=11)[0]  # duplicates an "a" point
+        db.relation("b").insert(obj=dup, oid=9000)
+        emitted = session.source.notify_insert(9000, dup, side=2)
+        assert len(emitted) == 2  # one ADD (d=0) + one REMOVE
+        rows, done = scheduler.fetch(session.id, k=16)
+        assert [r.op for r in rows] == ["-", "+"]
+        assert not done
+
+
+@pytest.fixture
+def served(tmp_path):
+    """A JoinService over a live-enabled database; yields
+    (service, client, db)."""
+    db = build_db()
+    service = JoinService(
+        db,
+        spool_dir=str(tmp_path / "spool"),
+        idle_evict_seconds=1e9,
+    )
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def runner():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(service.start(port=0))
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert started.wait(10), "server failed to start"
+    try:
+        yield service, ServiceClient(port=service.port, timeout=30), db
+    finally:
+        asyncio.run_coroutine_threadsafe(service.stop(), loop).result(10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        loop.close()
+
+
+class TestHttpSubscription:
+    def test_watch_bootstrap_and_update_lifecycle(self, served):
+        """The acceptance path: WATCH over HTTP, scripted updates via
+        POST /update, delta pages keeping the client's copy equal to
+        a full recompute."""
+        __, client, db = served
+        sid = client.watch(WATCH_SQL)
+        boot = client.deltas(sid, k=16)
+        assert len(boot) == 6 and all(r["op"] == "+" for r in boot)
+        held = apply_deltas({}, boot)
+        assert held == recompute(db)
+
+        # An empty page is fine and never done.
+        page = client.next(sid, k=8)
+        assert page["rows"] == [] and page["done"] is False
+
+        pts_b = make_points(70, seed=12)
+        for step in range(9):
+            # Perturbed copies of b-points into "a": distinct small
+            # distances, so every insert cracks the top-6 and no
+            # distance ties make the pull-join oracle ambiguous.
+            pt = [c + 1e-4 * (step + 1) for c in pts_b[step].coords]
+            receipt = client.insert("a", 9100 + step, pt)
+            assert receipt["watchers"] == 1
+            if step < 6:
+                # Early steps must crack the top-6 (one retraction,
+                # one admission); later tiny pairs may rank behind
+                # the six already-held tiny ones.
+                assert receipt["deltas"] == 2
+            if step % 3 == 2:
+                client.remove("a", 9100 + step - 2, [
+                    c + 1e-4 * (step - 1) for c in pts_b[step - 2].coords
+                ])
+            apply_deltas(held, client.deltas(sid, k=32))
+            assert held == recompute(db)
+        client.delete(sid)
+
+    def test_update_without_watchers(self, served):
+        __, client, db = served
+        receipt = client.insert("a", 9500, [50.0, 50.0])
+        assert receipt == {
+            "relation": "a", "op": "insert", "oid": 9500,
+            "watchers": 0, "deltas": 0,
+        }
+        assert len(db.relation("a")) == 61
+
+    def test_watch_session_shows_live_strategy(self, served):
+        __, client, __ = served
+        sid = client.watch(WATCH_SQL)
+        status = client.status()
+        record = next(
+            s for s in status["sessions"] if s["session"] == sid
+        )
+        assert record["strategy"] == "live"
+        assert record["done"] is False
+        client.delete(sid)
+
+    def test_metrics_expose_live_counters(self, served):
+        __, client, __ = served
+        sid = client.watch(WATCH_SQL)
+        client.deltas(sid, k=16)
+        client.insert("b", 9200, [10.0, 20.0])
+        client.deltas(sid, k=16)
+        text = client.metrics_text()
+        assert "repro_live_repairs" in text
+        client.delete(sid)
+
+    def test_evicted_subscription_resumes_on_update(self, served):
+        service, client, __ = served
+        sid = client.watch(WATCH_SQL)
+        client.deltas(sid, k=16)
+        evicted = service.scheduler.evict_idle(0.0)
+        assert sid in evicted
+        assert service.scheduler.session(sid).evicted
+        # The update must resume the spooled subscription *before*
+        # mutating the tree (else the cursor fingerprint goes stale).
+        receipt = client.insert("b", 9300, [30.0, 40.0])
+        assert receipt["watchers"] == 1
+        assert not service.scheduler.session(sid).evicted
+        assert service.scheduler.counters.value("service_resumes") >= 1
+        client.delete(sid)
+
+    def test_invalid_watch_rolls_back_admission(self, served):
+        service, client, __ = served
+        before = service.scheduler.status()["session_count"]
+        with pytest.raises(ServiceError, match="400"):
+            client.watch(
+                "WATCH SELECT * FROM a, missing, "
+                "DISTANCE(a.geom, missing.geom) AS d "
+                "ORDER BY d STOP AFTER 3"
+            )
+        assert service.scheduler.status()["session_count"] == before
+
+    @pytest.mark.parametrize("body", [
+        {"op": "insert", "oid": 1, "point": [1.0, 2.0]},
+        {"relation": "missing", "op": "insert", "oid": 1,
+         "point": [1.0, 2.0]},
+        {"relation": "a", "op": "upsert", "oid": 1,
+         "point": [1.0, 2.0]},
+        {"relation": "a", "op": "insert", "oid": "one",
+         "point": [1.0, 2.0]},
+        {"relation": "a", "op": "insert", "oid": 1, "point": []},
+        {"relation": "a", "op": "insert", "oid": 1,
+         "point": ["x", "y"]},
+    ])
+    def test_bad_updates_rejected(self, served, body):
+        __, client, __ = served
+        with pytest.raises(ServiceError, match="400"):
+            client._request("POST", "/update", body)
+
+    def test_duplicate_watch_oid_insert_rejected(self, served):
+        __, client, __ = served
+        sid = client.watch(WATCH_SQL)
+        client.insert("a", 9400, [1.0, 1.0])
+        with pytest.raises(ServiceError, match="400"):
+            client.insert("a", 9400, [2.0, 2.0])
+        with pytest.raises(ServiceError, match="400"):
+            client.remove("a", 424242, [1.0, 1.0])
+        client.delete(sid)
