@@ -211,6 +211,17 @@ class StandingJoin:
         """The currently reported pairs, canonical order."""
         return self._store.top(self.max_pairs)
 
+    def has_object(self, oid: int, side: int = 1) -> bool:
+        """Whether ``oid`` is currently indexed on ``side``.
+
+        The object index mirrors the tree exactly (it is loaded from
+        the tree at registration and maintained by every repair), so
+        callers can use this as an O(1) freshness check before
+        mutating the underlying relation.
+        """
+        self._tree(side)  # validate the side argument
+        return oid in self._objects[side]
+
     def pending(self) -> int:
         """Deltas emitted but not yet polled."""
         return len(self._outbox)
@@ -285,8 +296,7 @@ class StandingJoin:
             tree.insert(obj=obj, rect=rect, oid=oid)
             self._expected[side - 1] = tree._mutations
         else:
-            self._expected[side - 1] = tree._mutations
-            self._check_sync()
+            self._observe_mutation(side)
         self._objects[side][oid] = (obj, rect)
         before = self._published()
         self._repair_insert(oid, obj, rect, side)
@@ -312,8 +322,7 @@ class StandingJoin:
                 )
             self._expected[side - 1] = tree._mutations
         else:
-            self._expected[side - 1] = tree._mutations
-            self._check_sync()
+            self._observe_mutation(side)
         del self._objects[side][oid]
         before = self._published()
         self._store.remove_oid(side, oid)
@@ -343,15 +352,34 @@ class StandingJoin:
             return self.tree2
         raise LiveError(f"side must be 1 or 2, got {side!r}")
 
-    def _check_sync(self) -> None:
+    def _check_sync(
+        self, expected: Optional[List[int]] = None
+    ) -> None:
+        if expected is None:
+            expected = self._expected
         actual = [self.tree1._mutations, self.tree2._mutations]
-        if actual != self._expected:
+        if actual != expected:
             raise LiveError(
                 "tree mutated outside the standing join (expected "
-                f"mutation counters {self._expected}, found {actual});"
+                f"mutation counters {expected}, found {actual});"
                 " route updates through insert()/delete() or "
                 "observe_insert()/observe_delete()"
             )
+
+    def _observe_mutation(self, side: int) -> None:
+        """Accept exactly one already-applied mutation on ``side``.
+
+        The mutated side must have advanced by exactly one and the
+        partner must not have moved at all -- anything else means an
+        out-of-band mutation slipped past this join, and accepting the
+        observation would let the maintained store go silently stale.
+        ``_expected`` only advances once the check passes, so a failed
+        observation leaves the desync detectable by every later call.
+        """
+        observed = list(self._expected)
+        observed[side - 1] += 1
+        self._check_sync(observed)
+        self._expected = observed
 
     def _published(self) -> Dict[Tuple[float, int, int], JoinResult]:
         return {

@@ -58,6 +58,7 @@ class LiveSource:
         self.strategy = "live"
         self.join_kwargs = dict(join_kwargs or {})
         self._standing: Optional[StandingJoin] = None
+        self._query: Any = None
 
     @property
     def plan(self) -> None:
@@ -66,8 +67,15 @@ class LiveSource:
 
     @property
     def query(self):
-        """The parsed WATCH query (relations drive update routing)."""
-        return parse(self.sql)
+        """The parsed WATCH query (relations drive update routing).
+
+        Parsed once and cached: the update fan-out consults every
+        live session's relations on every ``POST /update``, which
+        must not reparse per subscription per update.
+        """
+        if self._query is None:
+            self._query = parse(self.sql)
+        return self._query
 
     def open(self) -> StandingJoin:
         """Register the standing join (once) and return it."""
@@ -130,7 +138,8 @@ class LiveSource:
                 f"{LIVE_SOURCE_VERSION})"
             )
         self.sql = state["sql"]
-        query = parse(self.sql)
+        self._query = None
+        query = self.query
         tree1 = self.db.relation(query.relation1)
         tree2 = self.db.relation(query.relation2)
         self._standing = StandingJoin.load(

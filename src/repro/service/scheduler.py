@@ -226,7 +226,7 @@ class JoinScheduler:
             # exhausts.
             return self._run_live_quantum(session)
         if session.evicted:
-            self._resume(session)
+            self.resume(session)
         produced = 0
         deadline = time.monotonic() + self.quantum_seconds
         rows = session.rows()
@@ -281,7 +281,7 @@ class JoinScheduler:
         (subscriptions end only by ``DELETE /session``).
         """
         if session.evicted:
-            self._resume(session)
+            self.resume(session)
         budget = min(
             self.quantum_pairs,
             max(0, session.demand - len(session.buffer)),
@@ -381,7 +381,13 @@ class JoinScheduler:
             self.counters.add("service_evictions")
         return evicted
 
-    def _resume(self, session: Session) -> None:
+    def resume(self, session: Session) -> None:
+        """Reload an evicted session's cursor from the spool.
+
+        Quantum execution resumes lazily, but callers that are about
+        to invalidate a spooled cursor (the update path mutating a
+        watched tree) must resume the session first.
+        """
         if self.store is None:
             raise ServiceError(
                 f"session {session.id!r} was evicted but the "

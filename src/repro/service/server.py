@@ -263,6 +263,16 @@ class JoinService:
         repair deltas for the next ``GET /next``.  Evicted
         subscriptions are resumed first so their cursors' tree
         fingerprints stay in sync with the mutation counter.
+
+        An update is validated *before* the tree mutates, so a
+        rejected update leaves the tree and every subscription
+        untouched: inserting an oid already present in the relation is
+        a 409 (``RTreeBase.insert`` would happily store a duplicate,
+        which no oid-addressed watcher could maintain), and deleting
+        an oid/point pair the tree does not hold is a 404.  Should a
+        watcher still fail to observe an applied mutation, its
+        subscription is permanently desynced and is removed rather
+        than left silently stale (reported under ``"invalidated"``).
         """
         relation = body.get("relation")
         if not isinstance(relation, str) or not relation:
@@ -304,30 +314,68 @@ class JoinService:
         # refuse to load after an unobserved update.
         for session, __ in watchers:
             if session.evicted:
-                self.scheduler._resume(session)
+                self.scheduler.resume(session)
 
         if op == "insert":
+            # Validate oid freshness BEFORE mutating: the tree itself
+            # accepts duplicate oids, but a duplicate would desync
+            # every oid-addressed watcher mid-fan-out.  Any watcher's
+            # object index mirrors the relation exactly; without
+            # watchers, the tree is the only source.
+            if watchers:
+                witness, witness_sides = watchers[0]
+                present = witness.source.standing.has_object(
+                    oid, witness_sides[0]
+                )
+            else:
+                present = any(e.oid == oid for e in tree.items())
+            if present:
+                return 409, {
+                    "error": f"oid {oid} already exists in relation "
+                             f"{relation!r}"
+                }
             tree.insert(obj=obj, rect=rect, oid=oid)
         else:
-            tree.delete(oid, rect)
+            if not tree.delete(oid, rect):
+                return 404, {
+                    "error": f"relation {relation!r} holds no object "
+                             f"{oid} at the given point"
+                }
         deltas = 0
+        invalidated = []
         for session, sides in watchers:
-            for side in sides:
-                if op == "insert":
-                    emitted = session.source.notify_insert(
-                        oid, obj, side
-                    )
-                else:
-                    emitted = session.source.notify_delete(oid, side)
-                deltas += len(emitted)
+            try:
+                for side in sides:
+                    if op == "insert":
+                        emitted = session.source.notify_insert(
+                            oid, obj, side
+                        )
+                    else:
+                        emitted = session.source.notify_delete(
+                            oid, side
+                        )
+                    deltas += len(emitted)
+            except ReproError as exc:
+                # The mutation is applied but this watcher could not
+                # observe it: its standing store can never be repaired
+                # back into sync, so drop the subscription instead of
+                # serving silently stale results.
+                self.scheduler.remove(session.id)
+                invalidated.append(
+                    {"session": session.id, "error": str(exc)}
+                )
+                continue
             session.touch()
-        return 200, {
+        payload = {
             "relation": relation,
             "op": op,
             "oid": oid,
             "watchers": len(watchers),
             "deltas": deltas,
         }
+        if invalidated:
+            payload["invalidated"] = invalidated
+        return 200, payload
 
     def _get_status(self) -> Tuple[int, Any]:
         return 200, self.scheduler.status()

@@ -304,11 +304,62 @@ class TestHttpSubscription:
             client._request("POST", "/update", body)
 
     def test_duplicate_watch_oid_insert_rejected(self, served):
-        __, client, __ = served
+        """A duplicate insert / missing delete is rejected *before*
+        the tree mutates: no second entry lands, no watcher observes
+        anything, and the subscription keeps repairing correctly."""
+        __, client, db = served
         sid = client.watch(WATCH_SQL)
+        held = apply_deltas({}, client.deltas(sid, k=16))
         client.insert("a", 9400, [1.0, 1.0])
-        with pytest.raises(ServiceError, match="400"):
+        apply_deltas(held, client.deltas(sid, k=32))
+        size = len(db.relation("a"))
+        mutations = db.relation("a")._mutations
+        with pytest.raises(ServiceError, match="409"):
             client.insert("a", 9400, [2.0, 2.0])
-        with pytest.raises(ServiceError, match="400"):
+        with pytest.raises(ServiceError, match="404"):
             client.remove("a", 424242, [1.0, 1.0])
+        # Point mismatch on a real oid: also a 404, tree untouched.
+        with pytest.raises(ServiceError, match="404"):
+            client.remove("a", 9400, [3.0, 3.0])
+        assert len(db.relation("a")) == size
+        assert db.relation("a")._mutations == mutations
+        # The subscription stayed in sync: a later valid update still
+        # repairs, and the repaired copy matches a full recompute.
+        receipt = client.insert("a", 9401, [1.0, 1.5])
+        assert receipt["watchers"] == 1
+        assert "invalidated" not in receipt
+        apply_deltas(held, client.deltas(sid, k=64))
+        assert held == recompute(db)
         client.delete(sid)
+
+    def test_rejected_updates_without_watchers(self, served):
+        """The freshness checks hold with zero subscriptions too: a
+        duplicate insert falls back to a tree scan and a no-op delete
+        is a 404, not a silent 200."""
+        __, client, db = served
+        size = len(db.relation("a"))
+        with pytest.raises(ServiceError, match="409"):
+            client.insert("a", 0, [5.0, 5.0])  # oid 0 is seeded
+        with pytest.raises(ServiceError, match="404"):
+            client.remove("a", 424242, [1.0, 1.0])
+        assert len(db.relation("a")) == size
+
+    def test_desynced_watcher_invalidated_not_stale(self, served):
+        """A watcher that cannot observe an applied mutation (its
+        trees moved out of band) is removed, not left silently
+        serving a stale result."""
+        service, client, db = served
+        sid = client.watch(WATCH_SQL)
+        client.deltas(sid, k=16)
+        # Out-of-band mutation the subscription never observes.
+        db.relation("b").insert(
+            obj=Point((77.0, 77.0)), oid=9700
+        )
+        receipt = client.insert("b", 9701, [60.0, 60.0])
+        assert receipt["watchers"] == 1
+        assert receipt["deltas"] == 0
+        invalidated = receipt["invalidated"]
+        assert [entry["session"] for entry in invalidated] == [sid]
+        assert "outside the standing" in invalidated[0]["error"]
+        with pytest.raises(ServiceError, match="unknown session"):
+            service.scheduler.session(sid)

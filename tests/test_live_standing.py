@@ -369,6 +369,29 @@ class TestObserveFanOut:
         with pytest.raises(LiveError, match="outside the standing"):
             standing.observe_insert(9003, Point((3.0, 3.0)), side=1)
 
+    def test_observe_rejects_extra_mutations_on_same_side(self):
+        """The observed side must advance by *exactly one*: an extra
+        out-of-band mutation on that very side (not just the partner)
+        is detected instead of being silently resynced over."""
+        standing, __, __, __ = make_standing(k=4, na=20, nb=20)
+        standing.tree1.insert(obj=Point((1.0, 1.0)), oid=9001)
+        standing.tree1.insert(obj=Point((2.0, 2.0)), oid=9002)
+        with pytest.raises(LiveError, match="outside the standing"):
+            standing.observe_insert(9002, Point((2.0, 2.0)), side=1)
+        # The failed observation did not advance the expectation: the
+        # desync stays detectable by later updates too.
+        with pytest.raises(LiveError, match="outside the standing"):
+            standing.insert(9003, Point((3.0, 3.0)), side=2)
+
+    def test_observe_delete_rejects_extra_mutations(self):
+        standing, __, __, __ = make_standing(k=4, na=20, nb=20)
+        tree = standing.tree2
+        tree.insert(obj=Point((0.5, 0.5)), oid=9001)  # out of band
+        obj, stored = standing._objects[2][0]
+        assert tree.delete(0, stored)
+        with pytest.raises(LiveError, match="outside the standing"):
+            standing.observe_delete(0, side=2)
+
 
 class TestCursor:
     def round_trip(self, standing, counters=None):
